@@ -1,0 +1,31 @@
+//! Application models used by the Sieve evaluation.
+//!
+//! The paper deploys two real microservices-based systems:
+//!
+//! * **ShareLatex** (§4.1, §6.2) — a collaborative LaTeX editor with a load
+//!   balancer, a KV store, two databases and 11 node.js services, exporting
+//!   889 metrics in total; used for the metric-reduction, overhead and
+//!   autoscaling experiments.
+//! * **OpenStack Kolla** (§4.2, §6.3) — a cloud manager whose main services
+//!   (Nova, Neutron, Glance, …) plus auxiliary components expose ~500
+//!   metrics in the paper's measurement setup (Table 5 reports 508); used
+//!   for the root-cause-analysis experiment around Launchpad bug #1533942.
+//!
+//! This crate models both applications for the `sieve-simulator` substrate:
+//! the same component names, realistic per-component metric families whose
+//! values are causally driven by request flow along the real call topology,
+//! and — for OpenStack — a fault scenario that reproduces the observable
+//! symptoms of the Open vSwitch agent crash.
+//!
+//! Each model comes in two sizes via [`MetricRichness`]: `Minimal` keeps a
+//! handful of metrics per component so unit tests stay fast, `Full`
+//! approximates the paper's metric counts for the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod openstack;
+pub mod profiles;
+pub mod sharelatex;
+
+pub use profiles::MetricRichness;

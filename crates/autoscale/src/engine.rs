@@ -1,0 +1,312 @@
+//! The autoscaling runtime engine.
+//!
+//! The paper wires its scaling rules into Kapacitor, which streams metrics
+//! out of InfluxDB and triggers the scale in/out actions. Here the engine
+//! drives a [`Simulation`] tick by tick, polls the guiding metric from the
+//! metric store, applies the [`ScalingRule`] (with a cooldown) and records
+//! the quantities of Table 4: mean CPU usage per component, SLA violations
+//! and the number of scaling actions.
+
+use crate::rules::{ScalingRule, SlaCondition};
+use serde::{Deserialize, Serialize};
+use sieve_simulator::app::AppSpec;
+use sieve_simulator::engine::{SimConfig, Simulation};
+use sieve_simulator::store::MetricId;
+use sieve_simulator::workload::Workload;
+use sieve_simulator::{Result, SimulatorError};
+use std::collections::BTreeMap;
+
+/// The outcome of one autoscaled run (one row-set of Table 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoscalingReport {
+    /// The metric that drove the scaling decisions.
+    pub guiding_metric: MetricId,
+    /// Mean CPU usage per component over the whole run (percent).
+    pub mean_cpu_usage_per_component: f64,
+    /// Number of latency samples violating the SLA bound.
+    pub sla_violations: usize,
+    /// Total number of latency samples.
+    pub total_samples: usize,
+    /// Number of scaling actions executed.
+    pub scaling_actions: usize,
+    /// Instance count of every target component at the end of the run.
+    pub final_instances: BTreeMap<String, usize>,
+    /// The 90th-percentile end-to-end latency over the run, in milliseconds.
+    pub latency_p90_ms: f64,
+}
+
+impl AutoscalingReport {
+    /// Fraction of samples violating the SLA.
+    pub fn violation_ratio(&self) -> f64 {
+        if self.total_samples == 0 {
+            return 0.0;
+        }
+        self.sla_violations as f64 / self.total_samples as f64
+    }
+}
+
+/// Streams metrics from a running simulation and applies a scaling rule.
+#[derive(Debug, Clone)]
+pub struct AutoscaleEngine {
+    rule: ScalingRule,
+    sla: SlaCondition,
+}
+
+impl AutoscaleEngine {
+    /// Creates an engine for the given rule and SLA condition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulatorError::InvalidSpec`] when the rule is inconsistent
+    /// (scale-in threshold not below scale-out, or no target components).
+    pub fn new(rule: ScalingRule, sla: SlaCondition) -> Result<Self> {
+        if !rule.is_consistent() {
+            return Err(SimulatorError::InvalidSpec {
+                reason: "inconsistent scaling rule".to_string(),
+            });
+        }
+        Ok(Self { rule, sla })
+    }
+
+    /// The rule this engine applies.
+    pub fn rule(&self) -> &ScalingRule {
+        &self.rule
+    }
+
+    /// Runs `spec` under `workload` with autoscaling enabled and reports the
+    /// Table 4 quantities.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (invalid spec, unknown components).
+    pub fn run(
+        &self,
+        spec: &AppSpec,
+        workload: &Workload,
+        config: SimConfig,
+    ) -> Result<AutoscalingReport> {
+        let mut sim = Simulation::new(spec.clone(), workload.clone(), config)?;
+        // Start every target component at the rule's minimum.
+        for component in &self.rule.target_components {
+            sim.set_instances(component, self.rule.min_instances)?;
+        }
+
+        let mut scaling_actions = 0usize;
+        let mut sla_violations = 0usize;
+        let mut total_samples = 0usize;
+        let mut last_action_tick: Option<usize> = None;
+        // Sliding window of "metric below the scale-in threshold" flags used
+        // to make scale-in decisions sustained rather than instantaneous.
+        let scale_in_window = self.rule.cooldown_ticks.max(1) * 12;
+        let mut below_history: std::collections::VecDeque<bool> =
+            std::collections::VecDeque::with_capacity(scale_in_window);
+
+        while let Some(snapshot) = sim.step() {
+            total_samples += 1;
+            if self.sla.is_violated_by(snapshot.end_to_end_latency_ms) {
+                sla_violations += 1;
+            }
+
+            let Some((_, value)) = sim.store().last_value(&self.rule.guiding_metric) else {
+                continue;
+            };
+            let decision = self.rule.decide(value);
+            // Scale-in decisions must be *sustained*: the guiding metric has
+            // to stay below the scale-in threshold for (most of) an extended
+            // window. Scaling out reacts immediately (after the cooldown) so
+            // SLA violations are corrected as fast as possible; this
+            // asymmetry is what keeps threshold rules from flapping and
+            // corresponds to the iterative refinement of §4.1.
+            below_history.push_back(decision < 0);
+            if below_history.len() > scale_in_window {
+                below_history.pop_front();
+            }
+            if decision < 0 {
+                let below_count = below_history.iter().filter(|&&b| b).count();
+                let sustained = below_history.len() >= scale_in_window
+                    && below_count * 10 >= below_history.len() * 9;
+                if !sustained {
+                    continue;
+                }
+            }
+            if decision == 0 {
+                continue;
+            }
+            let cooled_down = match last_action_tick {
+                None => true,
+                Some(t) => snapshot.tick.saturating_sub(t) >= self.rule.cooldown_ticks,
+            };
+            if !cooled_down {
+                continue;
+            }
+
+            let mut changed = false;
+            for component in &self.rule.target_components {
+                let current = sim.instances(component);
+                let desired = if decision > 0 {
+                    (current + 1).min(self.rule.max_instances)
+                } else {
+                    current.saturating_sub(1).max(self.rule.min_instances)
+                };
+                if desired != current {
+                    sim.set_instances(component, desired)?;
+                    changed = true;
+                }
+            }
+            if changed {
+                scaling_actions += 1;
+                last_action_tick = Some(snapshot.tick);
+                below_history.clear();
+            }
+        }
+
+        let mean_cpu = mean_cpu_usage_per_component(&sim);
+        let latency_p90 =
+            sieve_timeseries::stats::percentile(sim.latency_samples(), 90.0).unwrap_or(0.0);
+        let final_instances = self
+            .rule
+            .target_components
+            .iter()
+            .map(|c| (c.clone(), sim.instances(c)))
+            .collect();
+
+        Ok(AutoscalingReport {
+            guiding_metric: self.rule.guiding_metric.clone(),
+            mean_cpu_usage_per_component: mean_cpu,
+            sla_violations,
+            total_samples,
+            scaling_actions,
+            final_instances,
+            latency_p90_ms: latency_p90,
+        })
+    }
+}
+
+/// Runs the application without any scaling rule (static deployment) and
+/// reports the same quantities — the "do nothing" baseline.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_without_scaling(
+    spec: &AppSpec,
+    workload: &Workload,
+    config: SimConfig,
+    sla: &SlaCondition,
+) -> Result<AutoscalingReport> {
+    let mut sim = Simulation::new(spec.clone(), workload.clone(), config)?;
+    let mut sla_violations = 0usize;
+    let mut total_samples = 0usize;
+    while let Some(snapshot) = sim.step() {
+        total_samples += 1;
+        if sla.is_violated_by(snapshot.end_to_end_latency_ms) {
+            sla_violations += 1;
+        }
+    }
+    Ok(AutoscalingReport {
+        guiding_metric: MetricId::new("none", "none"),
+        mean_cpu_usage_per_component: mean_cpu_usage_per_component(&sim),
+        sla_violations,
+        total_samples,
+        scaling_actions: 0,
+        final_instances: BTreeMap::new(),
+        latency_p90_ms: sieve_timeseries::stats::percentile(sim.latency_samples(), 90.0)
+            .unwrap_or(0.0),
+    })
+}
+
+/// Mean of the `cpu_usage` metric across all components that export one.
+fn mean_cpu_usage_per_component(sim: &Simulation) -> f64 {
+    let store = sim.store();
+    let mut component_means = Vec::new();
+    for component in store.components() {
+        let id = MetricId::new(component, "cpu_usage");
+        if let Some(series) = store.series(&id) {
+            if !series.is_empty() {
+                component_means.push(sieve_timeseries::stats::mean(series.values()));
+            }
+        }
+    }
+    if component_means.is_empty() {
+        return 0.0;
+    }
+    sieve_timeseries::stats::mean(&component_means)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrated_rule;
+    use sieve_apps::sharelatex;
+    use sieve_apps::MetricRichness;
+
+    fn spike_workload() -> Workload {
+        Workload::spike(20.0, 320.0, 60, 180)
+    }
+
+    fn sim_config() -> SimConfig {
+        SimConfig::new(99).with_duration_ms(150_000)
+    }
+
+    fn scalable_components() -> Vec<String> {
+        vec![
+            "web".to_string(),
+            "clsi".to_string(),
+            "doc-updater".to_string(),
+            "docstore".to_string(),
+            "real-time".to_string(),
+        ]
+    }
+
+    #[test]
+    fn engine_rejects_inconsistent_rules() {
+        let rule = ScalingRule::new(MetricId::new("web", "m"), 1.0, 2.0, vec!["web".into()]);
+        assert!(AutoscaleEngine::new(rule, SlaCondition::default()).is_err());
+    }
+
+    #[test]
+    fn autoscaling_scales_out_under_a_spike_and_reduces_violations() {
+        let app = sharelatex::app_spec(MetricRichness::Minimal);
+        let sla = SlaCondition::default();
+        let metric = MetricId::new(sharelatex::GUIDING_COMPONENT, sharelatex::GUIDING_METRIC);
+        let rule = calibrated_rule(&app, &metric, &sla, 320.0, scalable_components(), 5)
+            .unwrap()
+            .with_instance_bounds(1, 12)
+            .with_cooldown_ticks(10);
+        let engine = AutoscaleEngine::new(rule, sla).unwrap();
+
+        let scaled = engine.run(&app, &spike_workload(), sim_config()).unwrap();
+        let baseline =
+            run_without_scaling(&app, &spike_workload(), sim_config(), &sla).unwrap();
+
+        // The engine must scale out during the spike (scale-in may or may not
+        // happen before the run ends, because scale-in decisions are
+        // deliberately conservative).
+        assert!(
+            scaled.scaling_actions >= 1,
+            "expected at least one scaling action, got {}",
+            scaled.scaling_actions
+        );
+        assert!(
+            scaled.sla_violations < baseline.sla_violations,
+            "autoscaling should reduce SLA violations ({} vs baseline {})",
+            scaled.sla_violations,
+            baseline.sla_violations
+        );
+        assert_eq!(scaled.total_samples, baseline.total_samples);
+        assert!(scaled.violation_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let app = sharelatex::app_spec(MetricRichness::Minimal);
+        let sla = SlaCondition::default();
+        let baseline = run_without_scaling(&app, &Workload::constant(10.0), sim_config(), &sla)
+            .unwrap();
+        assert_eq!(baseline.scaling_actions, 0);
+        assert!(baseline.sla_violations <= baseline.total_samples);
+        assert!(baseline.mean_cpu_usage_per_component >= 0.0);
+        assert!(baseline.latency_p90_ms > 0.0);
+        assert_eq!(baseline.violation_ratio(), baseline.sla_violations as f64 / baseline.total_samples as f64);
+    }
+}

@@ -1,0 +1,102 @@
+//! Criterion benchmarks of the end-to-end pipeline stages on the application
+//! models: simulation throughput, per-component metric reduction, dependency
+//! identification and the RCA comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sieve_apps::{openstack, sharelatex, MetricRichness};
+use sieve_core::config::SieveConfig;
+use sieve_core::pipeline::{load_application, Sieve};
+use sieve_core::reduce::{prepare_series, reduce_component};
+use sieve_rca::{RcaConfig, RcaEngine};
+use sieve_simulator::engine::{SimConfig, Simulation};
+use sieve_simulator::workload::Workload;
+use std::hint::black_box;
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let app = sharelatex::app_spec(MetricRichness::Minimal);
+    group.bench_function("sharelatex_minimal_60s", |b| {
+        b.iter(|| {
+            let config = SimConfig::new(1).with_duration_ms(60_000);
+            let mut sim =
+                Simulation::new(app.clone(), Workload::randomized(60.0, 2), config).unwrap();
+            sim.run_to_completion();
+            black_box(sim.store().point_count())
+        });
+    });
+    group.finish();
+}
+
+fn bench_reduce_component(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_reduce");
+    group.sample_size(10);
+    let app = sharelatex::app_spec(MetricRichness::Minimal);
+    let (store, _) =
+        load_application(&app, &Workload::randomized(70.0, 3), 5, 120_000, 500).unwrap();
+    let raw: Vec<_> = store
+        .metric_ids_of("web")
+        .into_iter()
+        .filter_map(|id| store.series(&id).map(|s| (id.metric, s)))
+        .collect();
+    let prepared = prepare_series(&raw, 500);
+    let config = SieveConfig::default();
+    group.bench_function("reduce_web_component", |b| {
+        b.iter(|| reduce_component("web", black_box(&prepared), &config).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_full");
+    group.sample_size(10);
+    let app = sharelatex::app_spec(MetricRichness::Minimal);
+    let (store, call_graph) =
+        load_application(&app, &Workload::randomized(70.0, 3), 5, 120_000, 500).unwrap();
+    let sieve = Sieve::new(SieveConfig::default().with_parallelism(8));
+    group.bench_function("sharelatex_minimal_analysis", |b| {
+        b.iter(|| {
+            sieve
+                .analyze("sharelatex", black_box(&store), black_box(&call_graph))
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_rca_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rca");
+    group.sample_size(10);
+    let workload = Workload::randomized(60.0, 5);
+    let sieve = Sieve::new(SieveConfig::default().with_parallelism(8));
+    let correct = sieve
+        .analyze_application_for(
+            &openstack::app_spec(MetricRichness::Minimal),
+            &workload,
+            9,
+            90_000,
+        )
+        .unwrap();
+    let faulty = sieve
+        .analyze_application_for(
+            &openstack::faulty_app_spec(MetricRichness::Minimal),
+            &workload,
+            9,
+            90_000,
+        )
+        .unwrap();
+    let engine = RcaEngine::new(RcaConfig::default());
+    group.bench_function("compare_openstack_models", |b| {
+        b.iter(|| engine.compare(black_box(&correct), black_box(&faulty)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator_throughput,
+    bench_reduce_component,
+    bench_full_pipeline,
+    bench_rca_compare
+);
+criterion_main!(benches);

@@ -1,0 +1,301 @@
+//! Augmented Dickey-Fuller (ADF) unit-root test.
+//!
+//! "the F-test might find spurious regressions when non-stationary time
+//! series are included. Non-stationary time series (e.g., monotonically
+//! increasing counters for CPU and network interfaces) can be found using the
+//! Augmented Dickey-Fuller test. For these time series, the first difference
+//! is taken and then used in the Granger Causality tests." (§3.3)
+//!
+//! The test regresses `Δy_t` on `y_{t-1}`, a constant and `p` lagged
+//! differences, and compares the t-statistic of the `y_{t-1}` coefficient
+//! against MacKinnon's critical values for the constant-only specification.
+
+use crate::ols;
+use crate::{CausalityError, Result};
+use sieve_timeseries::diff::first_difference;
+
+/// MacKinnon approximate critical values of the ADF t-statistic for the
+/// model with a constant (no trend), asymptotic (large-n) case.
+pub const CRITICAL_1PCT: f64 = -3.43;
+/// 5% critical value (constant, no trend).
+pub const CRITICAL_5PCT: f64 = -2.86;
+/// 10% critical value (constant, no trend).
+pub const CRITICAL_10PCT: f64 = -2.57;
+
+/// Significance levels at which the unit-root null can be assessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignificanceLevel {
+    /// 1% level.
+    OnePercent,
+    /// 5% level (Sieve's default).
+    FivePercent,
+    /// 10% level.
+    TenPercent,
+}
+
+impl SignificanceLevel {
+    /// The critical t-value for this level.
+    pub fn critical_value(self) -> f64 {
+        match self {
+            SignificanceLevel::OnePercent => CRITICAL_1PCT,
+            SignificanceLevel::FivePercent => CRITICAL_5PCT,
+            SignificanceLevel::TenPercent => CRITICAL_10PCT,
+        }
+    }
+}
+
+/// Outcome of an ADF test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdfResult {
+    /// The ADF t-statistic of the lagged-level coefficient.
+    pub statistic: f64,
+    /// Number of lagged difference terms included.
+    pub lags: usize,
+    /// Number of observations used in the regression.
+    pub n_observations: usize,
+}
+
+impl AdfResult {
+    /// Whether the unit-root null hypothesis is rejected (i.e. the series is
+    /// considered stationary) at the given significance level.
+    pub fn is_stationary(&self, level: SignificanceLevel) -> bool {
+        self.statistic < level.critical_value()
+    }
+}
+
+/// Default number of lagged differences, Schwert's rule of thumb
+/// `floor(12 * (n/100)^0.25)` capped to keep enough observations.
+pub fn default_lag_order(n: usize) -> usize {
+    if n < 10 {
+        return 0;
+    }
+    let schwert = (12.0 * (n as f64 / 100.0).powf(0.25)).floor() as usize;
+    schwert.min(n / 3)
+}
+
+/// Runs the ADF test with `lags` lagged difference terms and a constant.
+///
+/// # Errors
+///
+/// * [`CausalityError::TooFewObservations`] when the series is too short for
+///   the requested lag order.
+/// * [`CausalityError::SingularMatrix`] when the regression is degenerate
+///   (e.g. a constant series).
+pub fn adf_test(series: &[f64], lags: usize) -> Result<AdfResult> {
+    let n = series.len();
+    // Need at least lags + a handful of usable rows and more rows than
+    // parameters (constant + level + lags).
+    let min_obs = lags + 8;
+    if n < min_obs {
+        return Err(CausalityError::TooFewObservations {
+            required: min_obs,
+            actual: n,
+        });
+    }
+
+    let dy = first_difference(series);
+    // Regression rows: for t in (lags+1)..n (index into the original series),
+    //   dy[t-1] = alpha + gamma * y[t-1] + sum_j beta_j * dy[t-1-j] + e
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut targets: Vec<f64> = Vec::new();
+    for t in (lags + 1)..n {
+        let mut row = Vec::with_capacity(1 + lags);
+        row.push(series[t - 1]);
+        for j in 1..=lags {
+            row.push(dy[t - 1 - j]);
+        }
+        rows.push(row);
+        targets.push(dy[t - 1]);
+    }
+
+    let fit = ols::fit(&rows, &targets, true)?;
+    // The coefficient of y_{t-1} is at index 1 (after the intercept).
+    let gamma = fit.coefficients[1];
+
+    // Standard error of gamma: sqrt(residual_variance * [(X'X)^{-1}]_{11}).
+    // We obtain the diagonal entry by solving (X'X) e_1 = unit vector.
+    let se = standard_error(&rows, &fit, 1)?;
+    if se == 0.0 {
+        return Err(CausalityError::SingularMatrix);
+    }
+    Ok(AdfResult {
+        statistic: gamma / se,
+        lags,
+        n_observations: targets.len(),
+    })
+}
+
+/// Runs the ADF test with an automatically chosen lag order.
+///
+/// # Errors
+///
+/// Same as [`adf_test`]; very short series fall back to lag order 0.
+pub fn adf_test_auto(series: &[f64]) -> Result<AdfResult> {
+    let lags = default_lag_order(series.len());
+    // If the series is too short for the Schwert order, retry with fewer lags.
+    let mut order = lags;
+    loop {
+        match adf_test(series, order) {
+            Ok(r) => return Ok(r),
+            // Not enough data or a collinear lag structure at this order:
+            // retry with a smaller one (deterministic signals such as pure
+            // sinusoids satisfy exact linear recurrences that make high-order
+            // designs singular).
+            Err(CausalityError::TooFewObservations { .. })
+            | Err(CausalityError::SingularMatrix)
+                if order > 0 =>
+            {
+                order /= 2;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Convenience helper: whether `series` is stationary at the 5% level. A
+/// series that is too short or degenerate (constant) is reported as
+/// non-stationary, matching Sieve's conservative first-difference fallback.
+pub fn is_stationary(series: &[f64]) -> bool {
+    match adf_test_auto(series) {
+        Ok(r) => r.is_stationary(SignificanceLevel::FivePercent),
+        Err(_) => false,
+    }
+}
+
+/// Computes the standard error of the coefficient at `index` in the design
+/// produced from `rows` (with intercept prepended as column 0).
+fn standard_error(rows: &[Vec<f64>], fit: &ols::OlsFit, index: usize) -> Result<f64> {
+    use crate::linalg::{solve, Matrix};
+    let k = fit.n_parameters;
+    // Rebuild X'X for the design with intercept.
+    let design: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = Vec::with_capacity(k);
+            row.push(1.0);
+            row.extend_from_slice(r);
+            row
+        })
+        .collect();
+    let x = Matrix::from_rows(&design)?;
+    let xtx = x.transpose().matmul(&x)?;
+    // Solve X'X * col = e_index to get the column of the inverse.
+    let mut unit = vec![0.0; k];
+    unit[index] = 1.0;
+    let col = solve(&xtx, &unit)?;
+    let var = fit.residual_variance() * col[index];
+    Ok(var.max(0.0).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(i: usize, seed: u64) -> f64 {
+        // Mix index and seed with different multipliers so nearby seeds do
+        // not produce shifted copies of the same stream.
+        let mut s = (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed.wrapping_mul(0xD1B54A32D192ED03);
+        s ^= s >> 33;
+        s = s.wrapping_mul(0xff51afd7ed558ccd);
+        s ^= s >> 29;
+        ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    }
+
+    #[test]
+    fn stationary_ar1_is_detected() {
+        // y_t = 0.3 y_{t-1} + e_t is clearly stationary.
+        let mut y = vec![0.0];
+        for i in 1..400 {
+            let prev = y[i - 1];
+            y.push(0.3 * prev + noise(i, 42));
+        }
+        let r = adf_test(&y, 2).unwrap();
+        assert!(
+            r.is_stationary(SignificanceLevel::FivePercent),
+            "statistic {}",
+            r.statistic
+        );
+    }
+
+    #[test]
+    fn random_walk_is_not_stationary() {
+        // y_t = y_{t-1} + e_t is a unit-root process.
+        let mut y = vec![0.0];
+        for i in 1..400 {
+            let prev = y[i - 1];
+            y.push(prev + noise(i, 7));
+        }
+        let r = adf_test(&y, 2).unwrap();
+        assert!(
+            !r.is_stationary(SignificanceLevel::FivePercent),
+            "statistic {}",
+            r.statistic
+        );
+    }
+
+    #[test]
+    fn monotone_counter_is_not_stationary() {
+        // A CPU-seconds style counter: strictly increasing with jitter.
+        let mut y = Vec::new();
+        let mut acc = 0.0;
+        for i in 0..300 {
+            acc += 1.0 + 0.3 * noise(i, 11).abs();
+            y.push(acc);
+        }
+        assert!(!is_stationary(&y));
+        // Its first difference is stationary.
+        let dy = first_difference(&y);
+        assert!(is_stationary(&dy));
+    }
+
+    #[test]
+    fn oscillating_metric_is_stationary() {
+        let y: Vec<f64> = (0..300)
+            .map(|i| (i as f64 * 0.7).sin() + 0.2 * noise(i, 3))
+            .collect();
+        assert!(is_stationary(&y));
+    }
+
+    #[test]
+    fn constant_series_is_reported_non_stationary_without_panicking() {
+        let y = vec![5.0; 100];
+        // The regression is singular; is_stationary falls back to `false`.
+        assert!(!is_stationary(&y));
+    }
+
+    #[test]
+    fn too_short_series_is_an_error() {
+        assert!(matches!(
+            adf_test(&[1.0, 2.0, 3.0], 1),
+            Err(CausalityError::TooFewObservations { .. })
+        ));
+    }
+
+    #[test]
+    fn default_lag_order_grows_slowly_with_n() {
+        assert_eq!(default_lag_order(5), 0);
+        assert!(default_lag_order(100) >= 10 && default_lag_order(100) <= 12);
+        assert!(default_lag_order(1000) > default_lag_order(100));
+        // Never uses more than a third of the data.
+        assert!(default_lag_order(30) <= 10);
+    }
+
+    #[test]
+    fn significance_levels_are_ordered() {
+        assert!(
+            SignificanceLevel::OnePercent.critical_value()
+                < SignificanceLevel::FivePercent.critical_value()
+        );
+        assert!(
+            SignificanceLevel::FivePercent.critical_value()
+                < SignificanceLevel::TenPercent.critical_value()
+        );
+    }
+
+    #[test]
+    fn auto_lag_handles_short_series() {
+        let y: Vec<f64> = (0..20).map(|i| (i as f64 * 0.9).sin()).collect();
+        let r = adf_test_auto(&y).unwrap();
+        assert!(r.n_observations > 0);
+    }
+}

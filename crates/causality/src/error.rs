@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Errors produced by the statistical routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CausalityError {
+    /// The operation needs more observations than were provided.
+    TooFewObservations {
+        /// Observations required.
+        required: usize,
+        /// Observations available.
+        actual: usize,
+    },
+    /// Two series were expected to have equal length.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// The regression design matrix is singular (collinear regressors or a
+    /// constant series).
+    SingularMatrix,
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// Matrix dimensions do not allow the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+}
+
+impl fmt::Display for CausalityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CausalityError::TooFewObservations { required, actual } => {
+                write!(f, "too few observations: required {required}, got {actual}")
+            }
+            CausalityError::LengthMismatch { left, right } => {
+                write!(f, "series length mismatch: {left} vs {right}")
+            }
+            CausalityError::SingularMatrix => write!(f, "design matrix is singular"),
+            CausalityError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            CausalityError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CausalityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = vec![
+            CausalityError::TooFewObservations {
+                required: 10,
+                actual: 1,
+            },
+            CausalityError::LengthMismatch { left: 3, right: 4 },
+            CausalityError::SingularMatrix,
+            CausalityError::InvalidParameter {
+                name: "lag",
+                reason: "must be positive".into(),
+            },
+            CausalityError::DimensionMismatch {
+                context: "3x2 * 4x4".into(),
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_bounds<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<CausalityError>();
+    }
+}

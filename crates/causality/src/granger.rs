@@ -1,0 +1,404 @@
+//! Granger causality testing.
+//!
+//! "If a metric X is Granger-causing another metric Y, then we can predict Y
+//! better by using the history of both X and Y compared to only using the
+//! history of Y" (§3.3). The test compares, per candidate lag order `p`,
+//!
+//! * the **restricted** model `y_t ~ const + y_{t-1} + … + y_{t-p}` with
+//! * the **unrestricted** model that additionally includes
+//!   `x_{t-1} + … + x_{t-p}`,
+//!
+//! via an F-test. Non-stationary inputs are first-differenced beforehand
+//! (detected with the ADF test), mirroring Sieve's handling of counters.
+
+use crate::adf::is_stationary;
+use crate::ftest::{f_test, FTestResult};
+use crate::ols;
+use crate::{CausalityError, Result};
+use serde::{Deserialize, Serialize};
+use sieve_timeseries::diff::first_difference;
+use sieve_timeseries::stats::variance;
+
+/// Configuration of a Granger causality test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrangerConfig {
+    /// Maximum autoregressive lag order to try (each order from 1 to this
+    /// value is tested and the most significant one is reported).
+    pub max_lag: usize,
+    /// Significance level for rejecting the "does not Granger-cause" null.
+    pub significance: f64,
+    /// Whether to first-difference series that fail the ADF stationarity
+    /// test (Sieve always does).
+    pub difference_non_stationary: bool,
+    /// Minimum number of observations required to attempt the test.
+    pub min_observations: usize,
+}
+
+impl Default for GrangerConfig {
+    fn default() -> Self {
+        Self {
+            max_lag: 3,
+            significance: 0.05,
+            difference_non_stationary: true,
+            min_observations: 30,
+        }
+    }
+}
+
+impl GrangerConfig {
+    /// Builder-style setter for the maximum lag order.
+    pub fn with_max_lag(mut self, max_lag: usize) -> Self {
+        self.max_lag = max_lag;
+        self
+    }
+
+    /// Builder-style setter for the significance level.
+    pub fn with_significance(mut self, significance: f64) -> Self {
+        self.significance = significance;
+        self
+    }
+}
+
+/// Outcome of a Granger causality test of "X causes Y".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GrangerResult {
+    /// Whether X Granger-causes Y at the configured significance level.
+    pub causal: bool,
+    /// p-value of the F-test comparing the restricted and unrestricted
+    /// models at the used lag order.
+    pub p_value: f64,
+    /// The F statistic of that comparison.
+    pub f_statistic: f64,
+    /// The estimated response delay in samples: the lag (between 1 and the
+    /// configured maximum) at which the lagged cross-correlation between X
+    /// and Y is strongest. 0 when no test could run.
+    pub best_lag: usize,
+    /// Whether the inputs were first-differenced before testing.
+    pub differenced: bool,
+}
+
+impl GrangerResult {
+    /// A "no evidence of causality" result.
+    fn not_causal(differenced: bool) -> Self {
+        Self {
+            causal: false,
+            p_value: 1.0,
+            f_statistic: 0.0,
+            best_lag: 0,
+            differenced,
+        }
+    }
+}
+
+/// Tests whether `x` Granger-causes `y`.
+///
+/// # Errors
+///
+/// * [`CausalityError::LengthMismatch`] when the series differ in length.
+/// * [`CausalityError::TooFewObservations`] when fewer than
+///   `config.min_observations` samples are available.
+/// * [`CausalityError::InvalidParameter`] when `max_lag` is zero or the
+///   significance level is outside `(0, 1)`.
+pub fn granger_causes(x: &[f64], y: &[f64], config: &GrangerConfig) -> Result<GrangerResult> {
+    if x.len() != y.len() {
+        return Err(CausalityError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if config.max_lag == 0 {
+        return Err(CausalityError::InvalidParameter {
+            name: "max_lag",
+            reason: "must be at least 1".to_string(),
+        });
+    }
+    if !(config.significance > 0.0 && config.significance < 1.0) {
+        return Err(CausalityError::InvalidParameter {
+            name: "significance",
+            reason: format!("must be in (0, 1), got {}", config.significance),
+        });
+    }
+    if x.len() < config.min_observations {
+        return Err(CausalityError::TooFewObservations {
+            required: config.min_observations,
+            actual: x.len(),
+        });
+    }
+
+    // Constant series can never carry predictive information.
+    if variance(x) < 1e-12 || variance(y) < 1e-12 {
+        return Ok(GrangerResult::not_causal(false));
+    }
+
+    // Difference when either series is non-stationary (as Sieve does for
+    // counters); both are differenced to keep them aligned.
+    let (xs, ys, differenced) = if config.difference_non_stationary
+        && (!is_stationary(x) || !is_stationary(y))
+    {
+        (first_difference(x), first_difference(y), true)
+    } else {
+        (x.to_vec(), y.to_vec(), false)
+    };
+
+    if variance(&xs) < 1e-12 || variance(&ys) < 1e-12 {
+        return Ok(GrangerResult::not_causal(differenced));
+    }
+
+    // The autoregressive order is the configured maximum lag. Using the full
+    // order for the restricted model matters: with too few own-lags a smooth
+    // metric is under-fitted and the other metric becomes significant merely
+    // as a proxy for the missing own-lags, which would flip harmless
+    // downstream metrics into apparent causes. If the sample is too short
+    // (or the design collinear) the order is reduced until the test runs.
+    let mut order = config.max_lag;
+    let test = loop {
+        match test_at_lag(&xs, &ys, order) {
+            Ok(result) => break Some(result),
+            Err(CausalityError::SingularMatrix)
+            | Err(CausalityError::TooFewObservations { .. })
+                if order > 1 =>
+            {
+                order -= 1;
+            }
+            Err(CausalityError::SingularMatrix)
+            | Err(CausalityError::TooFewObservations { .. }) => break None,
+            Err(e) => return Err(e),
+        }
+    };
+
+    match test {
+        Some(result) => {
+            let causal = result.p_value < config.significance;
+            let best_lag = if causal {
+                strongest_lag(&xs, &ys, order)
+            } else {
+                0
+            };
+            Ok(GrangerResult {
+                causal,
+                p_value: result.p_value,
+                f_statistic: result.f_statistic,
+                best_lag,
+                differenced,
+            })
+        }
+        None => Ok(GrangerResult::not_causal(differenced)),
+    }
+}
+
+/// The lag in `1..=max_lag` at which the absolute lagged correlation between
+/// `x` and `y` (x leading) is largest.
+fn strongest_lag(x: &[f64], y: &[f64], max_lag: usize) -> usize {
+    use sieve_timeseries::diff::lag_pairs;
+    use sieve_timeseries::stats::pearson;
+    let mut best_lag = 1;
+    let mut best_corr = f64::NEG_INFINITY;
+    for lag in 1..=max_lag.max(1) {
+        let (xl, yl) = lag_pairs(x, y, lag);
+        if xl.len() < 3 {
+            continue;
+        }
+        let corr = pearson(&xl, &yl).abs();
+        if corr > best_corr {
+            best_corr = corr;
+            best_lag = lag;
+        }
+    }
+    best_lag
+}
+
+/// Tests both directions and reports them as a pair `(x_causes_y, y_causes_x)`.
+///
+/// Sieve filters out *bidirectional* relations as likely spurious (both
+/// metrics depending on a hidden third variable, §3.3); callers can use this
+/// helper to detect that situation.
+///
+/// # Errors
+///
+/// Same as [`granger_causes`].
+pub fn granger_bidirectional(
+    x: &[f64],
+    y: &[f64],
+    config: &GrangerConfig,
+) -> Result<(GrangerResult, GrangerResult)> {
+    Ok((
+        granger_causes(x, y, config)?,
+        granger_causes(y, x, config)?,
+    ))
+}
+
+/// Runs the restricted/unrestricted comparison at a fixed lag order.
+fn test_at_lag(x: &[f64], y: &[f64], lag: usize) -> Result<FTestResult> {
+    let n = y.len();
+    if n <= lag * 2 + 2 {
+        return Err(CausalityError::TooFewObservations {
+            required: lag * 2 + 3,
+            actual: n,
+        });
+    }
+    let mut restricted_rows = Vec::with_capacity(n - lag);
+    let mut unrestricted_rows = Vec::with_capacity(n - lag);
+    let mut targets = Vec::with_capacity(n - lag);
+    for t in lag..n {
+        let mut r_row = Vec::with_capacity(lag);
+        let mut u_row = Vec::with_capacity(lag * 2);
+        for k in 1..=lag {
+            r_row.push(y[t - k]);
+            u_row.push(y[t - k]);
+        }
+        for k in 1..=lag {
+            u_row.push(x[t - k]);
+        }
+        restricted_rows.push(r_row);
+        unrestricted_rows.push(u_row);
+        targets.push(y[t]);
+    }
+    let restricted = ols::fit(&restricted_rows, &targets, true)?;
+    let unrestricted = ols::fit(&unrestricted_rows, &targets, true)?;
+    f_test(&restricted, &unrestricted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(i: usize, seed: u64) -> f64 {
+        // Mix index and seed with different multipliers so nearby seeds do
+        // not produce shifted copies of the same stream.
+        let mut s = (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed.wrapping_mul(0xD1B54A32D192ED03);
+        s ^= s >> 33;
+        s = s.wrapping_mul(0xff51afd7ed558ccd);
+        s ^= s >> 29;
+        ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    }
+
+    /// x drives y with the given lag: y_t = gain * x_{t-lag} + noise.
+    fn driven_pair(n: usize, lag: usize, gain: f64) -> (Vec<f64>, Vec<f64>) {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.3 * noise(i, 5)).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                if i < lag {
+                    0.0
+                } else {
+                    gain * x[i - lag] + 0.2 * noise(i, 17)
+                }
+            })
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn detects_direct_causality() {
+        let (x, y) = driven_pair(300, 1, 1.0);
+        let r = granger_causes(&x, &y, &GrangerConfig::default()).unwrap();
+        assert!(r.causal, "p = {}", r.p_value);
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn detects_causality_at_longer_lag() {
+        // Use an unpredictable (white-noise) driver so only models that reach
+        // back three steps can explain y.
+        let n = 400;
+        let x: Vec<f64> = (0..n).map(|i| noise(i, 23)).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| if i < 3 { 0.0 } else { 1.5 * x[i - 3] + 0.1 * noise(i, 31) })
+            .collect();
+        let cfg = GrangerConfig::default().with_max_lag(4);
+        let r = granger_causes(&x, &y, &cfg).unwrap();
+        assert!(r.causal, "p = {}", r.p_value);
+        assert!(r.best_lag >= 3, "best lag {}", r.best_lag);
+    }
+
+    #[test]
+    fn reverse_direction_is_weaker_than_forward() {
+        let (x, y) = driven_pair(400, 2, 1.2);
+        let cfg = GrangerConfig::default().with_max_lag(3);
+        let (forward, backward) = granger_bidirectional(&x, &y, &cfg).unwrap();
+        assert!(forward.causal);
+        assert!(
+            forward.p_value <= backward.p_value,
+            "forward p {} should be <= backward p {}",
+            forward.p_value,
+            backward.p_value
+        );
+    }
+
+    #[test]
+    fn independent_series_are_not_causal() {
+        let x: Vec<f64> = (0..300).map(|i| noise(i, 1)).collect();
+        let y: Vec<f64> = (0..300).map(|i| noise(i, 2)).collect();
+        let r = granger_causes(&x, &y, &GrangerConfig::default()).unwrap();
+        assert!(!r.causal, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn constant_series_is_never_causal() {
+        let x = vec![4.2; 100];
+        let y: Vec<f64> = (0..100).map(|i| (i as f64 * 0.2).sin()).collect();
+        let r = granger_causes(&x, &y, &GrangerConfig::default()).unwrap();
+        assert!(!r.causal);
+        assert_eq!(r.p_value, 1.0);
+        let r = granger_causes(&y, &x, &GrangerConfig::default()).unwrap();
+        assert!(!r.causal);
+    }
+
+    #[test]
+    fn non_stationary_counters_are_differenced() {
+        // Two independent random-walk counters: without differencing this is
+        // the classic spurious-regression setup.
+        let mut x = vec![0.0];
+        let mut y = vec![0.0];
+        for i in 1..400 {
+            x.push(x[i - 1] + 1.0 + noise(i, 3).abs());
+            y.push(y[i - 1] + 2.0 + noise(i, 9).abs());
+        }
+        let r = granger_causes(&x, &y, &GrangerConfig::default()).unwrap();
+        assert!(r.differenced, "counters must be first-differenced");
+        assert!(!r.causal, "independent counters must not appear causal (p={})", r.p_value);
+    }
+
+    #[test]
+    fn causality_survives_differencing() {
+        // Cumulative counters where the *rate* of y follows the rate of x.
+        let n = 400;
+        let rate_x: Vec<f64> = (0..n).map(|i| 2.0 + (i as f64 * 0.25).sin() + 0.1 * noise(i, 4)).collect();
+        let mut x = vec![0.0];
+        let mut y = vec![0.0];
+        for i in 1..n {
+            x.push(x[i - 1] + rate_x[i]);
+            y.push(y[i - 1] + 1.5 * rate_x[i - 1] + 0.1 * noise(i, 6));
+        }
+        let r = granger_causes(&x, &y, &GrangerConfig::default()).unwrap();
+        assert!(r.differenced);
+        assert!(r.causal, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn rejects_invalid_configuration_and_input() {
+        let x = vec![1.0; 50];
+        let y = vec![2.0; 40];
+        assert!(matches!(
+            granger_causes(&x, &y, &GrangerConfig::default()),
+            Err(CausalityError::LengthMismatch { .. })
+        ));
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let cfg = GrangerConfig::default().with_max_lag(0);
+        assert!(granger_causes(&x, &x, &cfg).is_err());
+        let cfg = GrangerConfig::default().with_significance(1.5);
+        assert!(granger_causes(&x, &x, &cfg).is_err());
+        let short = vec![1.0, 2.0, 3.0];
+        assert!(matches!(
+            granger_causes(&short, &short, &GrangerConfig::default()),
+            Err(CausalityError::TooFewObservations { .. })
+        ));
+    }
+
+    #[test]
+    fn default_config_matches_paper_choices() {
+        let cfg = GrangerConfig::default();
+        assert_eq!(cfg.significance, 0.05);
+        assert!(cfg.difference_non_stationary);
+        assert!(cfg.max_lag >= 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! Minimal dense linear algebra: just enough to solve least-squares normal
+//! equations for the OLS regressions of the Granger and ADF tests.
+
+use crate::{CausalityError, Result};
+
+/// A dense, row-major matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from nested row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CausalityError::DimensionMismatch`] when rows have different
+    /// lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Ok(Self::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(CausalityError::DimensionMismatch {
+                    context: format!("row {i} has {} columns, expected {cols}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, value: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CausalityError::DimensionMismatch`] when the inner
+    /// dimensions differ.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(CausalityError::DimensionMismatch {
+                context: format!(
+                    "{}x{} * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    let v = out.get(r, c) + a * other.get(k, c);
+                    out.set(r, c, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CausalityError::DimensionMismatch`] when `v.len()` differs
+    /// from the number of columns.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(CausalityError::DimensionMismatch {
+                context: format!("{}x{} * vec[{}]", self.rows, self.cols, v.len()),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for c in 0..self.cols {
+                acc += self.get(r, c) * v[c];
+            }
+            out[r] = acc;
+        }
+        Ok(out)
+    }
+}
+
+/// Solves the linear system `A x = b` with Gaussian elimination and partial
+/// pivoting. `A` must be square.
+///
+/// # Errors
+///
+/// * [`CausalityError::DimensionMismatch`] if `A` is not square or `b` has
+///   the wrong length.
+/// * [`CausalityError::SingularMatrix`] if the matrix is (numerically)
+///   singular.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(CausalityError::DimensionMismatch {
+            context: format!("solve requires a square matrix, got {}x{}", a.rows(), a.cols()),
+        });
+    }
+    if b.len() != n {
+        return Err(CausalityError::DimensionMismatch {
+            context: format!("rhs has {} entries for a {n}x{n} system", b.len()),
+        });
+    }
+    // Augmented matrix.
+    let mut aug = vec![vec![0.0; n + 1]; n];
+    for (r, row) in aug.iter_mut().enumerate() {
+        for (c, slot) in row.iter_mut().enumerate().take(n) {
+            *slot = a.get(r, c);
+        }
+        row[n] = b[r];
+    }
+
+    for col in 0..n {
+        // Partial pivoting.
+        let mut pivot = col;
+        let mut best = aug[col][col].abs();
+        for (r, row) in aug.iter().enumerate().skip(col + 1) {
+            if row[col].abs() > best {
+                best = row[col].abs();
+                pivot = r;
+            }
+        }
+        if best < 1e-12 {
+            return Err(CausalityError::SingularMatrix);
+        }
+        aug.swap(col, pivot);
+        // Eliminate below.
+        for r in col + 1..n {
+            let factor = aug[r][col] / aug[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..=n {
+                aug[r][c] -= factor * aug[col][c];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = aug[r][n];
+        for c in r + 1..n {
+            acc -= aug[r][c] * x[c];
+        }
+        x[r] = acc / aug[r][r];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_and_accessors() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        let mut m2 = m.clone();
+        m2.set(1, 0, 7.0);
+        assert_eq!(m2.get(1, 0), 7.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn transpose_swaps_dimensions() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.get(0, 0), 19.0);
+        assert_eq!(c.get(0, 1), 22.0);
+        assert_eq!(c.get(1, 0), 43.0);
+        assert_eq!(c.get(1, 1), 50.0);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_dimensions() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_works() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0, 2.0], vec![0.0, 3.0, -1.0]]).unwrap();
+        let v = a.matvec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(v, vec![7.0, 3.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        // x + y = 3, x - y = 1 => x = 2, y = 1.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, -1.0]]).unwrap();
+        let x = solve(&a, &[3.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 2.0], vec![1.0, 1.0]]).unwrap();
+        let x = solve(&a, &[4.0, 3.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singular_matrix() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(solve(&a, &[1.0, 2.0]).unwrap_err(), CausalityError::SingularMatrix);
+    }
+
+    #[test]
+    fn solve_rejects_non_square_or_bad_rhs() {
+        let a = Matrix::zeros(2, 3);
+        assert!(solve(&a, &[1.0, 2.0]).is_err());
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert!(solve(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_larger_well_conditioned_system() {
+        // Diagonally dominant 4x4 system; verify A x = b.
+        let a = Matrix::from_rows(&[
+            vec![10.0, 1.0, 0.0, 2.0],
+            vec![1.0, 12.0, 3.0, 0.0],
+            vec![0.0, 3.0, 9.0, 1.0],
+            vec![2.0, 0.0, 1.0, 11.0],
+        ])
+        .unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let x = solve(&a, &b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (bi, yi) in b.iter().zip(back.iter()) {
+            assert!((bi - yi).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Ordinary least squares regression.
+//!
+//! Sieve "built two linear models using the ordinary least-square method"
+//! (§3.3) — the restricted and unrestricted models of the Granger test. This
+//! module fits such models by solving the normal equations
+//! `(X^T X) β = X^T y`.
+
+use crate::linalg::{solve, Matrix};
+use crate::{CausalityError, Result};
+
+/// The result of an OLS fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlsFit {
+    /// Estimated coefficients, in the column order of the design matrix
+    /// (the intercept is the first coefficient when one was requested).
+    pub coefficients: Vec<f64>,
+    /// Fitted values `X β`.
+    pub fitted: Vec<f64>,
+    /// Residuals `y - X β`.
+    pub residuals: Vec<f64>,
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// Total sum of squares of the centred response.
+    pub tss: f64,
+    /// Number of observations.
+    pub n_observations: usize,
+    /// Number of estimated parameters (including the intercept if present).
+    pub n_parameters: usize,
+}
+
+impl OlsFit {
+    /// Coefficient of determination R².
+    ///
+    /// Returns `1.0` when the response is constant and perfectly fitted,
+    /// `0.0` when the response is constant but not fitted.
+    pub fn r_squared(&self) -> f64 {
+        if self.tss == 0.0 {
+            return if self.rss < 1e-12 { 1.0 } else { 0.0 };
+        }
+        1.0 - self.rss / self.tss
+    }
+
+    /// Residual degrees of freedom, `n - k`.
+    pub fn degrees_of_freedom(&self) -> usize {
+        self.n_observations.saturating_sub(self.n_parameters)
+    }
+
+    /// Estimate of the residual variance `RSS / (n - k)`.
+    pub fn residual_variance(&self) -> f64 {
+        let df = self.degrees_of_freedom();
+        if df == 0 {
+            return 0.0;
+        }
+        self.rss / df as f64
+    }
+}
+
+/// Fits `y ~ X` by ordinary least squares.
+///
+/// Each element of `rows` is one observation's regressor values; when
+/// `intercept` is true a constant column is prepended.
+///
+/// # Errors
+///
+/// * [`CausalityError::LengthMismatch`] when `rows` and `y` differ in length.
+/// * [`CausalityError::TooFewObservations`] when there are fewer observations
+///   than parameters.
+/// * [`CausalityError::SingularMatrix`] when the design matrix is collinear.
+pub fn fit(rows: &[Vec<f64>], y: &[f64], intercept: bool) -> Result<OlsFit> {
+    if rows.len() != y.len() {
+        return Err(CausalityError::LengthMismatch {
+            left: rows.len(),
+            right: y.len(),
+        });
+    }
+    let n = rows.len();
+    if n == 0 {
+        return Err(CausalityError::TooFewObservations {
+            required: 1,
+            actual: 0,
+        });
+    }
+    let base_cols = rows[0].len();
+    let k = base_cols + usize::from(intercept);
+    if n < k {
+        return Err(CausalityError::TooFewObservations {
+            required: k,
+            actual: n,
+        });
+    }
+
+    let design: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = Vec::with_capacity(k);
+            if intercept {
+                row.push(1.0);
+            }
+            row.extend_from_slice(r);
+            row
+        })
+        .collect();
+    let x = Matrix::from_rows(&design)?;
+    let xt = x.transpose();
+    let xtx = xt.matmul(&x)?;
+    let xty = xt.matvec(y)?;
+    let beta = solve(&xtx, &xty)?;
+
+    let fitted = x.matvec(&beta)?;
+    let residuals: Vec<f64> = y.iter().zip(fitted.iter()).map(|(a, b)| a - b).collect();
+    let rss: f64 = residuals.iter().map(|r| r * r).sum();
+    let mean_y: f64 = y.iter().sum::<f64>() / n as f64;
+    let tss: f64 = y.iter().map(|v| (v - mean_y).powi(2)).sum();
+
+    Ok(OlsFit {
+        coefficients: beta,
+        fitted,
+        residuals,
+        rss,
+        tss,
+        n_observations: n,
+        n_parameters: k,
+    })
+}
+
+/// Convenience helper: fits a univariate regression `y ~ a + b·x` and returns
+/// `(a, b)`.
+///
+/// # Errors
+///
+/// Same as [`fit`].
+pub fn fit_line(x: &[f64], y: &[f64]) -> Result<(f64, f64)> {
+    let rows: Vec<Vec<f64>> = x.iter().map(|&v| vec![v]).collect();
+    let fitted = fit(&rows, y, true)?;
+    Ok((fitted.coefficients[0], fitted.coefficients[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0).collect();
+        let (a, b) = fit_line(&x, &y).unwrap();
+        assert!((a - 7.0).abs() < 1e-9);
+        assert!((b - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r_squared_is_one_for_perfect_fit_and_low_for_noise() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        let y_perfect: Vec<f64> = x.iter().map(|v| 2.0 * v - 1.0).collect();
+        let rows: Vec<Vec<f64>> = x.iter().map(|&v| vec![v]).collect();
+        let fit_perfect = fit(&rows, &y_perfect, true).unwrap();
+        assert!(fit_perfect.r_squared() > 0.999999);
+
+        // Deterministic "noise" unrelated to x.
+        let y_noise: Vec<f64> = (0..100).map(|i| ((i * 2654435761_usize) % 97) as f64).collect();
+        let fit_noise = fit(&rows, &y_noise, true).unwrap();
+        assert!(fit_noise.r_squared() < 0.2);
+    }
+
+    #[test]
+    fn multivariate_regression_recovers_coefficients() {
+        // y = 1 + 2*x1 - 3*x2
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let x1 = (i as f64 * 0.37).sin() * 4.0;
+            let x2 = (i as f64 * 0.11).cos() * 2.0 + i as f64 * 0.01;
+            rows.push(vec![x1, x2]);
+            y.push(1.0 + 2.0 * x1 - 3.0 * x2);
+        }
+        let f = fit(&rows, &y, true).unwrap();
+        assert!((f.coefficients[0] - 1.0).abs() < 1e-7);
+        assert!((f.coefficients[1] - 2.0).abs() < 1e-7);
+        assert!((f.coefficients[2] + 3.0).abs() < 1e-7);
+        assert!(f.rss < 1e-9);
+        assert_eq!(f.n_parameters, 3);
+        assert_eq!(f.degrees_of_freedom(), 57);
+    }
+
+    #[test]
+    fn without_intercept_the_constant_column_is_absent() {
+        let x: Vec<f64> = (1..30).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 5.0 * v).collect();
+        let rows: Vec<Vec<f64>> = x.iter().map(|&v| vec![v]).collect();
+        let f = fit(&rows, &y, false).unwrap();
+        assert_eq!(f.coefficients.len(), 1);
+        assert!((f.coefficients[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(fit(&[], &[], true).is_err());
+        assert!(fit(&[vec![1.0]], &[1.0, 2.0], true).is_err());
+        // Two observations, three parameters.
+        assert!(matches!(
+            fit(&[vec![1.0, 2.0], vec![2.0, 3.0]], &[1.0, 2.0], true),
+            Err(CausalityError::TooFewObservations { .. })
+        ));
+    }
+
+    #[test]
+    fn collinear_regressors_are_singular() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, 2.0 * i as f64])
+            .collect();
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        assert_eq!(
+            fit(&rows, &y, true).unwrap_err(),
+            CausalityError::SingularMatrix
+        );
+    }
+
+    #[test]
+    fn residuals_sum_to_zero_with_intercept() {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![(i as f64 * 0.3).sin()]).collect();
+        let y: Vec<f64> = (0..40).map(|i| (i as f64 * 0.21).cos() + 0.5).collect();
+        let f = fit(&rows, &y, true).unwrap();
+        let sum: f64 = f.residuals.iter().sum();
+        assert!(sum.abs() < 1e-8);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the statistical routines.
+
+use proptest::prelude::*;
+use sieve_causality::dist::{f_cdf, incomplete_beta, normal_cdf, t_cdf};
+use sieve_causality::granger::{granger_causes, GrangerConfig};
+use sieve_causality::linalg::{solve, Matrix};
+use sieve_causality::ols;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incomplete_beta_is_monotone_and_bounded(
+        a in 0.5f64..20.0,
+        b in 0.5f64..20.0,
+        x1 in 0.0f64..1.0,
+        x2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if x1 < x2 { (x1, x2) } else { (x2, x1) };
+        let vlo = incomplete_beta(a, b, lo);
+        let vhi = incomplete_beta(a, b, hi);
+        prop_assert!((0.0..=1.0).contains(&vlo));
+        prop_assert!((0.0..=1.0).contains(&vhi));
+        prop_assert!(vhi >= vlo - 1e-9);
+    }
+
+    #[test]
+    fn f_cdf_is_a_probability(f in 0.0f64..100.0, d1 in 1.0f64..40.0, d2 in 1.0f64..40.0) {
+        let v = f_cdf(f, d1, d2);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn t_cdf_symmetry(t in -20.0f64..20.0, df in 1.0f64..60.0) {
+        let upper = t_cdf(t, df);
+        let lower = t_cdf(-t, df);
+        prop_assert!((upper + lower - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry(z in -6.0f64..6.0) {
+        prop_assert!((normal_cdf(z) + normal_cdf(-z) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution(
+        coeffs in prop::collection::vec(-5.0f64..5.0, 3),
+        perturb in prop::collection::vec(0.1f64..2.0, 3),
+    ) {
+        // Build a diagonally dominant (hence non-singular) matrix.
+        let mut rows = Vec::new();
+        for i in 0..3 {
+            let mut row = vec![0.5; 3];
+            row[i] = 5.0 + perturb[i];
+            rows.push(row);
+        }
+        let a = Matrix::from_rows(&rows).unwrap();
+        let b = a.matvec(&coeffs).unwrap();
+        let x = solve(&a, &b).unwrap();
+        for (xi, ci) in x.iter().zip(coeffs.iter()) {
+            prop_assert!((xi - ci).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn ols_residuals_are_orthogonal_to_regressors(
+        xs in prop::collection::vec(-10.0f64..10.0, 20..60),
+        slope in -3.0f64..3.0,
+    ) {
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| slope * x + ((i as f64) * 1.7).sin())
+            .collect();
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        if let Ok(fit) = ols::fit(&rows, &ys, true) {
+            let dot: f64 = fit
+                .residuals
+                .iter()
+                .zip(xs.iter())
+                .map(|(r, x)| r * x)
+                .sum();
+            let scale = 1.0 + xs.iter().map(|v| v.abs()).fold(0.0, f64::max)
+                * ys.iter().map(|v| v.abs()).fold(0.0, f64::max);
+            prop_assert!(dot.abs() / scale < 1e-6, "dot {}", dot);
+            prop_assert!(fit.rss >= 0.0);
+            prop_assert!(fit.r_squared() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn granger_p_values_are_probabilities(
+        seed in 0u64..500,
+        n in 60usize..150,
+    ) {
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i as f64) * 0.3 + seed as f64).sin() + ((i * 7 + seed as usize) % 13) as f64 * 0.05)
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| ((i as f64) * 0.21 + seed as f64 * 0.5).cos() + ((i * 11 + seed as usize) % 7) as f64 * 0.07)
+            .collect();
+        let r = granger_causes(&x, &y, &GrangerConfig::default()).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        prop_assert_eq!(r.causal, r.p_value < 0.05);
+    }
+}

@@ -1,0 +1,121 @@
+use std::fmt;
+
+/// Errors produced by clustering operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// No time series were provided.
+    NoData,
+    /// The requested number of clusters is invalid (zero or larger than the
+    /// number of series).
+    InvalidClusterCount {
+        /// Requested number of clusters.
+        requested: usize,
+        /// Number of series available.
+        available: usize,
+    },
+    /// The series have inconsistent lengths.
+    InconsistentLengths {
+        /// Length of the first series.
+        expected: usize,
+        /// Index of the offending series.
+        index: usize,
+        /// Length of the offending series.
+        actual: usize,
+    },
+    /// An initial assignment was supplied with the wrong length or cluster
+    /// indices out of range.
+    InvalidInitialAssignment {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// Two labelings being compared do not have the same length.
+    LabelLengthMismatch {
+        /// Length of the first labeling.
+        left: usize,
+        /// Length of the second labeling.
+        right: usize,
+    },
+    /// An underlying time-series operation failed.
+    TimeSeries(sieve_timeseries::TimeSeriesError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoData => write!(f, "no time series provided"),
+            ClusterError::InvalidClusterCount {
+                requested,
+                available,
+            } => write!(
+                f,
+                "invalid cluster count {requested} for {available} series"
+            ),
+            ClusterError::InconsistentLengths {
+                expected,
+                index,
+                actual,
+            } => write!(
+                f,
+                "series {index} has length {actual}, expected {expected}"
+            ),
+            ClusterError::InvalidInitialAssignment { reason } => {
+                write!(f, "invalid initial assignment: {reason}")
+            }
+            ClusterError::LabelLengthMismatch { left, right } => {
+                write!(f, "labelings have different lengths: {left} vs {right}")
+            }
+            ClusterError::TimeSeries(e) => write!(f, "time-series error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::TimeSeries(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sieve_timeseries::TimeSeriesError> for ClusterError {
+    fn from(e: sieve_timeseries::TimeSeriesError) -> Self {
+        ClusterError::TimeSeries(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = vec![
+            ClusterError::NoData,
+            ClusterError::InvalidClusterCount {
+                requested: 5,
+                available: 2,
+            },
+            ClusterError::InconsistentLengths {
+                expected: 10,
+                index: 3,
+                actual: 7,
+            },
+            ClusterError::InvalidInitialAssignment {
+                reason: "too short".into(),
+            },
+            ClusterError::LabelLengthMismatch { left: 2, right: 3 },
+            ClusterError::TimeSeries(sieve_timeseries::TimeSeriesError::Empty),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn timeseries_error_converts() {
+        let e: ClusterError = sieve_timeseries::TimeSeriesError::Empty.into();
+        assert!(matches!(e, ClusterError::TimeSeries(_)));
+    }
+}

@@ -1,0 +1,264 @@
+//! Jaro string similarity and name-based pre-clustering.
+//!
+//! Sieve warm-starts k-Shape by pre-clustering metrics "according to their
+//! name similarity (e.g., Jaro distance)" because developers tend to use
+//! naming conventions (`cpu_usage`, `cpu_usage_percentile`, ...) for related
+//! metrics (§3.2). The warm start only affects convergence speed, never the
+//! final clustering quality.
+
+/// Jaro similarity between two strings, in `[0, 1]` (1 for identical
+/// strings, 0 for no matching characters).
+///
+/// ```
+/// let s = sieve_cluster::jaro::jaro_similarity("cpu_usage", "cpu_usage_percentile");
+/// assert!(s > 0.8);
+/// assert_eq!(sieve_cluster::jaro::jaro_similarity("abc", "abc"), 1.0);
+/// ```
+pub fn jaro_similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let match_window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut a_matched = vec![false; a.len()];
+    let mut b_matched = vec![false; b.len()];
+    let mut matches = 0usize;
+
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(match_window);
+        let hi = (i + match_window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == *ca {
+                a_matched[i] = true;
+                b_matched[j] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions among matched characters.
+    let a_match_chars: Vec<char> = a
+        .iter()
+        .zip(a_matched.iter())
+        .filter(|(_, &m)| m)
+        .map(|(c, _)| *c)
+        .collect();
+    let b_match_chars: Vec<char> = b
+        .iter()
+        .zip(b_matched.iter())
+        .filter(|(_, &m)| m)
+        .map(|(c, _)| *c)
+        .collect();
+    let transpositions = a_match_chars
+        .iter()
+        .zip(b_match_chars.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro distance: `1 - jaro_similarity`.
+pub fn jaro_distance(a: &str, b: &str) -> f64 {
+    1.0 - jaro_similarity(a, b)
+}
+
+/// Groups metric names into exactly `k` initial clusters by name similarity.
+///
+/// A greedy leader algorithm first forms groups of names whose Jaro
+/// similarity to the group leader exceeds `threshold` (default 0.8 via
+/// [`pre_cluster_names`]). The groups are then adjusted to exactly `k`
+/// clusters: surplus groups are merged into their most-similar retained
+/// group, and missing clusters are created by splitting the largest groups.
+///
+/// Returns one cluster index in `0..k` per input name. Returns an empty
+/// vector when `names` is empty or `k == 0`.
+pub fn pre_cluster_names_with_threshold(names: &[&str], k: usize, threshold: f64) -> Vec<usize> {
+    if names.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(names.len());
+
+    // Greedy leader clustering.
+    let mut leaders: Vec<usize> = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let mut best: Option<(usize, f64)> = None;
+        for (g, &leader) in leaders.iter().enumerate() {
+            let sim = jaro_similarity(name, names[leader]);
+            if sim >= threshold && best.map_or(true, |(_, b)| sim > b) {
+                best = Some((g, sim));
+            }
+        }
+        match best {
+            Some((g, _)) => groups[g].push(i),
+            None => {
+                leaders.push(i);
+                groups.push(vec![i]);
+            }
+        }
+    }
+
+    // Too many groups: keep the k largest as bases, merge the rest into the
+    // most-similar base (by leader similarity).
+    if groups.len() > k {
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        order.sort_by_key(|&g| std::cmp::Reverse(groups[g].len()));
+        let bases: Vec<usize> = order[..k].to_vec();
+        let mut merged: Vec<Vec<usize>> = bases.iter().map(|&g| groups[g].clone()).collect();
+        for &g in &order[k..] {
+            let leader = leaders[g];
+            let mut best = 0usize;
+            let mut best_sim = f64::NEG_INFINITY;
+            for (bi, &b) in bases.iter().enumerate() {
+                let sim = jaro_similarity(names[leader], names[leaders[b]]);
+                if sim > best_sim {
+                    best_sim = sim;
+                    best = bi;
+                }
+            }
+            let members = groups[g].clone();
+            merged[best].extend(members);
+        }
+        groups = merged;
+    }
+
+    // Too few groups: split the largest group until we have k.
+    while groups.len() < k {
+        let (largest_idx, _) = groups
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, g)| g.len())
+            .expect("at least one group");
+        if groups[largest_idx].len() < 2 {
+            // Cannot split further; duplicate an empty group (will be fixed
+            // by the k-Shape iterations).
+            groups.push(Vec::new());
+            continue;
+        }
+        let half = groups[largest_idx].len() / 2;
+        let tail = groups[largest_idx].split_off(half);
+        groups.push(tail);
+    }
+
+    let mut assignment = vec![0usize; names.len()];
+    for (cluster, group) in groups.iter().enumerate() {
+        for &idx in group {
+            assignment[idx] = cluster;
+        }
+    }
+    assignment
+}
+
+/// [`pre_cluster_names_with_threshold`] with the default similarity
+/// threshold of `0.8`.
+pub fn pre_cluster_names(names: &[&str], k: usize) -> Vec<usize> {
+    pre_cluster_names_with_threshold(names, k, 0.8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_have_similarity_one() {
+        assert_eq!(jaro_similarity("mongodb_queries", "mongodb_queries"), 1.0);
+        assert_eq!(jaro_distance("x", "x"), 0.0);
+    }
+
+    #[test]
+    fn disjoint_strings_have_similarity_zero() {
+        assert_eq!(jaro_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn empty_string_cases() {
+        assert_eq!(jaro_similarity("", ""), 1.0);
+        assert_eq!(jaro_similarity("", "abc"), 0.0);
+        assert_eq!(jaro_similarity("abc", ""), 0.0);
+    }
+
+    #[test]
+    fn known_jaro_values() {
+        // Classic textbook examples.
+        let s = jaro_similarity("MARTHA", "MARHTA");
+        assert!((s - 0.944444).abs() < 1e-4, "got {s}");
+        let s = jaro_similarity("DIXON", "DICKSONX");
+        assert!((s - 0.766666).abs() < 1e-4, "got {s}");
+        let s = jaro_similarity("JELLYFISH", "SMELLYFISH");
+        assert!((s - 0.896296).abs() < 1e-4, "got {s}");
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let pairs = [
+            ("cpu_usage", "cpu_usage_total"),
+            ("net_rx_bytes", "net_tx_bytes"),
+            ("queue_depth", "heap_used"),
+        ];
+        for (a, b) in pairs {
+            assert!((jaro_similarity(a, b) - jaro_similarity(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn related_metric_names_are_more_similar_than_unrelated() {
+        let related = jaro_similarity("cpu_usage", "cpu_usage_percentile");
+        let unrelated = jaro_similarity("cpu_usage", "http_requests_total");
+        assert!(related > unrelated);
+    }
+
+    #[test]
+    fn pre_cluster_groups_similar_names_together() {
+        let names = vec![
+            "cpu_usage",
+            "cpu_usage_system",
+            "cpu_usage_user",
+            "net_bytes_recv",
+            "net_bytes_sent",
+            "http_request_latency_mean",
+        ];
+        let assignment = pre_cluster_names(&names, 3);
+        assert_eq!(assignment.len(), names.len());
+        assert!(assignment.iter().all(|&c| c < 3));
+        // The three cpu_usage* metrics end up together.
+        assert_eq!(assignment[0], assignment[1]);
+        assert_eq!(assignment[0], assignment[2]);
+        // The two net_bytes* metrics end up together.
+        assert_eq!(assignment[3], assignment[4]);
+    }
+
+    #[test]
+    fn pre_cluster_produces_exactly_k_cluster_indices() {
+        let names: Vec<String> = (0..20).map(|i| format!("metric_{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        for k in 1..=7 {
+            let assignment = pre_cluster_names(&refs, k);
+            assert!(assignment.iter().all(|&c| c < k));
+            // Every index is within range and at least one cluster is used.
+            assert!(!assignment.is_empty());
+        }
+    }
+
+    #[test]
+    fn pre_cluster_handles_more_clusters_than_names() {
+        let assignment = pre_cluster_names(&["a", "b"], 10);
+        assert_eq!(assignment.len(), 2);
+        assert!(assignment.iter().all(|&c| c < 2));
+    }
+
+    #[test]
+    fn pre_cluster_empty_input() {
+        assert!(pre_cluster_names(&[], 3).is_empty());
+        assert!(pre_cluster_names(&["a"], 0).is_empty());
+    }
+}

@@ -1,0 +1,494 @@
+//! The k-Shape clustering algorithm (Paparrizos & Gravano, SIGMOD 2015/2016),
+//! as used by Sieve to group similar-behaving metrics of a component.
+//!
+//! k-Shape alternates between
+//!
+//! * an **assignment step** that places each (z-normalized) time series into
+//!   the cluster whose centroid has the smallest shape-based distance
+//!   ([`sieve_timeseries::sbd`]), and
+//! * a **refinement step** ("shape extraction") that recomputes each cluster
+//!   centroid as the series maximising the squared normalized
+//!   cross-correlation to all members — the dominant eigenvector of
+//!   `Q^T S Q`, where `S` is the sum of outer products of the aligned members
+//!   and `Q` the centering projection. We find that eigenvector with power
+//!   iteration using implicit matrix-vector products, so no `m × m` matrix is
+//!   ever materialised.
+//!
+//! The algorithm stops when the assignment no longer changes or after
+//! `max_iterations`.
+
+use crate::{ClusterError, Result};
+use serde::{Deserialize, Serialize};
+use sieve_timeseries::normalize::z_normalize;
+use sieve_timeseries::sbd::{align_to, shape_based_distance};
+
+/// Configuration of a k-Shape run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KShapeConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum number of assignment/refinement iterations.
+    pub max_iterations: usize,
+    /// Number of power-iteration steps used during shape extraction.
+    pub power_iterations: usize,
+    /// Optional initial assignment (e.g. from name-similarity pre-clustering,
+    /// see [`crate::jaro::pre_cluster_names`]). When `None`, a deterministic
+    /// round-robin assignment is used.
+    pub initial_assignment: Option<Vec<usize>>,
+}
+
+impl KShapeConfig {
+    /// Creates a configuration with `k` clusters and default iteration limits
+    /// (100 k-Shape iterations, 50 power iterations).
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iterations: 100,
+            power_iterations: 50,
+            initial_assignment: None,
+        }
+    }
+
+    /// Sets the initial assignment (builder style).
+    pub fn with_initial_assignment(mut self, assignment: Vec<usize>) -> Self {
+        self.initial_assignment = Some(assignment);
+        self
+    }
+
+    /// Sets the maximum number of iterations (builder style).
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+}
+
+/// Outcome of a k-Shape run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KShapeResult {
+    /// Cluster index (in `0..k`) for every input series.
+    pub assignments: Vec<usize>,
+    /// The k cluster centroids (z-normalized shapes of the input length).
+    pub centroids: Vec<Vec<f64>>,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Whether the assignment converged before hitting `max_iterations`.
+    pub converged: bool,
+}
+
+impl KShapeResult {
+    /// Returns the member indices of cluster `c`.
+    pub fn members_of(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of non-empty clusters.
+    pub fn non_empty_clusters(&self) -> usize {
+        let k = self.centroids.len();
+        let mut used = vec![false; k];
+        for &a in &self.assignments {
+            used[a] = true;
+        }
+        used.iter().filter(|&&u| u).count()
+    }
+}
+
+/// The k-Shape clustering algorithm.
+#[derive(Debug, Clone)]
+pub struct KShape {
+    config: KShapeConfig,
+}
+
+impl KShape {
+    /// Creates a new k-Shape instance with the given configuration.
+    pub fn new(config: KShapeConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration this instance runs with.
+    pub fn config(&self) -> &KShapeConfig {
+        &self.config
+    }
+
+    /// Clusters `series` into `k` groups.
+    ///
+    /// All series must have the same, non-zero length. Inputs are
+    /// z-normalized internally, so amplitude differences between metrics do
+    /// not matter.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::NoData`] when `series` is empty or the series length is zero.
+    /// * [`ClusterError::InvalidClusterCount`] when `k` is zero or exceeds the number of series.
+    /// * [`ClusterError::InconsistentLengths`] when the series lengths differ.
+    /// * [`ClusterError::InvalidInitialAssignment`] when a provided initial
+    ///   assignment has the wrong length or out-of-range cluster indices.
+    pub fn fit(&self, series: &[Vec<f64>]) -> Result<KShapeResult> {
+        let n = series.len();
+        if n == 0 {
+            return Err(ClusterError::NoData);
+        }
+        let k = self.config.k;
+        if k == 0 || k > n {
+            return Err(ClusterError::InvalidClusterCount {
+                requested: k,
+                available: n,
+            });
+        }
+        let m = series[0].len();
+        if m == 0 {
+            return Err(ClusterError::NoData);
+        }
+        for (i, s) in series.iter().enumerate() {
+            if s.len() != m {
+                return Err(ClusterError::InconsistentLengths {
+                    expected: m,
+                    index: i,
+                    actual: s.len(),
+                });
+            }
+        }
+
+        // z-normalize all inputs once.
+        let data: Vec<Vec<f64>> = series.iter().map(|s| z_normalize(s)).collect();
+
+        let mut assignments = match &self.config.initial_assignment {
+            Some(init) => {
+                if init.len() != n {
+                    return Err(ClusterError::InvalidInitialAssignment {
+                        reason: format!("expected {} labels, got {}", n, init.len()),
+                    });
+                }
+                if let Some(&bad) = init.iter().find(|&&c| c >= k) {
+                    return Err(ClusterError::InvalidInitialAssignment {
+                        reason: format!("cluster index {bad} out of range for k={k}"),
+                    });
+                }
+                init.clone()
+            }
+            None => (0..n).map(|i| i % k).collect(),
+        };
+
+        let mut centroids: Vec<Vec<f64>> = vec![vec![0.0; m]; k];
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        for iter in 0..self.config.max_iterations {
+            iterations = iter + 1;
+
+            // Refinement: extract the shape of every cluster.
+            for c in 0..k {
+                let members: Vec<&Vec<f64>> = data
+                    .iter()
+                    .zip(assignments.iter())
+                    .filter(|(_, &a)| a == c)
+                    .map(|(s, _)| s)
+                    .collect();
+                if members.is_empty() {
+                    continue; // keep the previous centroid
+                }
+                centroids[c] = extract_shape(&members, &centroids[c], self.config.power_iterations)?;
+            }
+
+            // Assignment: nearest centroid under SBD.
+            let mut changed = false;
+            for (i, s) in data.iter().enumerate() {
+                let mut best_cluster = assignments[i];
+                let mut best_dist = f64::INFINITY;
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let d = if centroid.iter().all(|&v| v == 0.0) {
+                        // Uninitialised/empty centroid: maximal distance so it
+                        // only attracts members when every other option is
+                        // worse.
+                        2.0
+                    } else {
+                        shape_based_distance(centroid, s)?.distance
+                    };
+                    if d < best_dist {
+                        best_dist = d;
+                        best_cluster = c;
+                    }
+                }
+                if best_cluster != assignments[i] {
+                    assignments[i] = best_cluster;
+                    changed = true;
+                }
+            }
+
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+
+        Ok(KShapeResult {
+            assignments,
+            centroids,
+            iterations,
+            converged,
+        })
+    }
+}
+
+/// Shape extraction: computes the centroid of a cluster as the dominant
+/// eigenvector of the centred correlation matrix of the members aligned to
+/// the previous centroid.
+///
+/// # Errors
+///
+/// Propagates time-series errors from the alignment step (only possible for
+/// empty inputs, which callers exclude).
+fn extract_shape(
+    members: &[&Vec<f64>],
+    previous_centroid: &[f64],
+    power_iterations: usize,
+) -> Result<Vec<f64>> {
+    let m = members[0].len();
+
+    // Reference for alignment: previous centroid, or the first member if the
+    // centroid is still the zero vector.
+    let reference: Vec<f64> = if previous_centroid.iter().all(|&v| v == 0.0) {
+        members[0].clone()
+    } else {
+        previous_centroid.to_vec()
+    };
+
+    // Align every member to the reference and z-normalize.
+    let mut aligned: Vec<Vec<f64>> = Vec::with_capacity(members.len());
+    for s in members {
+        let a = align_to(&reference, s)?;
+        aligned.push(z_normalize(&a));
+    }
+
+    // Power iteration on M = Q^T S Q with S = sum_i a_i a_i^T and
+    // Q = I - 1/m * ones. Matrix-vector products are computed implicitly:
+    //   M v = Q ( sum_i a_i (a_i . Qv) )   (Q is symmetric).
+    let center = |v: &[f64]| -> Vec<f64> {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        v.iter().map(|x| x - mean).collect()
+    };
+
+    // Deterministic, non-degenerate start vector.
+    let mut v: Vec<f64> = (0..m)
+        .map(|i| ((i as f64) * 0.754877 + 0.1).sin() + 0.01)
+        .collect();
+    normalize_vec(&mut v);
+
+    for _ in 0..power_iterations.max(1) {
+        let qv = center(&v);
+        let mut sv = vec![0.0; m];
+        for a in &aligned {
+            let dot: f64 = a.iter().zip(qv.iter()).map(|(x, y)| x * y).sum();
+            for (s, &ai) in sv.iter_mut().zip(a.iter()) {
+                *s += ai * dot;
+            }
+        }
+        let mut new_v = center(&sv);
+        let norm = new_v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            // Degenerate cluster (all members constant after normalization):
+            // fall back to the element-wise mean of aligned members.
+            let mut mean = vec![0.0; m];
+            for a in &aligned {
+                for (mu, &ai) in mean.iter_mut().zip(a.iter()) {
+                    *mu += ai / aligned.len() as f64;
+                }
+            }
+            return Ok(z_normalize(&mean));
+        }
+        for x in new_v.iter_mut() {
+            *x /= norm;
+        }
+        v = new_v;
+    }
+
+    // The eigenvector's sign is arbitrary; pick the orientation closer to the
+    // cluster members.
+    let centroid = z_normalize(&v);
+    let flipped: Vec<f64> = centroid.iter().map(|x| -x).collect();
+    let dist = |c: &[f64]| -> f64 {
+        aligned
+            .iter()
+            .map(|a| shape_based_distance(c, a).map(|r| r.distance).unwrap_or(2.0))
+            .sum()
+    };
+    if dist(&flipped) < dist(&centroid) {
+        Ok(flipped)
+    } else {
+        Ok(centroid)
+    }
+}
+
+fn normalize_vec(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds `count` noisy copies of a base shape, each scaled and offset
+    /// differently (k-Shape must be invariant to that).
+    fn noisy_family(base: &dyn Fn(usize) -> f64, count: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for c in 0..count {
+            let scale = 1.0 + c as f64 * 0.7;
+            let offset = c as f64 * 3.0;
+            out.push(
+                (0..len)
+                    .map(|i| base(i) * scale + offset + 0.05 * next())
+                    .collect(),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn separates_two_distinct_shape_families() {
+        let len = 48;
+        let sines = noisy_family(&|i| ((i as f64) * 0.4).sin(), 5, len, 7);
+        let ramps = noisy_family(&|i| i as f64 / 10.0, 5, len, 13);
+        let mut series = sines.clone();
+        series.extend(ramps.clone());
+
+        let result = KShape::new(KShapeConfig::new(2)).fit(&series).unwrap();
+        let first = result.assignments[0];
+        for i in 0..5 {
+            assert_eq!(result.assignments[i], first, "sines must cluster together");
+        }
+        let second = result.assignments[5];
+        assert_ne!(first, second);
+        for i in 5..10 {
+            assert_eq!(result.assignments[i], second, "ramps must cluster together");
+        }
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn single_cluster_contains_everything() {
+        let series: Vec<Vec<f64>> = (0..4)
+            .map(|c| (0..16).map(|i| (i + c) as f64).collect())
+            .collect();
+        let result = KShape::new(KShapeConfig::new(1)).fit(&series).unwrap();
+        assert!(result.assignments.iter().all(|&a| a == 0));
+        assert_eq!(result.non_empty_clusters(), 1);
+    }
+
+    #[test]
+    fn k_equal_n_is_accepted() {
+        let series: Vec<Vec<f64>> = vec![
+            (0..16).map(|i| (i as f64).sin()).collect(),
+            (0..16).map(|i| (i as f64).cos()).collect(),
+            (0..16).map(|i| i as f64).collect(),
+        ];
+        let result = KShape::new(KShapeConfig::new(3)).fit(&series).unwrap();
+        assert_eq!(result.assignments.len(), 3);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let series = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        assert!(matches!(
+            KShape::new(KShapeConfig::new(0)).fit(&series),
+            Err(ClusterError::InvalidClusterCount { .. })
+        ));
+        assert!(matches!(
+            KShape::new(KShapeConfig::new(3)).fit(&series),
+            Err(ClusterError::InvalidClusterCount { .. })
+        ));
+        assert!(matches!(
+            KShape::new(KShapeConfig::new(1)).fit(&[]),
+            Err(ClusterError::NoData)
+        ));
+        let ragged = vec![vec![1.0, 2.0], vec![1.0, 2.0, 3.0]];
+        assert!(matches!(
+            KShape::new(KShapeConfig::new(1)).fit(&ragged),
+            Err(ClusterError::InconsistentLengths { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_initial_assignment() {
+        let series = vec![vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0]];
+        let cfg = KShapeConfig::new(2).with_initial_assignment(vec![0]);
+        assert!(matches!(
+            KShape::new(cfg).fit(&series),
+            Err(ClusterError::InvalidInitialAssignment { .. })
+        ));
+        let cfg = KShapeConfig::new(2).with_initial_assignment(vec![0, 5]);
+        assert!(matches!(
+            KShape::new(cfg).fit(&series),
+            Err(ClusterError::InvalidInitialAssignment { .. })
+        ));
+    }
+
+    #[test]
+    fn warm_start_reaches_same_partition_as_cold_start() {
+        let len = 40;
+        let spikes = noisy_family(&|i| if i % 10 == 0 { 5.0 } else { 0.0 }, 4, len, 3);
+        let waves = noisy_family(&|i| ((i as f64) * 0.5).cos(), 4, len, 11);
+        let mut series = spikes;
+        series.extend(waves);
+
+        let cold = KShape::new(KShapeConfig::new(2)).fit(&series).unwrap();
+        let warm_init = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let warm = KShape::new(KShapeConfig::new(2).with_initial_assignment(warm_init))
+            .fit(&series)
+            .unwrap();
+        // Same partition (cluster labels may be permuted).
+        let agree = crate::ami::adjusted_mutual_information(&cold.assignments, &warm.assignments)
+            .unwrap();
+        assert!(agree > 0.99, "partitions differ: AMI = {agree}");
+        // Warm start should converge at least as fast.
+        assert!(warm.iterations <= cold.iterations + 1);
+    }
+
+    #[test]
+    fn centroids_are_z_normalized_shapes() {
+        let series = noisy_family(&|i| ((i as f64) * 0.3).sin(), 6, 32, 5);
+        let result = KShape::new(KShapeConfig::new(2)).fit(&series).unwrap();
+        for c in &result.centroids {
+            if c.iter().all(|&v| v == 0.0) {
+                continue; // empty cluster placeholder
+            }
+            let mean: f64 = c.iter().sum::<f64>() / c.len() as f64;
+            assert!(mean.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn members_of_partitions_all_indices() {
+        let series: Vec<Vec<f64>> = (0..6)
+            .map(|c| (0..24).map(|i| ((i * (c + 1)) as f64).sin()).collect())
+            .collect();
+        let result = KShape::new(KShapeConfig::new(3)).fit(&series).unwrap();
+        let mut all: Vec<usize> = (0..3).flat_map(|c| result.members_of(c)).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn constant_series_do_not_break_clustering() {
+        let mut series: Vec<Vec<f64>> = vec![vec![5.0; 20], vec![0.0; 20]];
+        series.push((0..20).map(|i| i as f64).collect());
+        series.push((0..20).map(|i| (20 - i) as f64).collect());
+        let result = KShape::new(KShapeConfig::new(2)).fit(&series).unwrap();
+        assert_eq!(result.assignments.len(), 4);
+    }
+}

@@ -1,0 +1,49 @@
+//! Time-series clustering for Sieve's metric-reduction step.
+//!
+//! Sieve organises each component's metrics into a small number of clusters
+//! of similar-behaving time series (§3.2 of the paper) using the k-Shape
+//! algorithm of Paparrizos & Gravano, with three adjustments:
+//!
+//! 1. observations are interpolated and discretised to a 500 ms grid
+//!    (provided by `sieve-timeseries`),
+//! 2. the initial assignment is derived from metric-*name* similarity
+//!    (Jaro distance) instead of being random ([`jaro`]), and
+//! 3. the number of clusters is chosen by maximising the silhouette score
+//!    computed under the shape-based distance ([`silhouette`]).
+//!
+//! The robustness evaluation of the paper (Figure 3) compares cluster
+//! assignments across measurement runs with the Adjusted Mutual Information
+//! score, implemented in [`ami`].
+//!
+//! # Example
+//!
+//! ```
+//! use sieve_cluster::kshape::{KShape, KShapeConfig};
+//!
+//! // Two obvious groups of shapes: rising ramps and single spikes.
+//! let series: Vec<Vec<f64>> = vec![
+//!     (0..32).map(|i| i as f64).collect(),
+//!     (0..32).map(|i| i as f64 * 2.0 + 3.0).collect(),
+//!     (0..32).map(|i| if i == 10 { 5.0 } else { 0.0 }).collect(),
+//!     (0..32).map(|i| if i == 12 { 9.0 } else { 0.1 }).collect(),
+//! ];
+//! let result = KShape::new(KShapeConfig::new(2)).fit(&series).unwrap();
+//! assert_eq!(result.assignments[0], result.assignments[1]);
+//! assert_eq!(result.assignments[2], result.assignments[3]);
+//! assert_ne!(result.assignments[0], result.assignments[2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ami;
+pub mod jaro;
+pub mod kshape;
+pub mod silhouette;
+
+mod error;
+
+pub use error::ClusterError;
+
+/// Convenient result alias for clustering operations.
+pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,0 +1,77 @@
+//! Property-based tests for the clustering crate.
+
+use proptest::prelude::*;
+use sieve_cluster::ami::{adjusted_mutual_information, normalized_mutual_information};
+use sieve_cluster::jaro::{jaro_similarity, pre_cluster_names};
+use sieve_cluster::kshape::{KShape, KShapeConfig};
+use sieve_cluster::silhouette::{euclidean, silhouette_score_with};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn jaro_similarity_is_bounded_and_symmetric(a in "[a-z_]{0,12}", b in "[a-z_]{0,12}") {
+        let s = jaro_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((s - jaro_similarity(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_self_similarity_is_one(a in "[a-z_]{1,16}") {
+        prop_assert_eq!(jaro_similarity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn pre_clustering_covers_all_names(names in prop::collection::vec("[a-z_]{1,10}", 1..30), k in 1usize..8) {
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let assignment = pre_cluster_names(&refs, k);
+        prop_assert_eq!(assignment.len(), names.len());
+        let limit = k.min(names.len());
+        prop_assert!(assignment.iter().all(|&c| c < limit));
+    }
+
+    #[test]
+    fn ami_of_identical_labelings_is_one(labels in prop::collection::vec(0usize..5, 2..40)) {
+        let ami = adjusted_mutual_information(&labels, &labels).unwrap();
+        prop_assert!((ami - 1.0).abs() < 1e-6, "ami {}", ami);
+    }
+
+    #[test]
+    fn ami_is_at_most_one(
+        a in prop::collection::vec(0usize..4, 2..40),
+        b in prop::collection::vec(0usize..4, 2..40),
+    ) {
+        let n = a.len().min(b.len());
+        let ami = adjusted_mutual_information(&a[..n], &b[..n]).unwrap();
+        prop_assert!(ami <= 1.0 + 1e-9);
+        let nmi = normalized_mutual_information(&a[..n], &b[..n]).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&nmi));
+    }
+
+    #[test]
+    fn silhouette_is_bounded(
+        data in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3), 4..20),
+        labels in prop::collection::vec(0usize..3, 4..20),
+    ) {
+        let n = data.len().min(labels.len());
+        let s = silhouette_score_with(&data[..n], &labels[..n], euclidean).unwrap();
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+    }
+
+    #[test]
+    fn kshape_assigns_every_series_to_a_valid_cluster(
+        seeds in prop::collection::vec(0.1f64..10.0, 4..12),
+        k in 1usize..4,
+    ) {
+        // Build deterministic series from the seed values.
+        let series: Vec<Vec<f64>> = seeds
+            .iter()
+            .map(|&s| (0..24).map(|i| ((i as f64) * s * 0.3).sin() + s).collect())
+            .collect();
+        let k = k.min(series.len());
+        let result = KShape::new(KShapeConfig::new(k)).fit(&series).unwrap();
+        prop_assert_eq!(result.assignments.len(), series.len());
+        prop_assert!(result.assignments.iter().all(|&a| a < k));
+        prop_assert!(result.iterations >= 1);
+    }
+}

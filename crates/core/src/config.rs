@@ -1,0 +1,129 @@
+//! Pipeline configuration.
+
+use serde::{Deserialize, Serialize};
+use sieve_causality::granger::GrangerConfig;
+
+/// Configuration of the Sieve pipeline, defaulting to the values used in the
+/// paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SieveConfig {
+    /// Discretisation interval for all metric time series (500 ms in §3.2).
+    pub interval_ms: u64,
+    /// Variance threshold below which a metric is considered unvarying and
+    /// dropped before clustering (0.002 in §3.2). Applied to the
+    /// z-scale-free *relative* variance, see [`crate::reduce`].
+    pub variance_threshold: f64,
+    /// Smallest number of clusters tried per component.
+    pub min_clusters: usize,
+    /// Largest number of clusters tried per component ("seven clusters per
+    /// component was sufficient", §3.2).
+    pub max_clusters: usize,
+    /// Maximum k-Shape iterations per clustering attempt.
+    pub kshape_max_iterations: usize,
+    /// Granger-causality test configuration (0.05 significance, ADF-based
+    /// differencing).
+    pub granger: GrangerConfig,
+    /// Number of worker threads used for per-component clustering and
+    /// per-edge causality testing (1 disables parallelism).
+    pub parallelism: usize,
+}
+
+impl Default for SieveConfig {
+    fn default() -> Self {
+        Self {
+            interval_ms: 500,
+            variance_threshold: 0.002,
+            min_clusters: 2,
+            max_clusters: 7,
+            kshape_max_iterations: 50,
+            granger: GrangerConfig::default(),
+            parallelism: 4,
+        }
+    }
+}
+
+impl SieveConfig {
+    /// Builder-style setter for the discretisation interval.
+    pub fn with_interval_ms(mut self, interval_ms: u64) -> Self {
+        self.interval_ms = interval_ms;
+        self
+    }
+
+    /// Builder-style setter for the cluster-count range.
+    pub fn with_cluster_range(mut self, min_clusters: usize, max_clusters: usize) -> Self {
+        self.min_clusters = min_clusters;
+        self.max_clusters = max_clusters;
+        self
+    }
+
+    /// Builder-style setter for the parallelism degree.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SieveError::InvalidConfig`] when the interval is
+    /// zero, the cluster range is empty, or the variance threshold is
+    /// negative.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.interval_ms == 0 {
+            return Err(crate::SieveError::InvalidConfig {
+                reason: "interval_ms must be positive".into(),
+            });
+        }
+        if self.min_clusters == 0 || self.max_clusters < self.min_clusters {
+            return Err(crate::SieveError::InvalidConfig {
+                reason: format!(
+                    "invalid cluster range {}..={}",
+                    self.min_clusters, self.max_clusters
+                ),
+            });
+        }
+        if self.variance_threshold < 0.0 {
+            return Err(crate::SieveError::InvalidConfig {
+                reason: "variance_threshold must be non-negative".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = SieveConfig::default();
+        assert_eq!(c.interval_ms, 500);
+        assert_eq!(c.variance_threshold, 0.002);
+        assert_eq!(c.max_clusters, 7);
+        assert_eq!(c.granger.significance, 0.05);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_and_validation() {
+        let c = SieveConfig::default()
+            .with_interval_ms(1000)
+            .with_cluster_range(3, 5)
+            .with_parallelism(0);
+        assert_eq!(c.interval_ms, 1000);
+        assert_eq!(c.min_clusters, 3);
+        assert_eq!(c.parallelism, 1);
+        assert!(c.validate().is_ok());
+
+        assert!(SieveConfig::default().with_interval_ms(0).validate().is_err());
+        assert!(SieveConfig::default()
+            .with_cluster_range(5, 2)
+            .validate()
+            .is_err());
+        let mut bad = SieveConfig::default();
+        bad.variance_threshold = -1.0;
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,375 @@
+//! Step 3 of the pipeline: identify dependencies between components.
+//!
+//! Sieve restricts the quadratic pairwise comparison to *communicating*
+//! components (the call graph from step 1) and to *representative metrics*
+//! (the clusters from step 2): "For each component, we do pairwise
+//! comparisons using each representative metric of its clusters with each of
+//! its neighbouring components (i.e., callees) and their representative
+//! metrics" (§3.3). Each pair is tested for Granger causality in both
+//! directions, the significant directions become edges annotated with the
+//! detected lag, and metric pairs that cause each other in both directions
+//! are filtered out as likely artefacts of a hidden common cause.
+
+use crate::config::SieveConfig;
+use crate::model::ComponentClustering;
+use crate::reduce::NamedSeries;
+use crate::Result;
+use sieve_causality::granger::granger_causes;
+use sieve_graph::{CallGraph, DependencyEdge, DependencyGraph};
+use std::collections::BTreeMap;
+
+/// One Granger comparison that should be executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Comparison {
+    source_component: String,
+    source_metric: String,
+    target_component: String,
+    target_metric: String,
+}
+
+/// Builds the list of metric pairs to test from the call graph and the
+/// per-component representative metrics.
+fn comparisons(
+    call_graph: &CallGraph,
+    clusterings: &BTreeMap<String, ComponentClustering>,
+) -> Vec<Comparison> {
+    let mut out = Vec::new();
+    for (caller, callee) in call_graph.communicating_pairs() {
+        if caller == callee {
+            continue;
+        }
+        let (Some(caller_clustering), Some(callee_clustering)) =
+            (clusterings.get(&caller), clusterings.get(&callee))
+        else {
+            continue;
+        };
+        for source_metric in caller_clustering.representatives() {
+            for target_metric in callee_clustering.representatives() {
+                out.push(Comparison {
+                    source_component: caller.clone(),
+                    source_metric: source_metric.clone(),
+                    target_component: callee.clone(),
+                    target_metric: target_metric.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Number of pairwise tests a naive all-pairs/all-metrics approach would
+/// need, for comparison against the call-graph-restricted plan (used by the
+/// ablation bench).
+pub fn naive_comparison_count(clusterings: &BTreeMap<String, ComponentClustering>) -> usize {
+    let components: Vec<&ComponentClustering> = clusterings.values().collect();
+    let mut count = 0;
+    for (i, a) in components.iter().enumerate() {
+        for (j, b) in components.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            count += a.clustered_metrics().len() * b.clustered_metrics().len();
+        }
+    }
+    count
+}
+
+/// Number of pairwise tests Sieve actually performs.
+pub fn planned_comparison_count(
+    call_graph: &CallGraph,
+    clusterings: &BTreeMap<String, ComponentClustering>,
+) -> usize {
+    comparisons(call_graph, clusterings).len() * 2
+}
+
+/// Runs the Granger comparisons and assembles the dependency graph.
+///
+/// `series` maps each component to its prepared (resampled) metric series —
+/// the same data the reduction step ran on.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the Granger tests; individual tests
+/// that fail because a series is too short or degenerate are simply skipped
+/// (no edge is produced).
+pub fn identify_dependencies(
+    series: &BTreeMap<String, Vec<NamedSeries>>,
+    clusterings: &BTreeMap<String, ComponentClustering>,
+    call_graph: &CallGraph,
+    config: &SieveConfig,
+) -> Result<DependencyGraph> {
+    let plan = comparisons(call_graph, clusterings);
+
+    // Index the prepared series for O(1) lookup.
+    let mut lookup: BTreeMap<(&str, &str), &[f64]> = BTreeMap::new();
+    for (component, list) in series {
+        for s in list {
+            lookup.insert((component.as_str(), s.name.as_str()), &s.values);
+        }
+    }
+
+    // Each comparison is tested in both directions; results are collected as
+    // candidate edges and the bidirectional ones are filtered at the end.
+    let workers = config.parallelism.max(1).min(plan.len().max(1));
+    let chunk_size = plan.len().div_ceil(workers.max(1)).max(1);
+    let mut candidate_edges: Vec<DependencyEdge> = Vec::new();
+
+    let run_chunk = |chunk: &[Comparison]| -> Vec<DependencyEdge> {
+        let mut edges = Vec::new();
+        for cmp in chunk {
+            let Some(&source) = lookup.get(&(
+                cmp.source_component.as_str(),
+                cmp.source_metric.as_str(),
+            )) else {
+                continue;
+            };
+            let Some(&target) = lookup.get(&(
+                cmp.target_component.as_str(),
+                cmp.target_metric.as_str(),
+            )) else {
+                continue;
+            };
+            // Forward direction: caller metric Granger-causes callee metric.
+            if let Ok(result) = granger_causes(source, target, &config.granger) {
+                if result.causal {
+                    edges.push(DependencyEdge {
+                        source_component: cmp.source_component.clone(),
+                        source_metric: cmp.source_metric.clone(),
+                        target_component: cmp.target_component.clone(),
+                        target_metric: cmp.target_metric.clone(),
+                        p_value: result.p_value,
+                        f_statistic: result.f_statistic,
+                        lag_ms: result.best_lag as u64 * config.interval_ms,
+                    });
+                }
+            }
+            // Reverse direction: the callee may drive the caller (e.g.
+            // back-pressure); the edge direction is whatever Granger says.
+            if let Ok(result) = granger_causes(target, source, &config.granger) {
+                if result.causal {
+                    edges.push(DependencyEdge {
+                        source_component: cmp.target_component.clone(),
+                        source_metric: cmp.target_metric.clone(),
+                        target_component: cmp.source_component.clone(),
+                        target_metric: cmp.source_metric.clone(),
+                        p_value: result.p_value,
+                        f_statistic: result.f_statistic,
+                        lag_ms: result.best_lag as u64 * config.interval_ms,
+                    });
+                }
+            }
+        }
+        edges
+    };
+
+    if workers <= 1 || plan.len() <= 1 {
+        candidate_edges = run_chunk(&plan);
+    } else {
+        let chunks: Vec<&[Comparison]> = plan.chunks(chunk_size).collect();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| scope.spawn(|_| run_chunk(chunk)))
+                .collect();
+            for handle in handles {
+                candidate_edges.extend(handle.join().expect("worker thread panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+    }
+
+    let mut graph = DependencyGraph::new();
+    for component in clusterings.keys() {
+        graph.add_component(component.clone());
+    }
+    for component in call_graph.components() {
+        graph.add_component(component);
+    }
+    for edge in candidate_edges {
+        graph.add_edge(edge);
+    }
+    graph.filter_bidirectional();
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MetricCluster;
+
+    fn clustering(component: &str, reps: Vec<&str>) -> ComponentClustering {
+        ComponentClustering {
+            component: component.to_string(),
+            total_metrics: reps.len(),
+            filtered_metrics: vec![],
+            clusters: reps
+                .iter()
+                .map(|r| MetricCluster {
+                    members: vec![r.to_string()],
+                    representative: r.to_string(),
+                    representative_distance: 0.0,
+                })
+                .collect(),
+            silhouette: 0.5,
+            chosen_k: reps.len(),
+        }
+    }
+
+    fn noise(i: usize, seed: u64) -> f64 {
+        // Mix the index and the seed with different multipliers so that
+        // streams with nearby seeds are genuinely independent (and not
+        // shifted copies of each other).
+        let mut s = (i as u64 + 1)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            ^ seed.wrapping_mul(0xD1B54A32D192ED03);
+        s ^= s >> 33;
+        s = s.wrapping_mul(0xff51afd7ed558ccd);
+        s ^= s >> 29;
+        ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    }
+
+    /// Builds a two-component scenario where `frontend/requests` drives
+    /// `backend/queries` with a one-step lag and `backend/noise` is
+    /// unrelated.
+    fn scenario() -> (
+        BTreeMap<String, Vec<NamedSeries>>,
+        BTreeMap<String, ComponentClustering>,
+        CallGraph,
+    ) {
+        let n = 240;
+        let requests: Vec<f64> = (0..n).map(|i| 50.0 + 30.0 * ((i as f64) * 0.2).sin() + 3.0 * noise(i, 1)).collect();
+        let queries: Vec<f64> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    0.0
+                } else {
+                    2.0 * requests[i - 1] + 2.0 * noise(i, 2)
+                }
+            })
+            .collect();
+        let unrelated: Vec<f64> = (0..n).map(|i| 10.0 * noise(i, 3)).collect();
+
+        let mut series = BTreeMap::new();
+        series.insert(
+            "frontend".to_string(),
+            vec![NamedSeries {
+                name: "requests".into(),
+                values: requests,
+            }],
+        );
+        series.insert(
+            "backend".to_string(),
+            vec![
+                NamedSeries {
+                    name: "queries".into(),
+                    values: queries,
+                },
+                NamedSeries {
+                    name: "noise".into(),
+                    values: unrelated,
+                },
+            ],
+        );
+
+        let mut clusterings = BTreeMap::new();
+        clusterings.insert("frontend".to_string(), clustering("frontend", vec!["requests"]));
+        clusterings.insert(
+            "backend".to_string(),
+            clustering("backend", vec!["queries", "noise"]),
+        );
+
+        let mut call_graph = CallGraph::new();
+        call_graph.record_call("frontend", "backend");
+        (series, clusterings, call_graph)
+    }
+
+    #[test]
+    fn detects_the_true_dependency_and_its_direction() {
+        let (series, clusterings, call_graph) = scenario();
+        let config = SieveConfig::default().with_parallelism(1);
+        let graph = identify_dependencies(&series, &clusterings, &call_graph, &config).unwrap();
+
+        assert!(graph.has_component_edge("frontend", "backend"));
+        let edges = graph.edges_between("frontend", "backend");
+        assert!(edges
+            .iter()
+            .any(|e| e.source_metric == "requests" && e.target_metric == "queries"));
+        // The unrelated noise metric does not get an edge from requests.
+        assert!(!edges
+            .iter()
+            .any(|e| e.target_metric == "noise"));
+        // The detected lag is a small multiple of the interval.
+        let edge = edges
+            .iter()
+            .find(|e| e.target_metric == "queries")
+            .unwrap();
+        assert!(edge.lag_ms >= 500 && edge.lag_ms <= 1500, "lag {}", edge.lag_ms);
+        assert!(edge.p_value < 0.05);
+    }
+
+    #[test]
+    fn parallel_and_serial_execution_agree() {
+        let (series, clusterings, call_graph) = scenario();
+        let serial = identify_dependencies(
+            &series,
+            &clusterings,
+            &call_graph,
+            &SieveConfig::default().with_parallelism(1),
+        )
+        .unwrap();
+        let parallel = identify_dependencies(
+            &series,
+            &clusterings,
+            &call_graph,
+            &SieveConfig::default().with_parallelism(4),
+        )
+        .unwrap();
+        assert_eq!(serial.edge_count(), parallel.edge_count());
+    }
+
+    #[test]
+    fn comparison_planning_respects_the_call_graph() {
+        let (_, clusterings, call_graph) = scenario();
+        // 1 caller representative x 2 callee representatives, both directions.
+        assert_eq!(planned_comparison_count(&call_graph, &clusterings), 4);
+        // The naive plan tests all metrics of all component pairs.
+        assert_eq!(naive_comparison_count(&clusterings), 4);
+        // With more components not in the call graph, the naive count grows
+        // but the planned count does not.
+        let mut clusterings2 = clusterings.clone();
+        clusterings2.insert("idle".to_string(), clustering("idle", vec!["m1", "m2"]));
+        assert_eq!(planned_comparison_count(&call_graph, &clusterings2), 4);
+        assert!(naive_comparison_count(&clusterings2) > 4);
+    }
+
+    #[test]
+    fn components_without_clustering_are_skipped() {
+        let (series, mut clusterings, call_graph) = scenario();
+        clusterings.remove("backend");
+        let graph = identify_dependencies(
+            &series,
+            &clusterings,
+            &call_graph,
+            &SieveConfig::default().with_parallelism(1),
+        )
+        .unwrap();
+        assert_eq!(graph.edge_count(), 0);
+        // Both components still appear as nodes (one from the clusterings,
+        // one from the call graph).
+        assert_eq!(graph.component_count(), 2);
+    }
+
+    #[test]
+    fn self_calls_do_not_produce_comparisons() {
+        let (series, clusterings, mut call_graph) = scenario();
+        call_graph.record_call("backend", "backend");
+        let graph = identify_dependencies(
+            &series,
+            &clusterings,
+            &call_graph,
+            &SieveConfig::default().with_parallelism(1),
+        )
+        .unwrap();
+        assert!(graph.edges_between("backend", "backend").is_empty());
+    }
+}

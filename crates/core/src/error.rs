@@ -1,0 +1,108 @@
+use std::fmt;
+
+/// Errors produced by the Sieve pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SieveError {
+    /// No metrics were found for analysis (empty store or everything was
+    /// filtered out).
+    NoMetrics {
+        /// Scope in which no metrics were found (e.g. a component name).
+        scope: String,
+    },
+    /// The configuration is invalid.
+    InvalidConfig {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A time-series operation failed.
+    TimeSeries(sieve_timeseries::TimeSeriesError),
+    /// A clustering operation failed.
+    Cluster(sieve_cluster::ClusterError),
+    /// A causality test failed.
+    Causality(sieve_causality::CausalityError),
+    /// The application simulator reported an error while loading the
+    /// application.
+    Simulator(sieve_simulator::SimulatorError),
+}
+
+impl fmt::Display for SieveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SieveError::NoMetrics { scope } => write!(f, "no usable metrics in {scope}"),
+            SieveError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SieveError::TimeSeries(e) => write!(f, "time-series error: {e}"),
+            SieveError::Cluster(e) => write!(f, "clustering error: {e}"),
+            SieveError::Causality(e) => write!(f, "causality error: {e}"),
+            SieveError::Simulator(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SieveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SieveError::TimeSeries(e) => Some(e),
+            SieveError::Cluster(e) => Some(e),
+            SieveError::Causality(e) => Some(e),
+            SieveError::Simulator(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sieve_timeseries::TimeSeriesError> for SieveError {
+    fn from(e: sieve_timeseries::TimeSeriesError) -> Self {
+        SieveError::TimeSeries(e)
+    }
+}
+
+impl From<sieve_cluster::ClusterError> for SieveError {
+    fn from(e: sieve_cluster::ClusterError) -> Self {
+        SieveError::Cluster(e)
+    }
+}
+
+impl From<sieve_causality::CausalityError> for SieveError {
+    fn from(e: sieve_causality::CausalityError) -> Self {
+        SieveError::Causality(e)
+    }
+}
+
+impl From<sieve_simulator::SimulatorError> for SieveError {
+    fn from(e: sieve_simulator::SimulatorError) -> Self {
+        SieveError::Simulator(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_work() {
+        let e = SieveError::NoMetrics {
+            scope: "component web".into(),
+        };
+        assert!(e.to_string().contains("web"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e: SieveError = sieve_timeseries::TimeSeriesError::Empty.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: SieveError = sieve_cluster::ClusterError::NoData.into();
+        assert!(!e.to_string().is_empty());
+        let e: SieveError = sieve_causality::CausalityError::SingularMatrix.into();
+        assert!(!e.to_string().is_empty());
+        let e: SieveError = sieve_simulator::SimulatorError::InvalidSpec {
+            reason: "x".into(),
+        }
+        .into();
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<SieveError>();
+    }
+}

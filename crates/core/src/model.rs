@@ -1,0 +1,207 @@
+//! The output model of a Sieve analysis.
+
+use serde::{Deserialize, Serialize};
+use sieve_graph::DependencyGraph;
+use std::collections::BTreeMap;
+
+/// One cluster of similarly behaving metrics within a component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricCluster {
+    /// Names of the metrics assigned to this cluster.
+    pub members: Vec<String>,
+    /// The representative metric: the member closest (by shape-based
+    /// distance) to the cluster centroid.
+    pub representative: String,
+    /// Shape-based distance between the representative and the centroid.
+    pub representative_distance: f64,
+}
+
+impl MetricCluster {
+    /// Number of metrics in the cluster.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the given metric belongs to this cluster.
+    pub fn contains(&self, metric: &str) -> bool {
+        self.members.iter().any(|m| m == metric)
+    }
+}
+
+/// The clustering of one component's metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentClustering {
+    /// Component name.
+    pub component: String,
+    /// Total number of metrics the component exported.
+    pub total_metrics: usize,
+    /// Metrics dropped by the variance filter.
+    pub filtered_metrics: Vec<String>,
+    /// The clusters of the remaining metrics.
+    pub clusters: Vec<MetricCluster>,
+    /// Silhouette score of the chosen clustering (under SBD).
+    pub silhouette: f64,
+    /// The chosen number of clusters.
+    pub chosen_k: usize,
+}
+
+impl ComponentClustering {
+    /// The representative metrics of this component (one per cluster).
+    pub fn representatives(&self) -> Vec<String> {
+        self.clusters
+            .iter()
+            .map(|c| c.representative.clone())
+            .collect()
+    }
+
+    /// All metrics that survived the variance filter.
+    pub fn clustered_metrics(&self) -> Vec<String> {
+        self.clusters
+            .iter()
+            .flat_map(|c| c.members.iter().cloned())
+            .collect()
+    }
+
+    /// The cluster containing `metric`, if any.
+    pub fn cluster_of(&self, metric: &str) -> Option<&MetricCluster> {
+        self.clusters.iter().find(|c| c.contains(metric))
+    }
+
+    /// Metric-count reduction factor of this component
+    /// (`total_metrics / number_of_representatives`).
+    pub fn reduction_factor(&self) -> f64 {
+        if self.clusters.is_empty() {
+            return 1.0;
+        }
+        self.total_metrics as f64 / self.clusters.len() as f64
+    }
+}
+
+/// The complete result of a Sieve analysis: per-component clusterings plus
+/// the metric dependency graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SieveModel {
+    /// Name of the analysed application.
+    pub application: String,
+    /// Per-component clustering results, keyed by component name.
+    pub clusterings: BTreeMap<String, ComponentClustering>,
+    /// The dependency graph over representative metrics.
+    pub dependency_graph: DependencyGraph,
+}
+
+impl SieveModel {
+    /// Total number of metrics exported by all components.
+    pub fn total_metric_count(&self) -> usize {
+        self.clusterings.values().map(|c| c.total_metrics).sum()
+    }
+
+    /// Total number of representative metrics (i.e. what an operator has to
+    /// monitor after Sieve's reduction).
+    pub fn total_representative_count(&self) -> usize {
+        self.clusterings.values().map(|c| c.clusters.len()).sum()
+    }
+
+    /// Overall reduction factor of the metric space.
+    pub fn overall_reduction_factor(&self) -> f64 {
+        let reps = self.total_representative_count();
+        if reps == 0 {
+            return 1.0;
+        }
+        self.total_metric_count() as f64 / reps as f64
+    }
+
+    /// The representative metrics of every component, as
+    /// `(component, metric)` pairs — the set an operator keeps monitoring.
+    pub fn representative_metrics(&self) -> Vec<(String, String)> {
+        self.clusterings
+            .values()
+            .flat_map(|c| {
+                c.representatives()
+                    .into_iter()
+                    .map(move |m| (c.component.clone(), m))
+            })
+            .collect()
+    }
+
+    /// The clustering of one component, if present.
+    pub fn clustering_of(&self, component: &str) -> Option<&ComponentClustering> {
+        self.clusterings.get(component)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustering(component: &str, total: usize, clusters: Vec<Vec<&str>>) -> ComponentClustering {
+        ComponentClustering {
+            component: component.to_string(),
+            total_metrics: total,
+            filtered_metrics: vec![],
+            clusters: clusters
+                .into_iter()
+                .map(|members| MetricCluster {
+                    representative: members[0].to_string(),
+                    members: members.into_iter().map(String::from).collect(),
+                    representative_distance: 0.1,
+                })
+                .collect(),
+            silhouette: 0.7,
+            chosen_k: 2,
+        }
+    }
+
+    #[test]
+    fn cluster_accessors() {
+        let c = clustering("web", 10, vec![vec!["cpu", "mem"], vec!["latency"]]);
+        assert_eq!(c.representatives(), vec!["cpu", "latency"]);
+        assert_eq!(c.clustered_metrics().len(), 3);
+        assert!(c.cluster_of("mem").unwrap().contains("cpu"));
+        assert!(c.cluster_of("missing").is_none());
+        assert!((c.reduction_factor() - 5.0).abs() < 1e-12);
+        assert_eq!(c.clusters[0].size(), 2);
+    }
+
+    #[test]
+    fn model_aggregates_counts() {
+        let mut model = SieveModel {
+            application: "test".into(),
+            ..Default::default()
+        };
+        model
+            .clusterings
+            .insert("web".into(), clustering("web", 30, vec![vec!["a"], vec!["b", "c"]]));
+        model
+            .clusterings
+            .insert("db".into(), clustering("db", 20, vec![vec!["q"]]));
+        assert_eq!(model.total_metric_count(), 50);
+        assert_eq!(model.total_representative_count(), 3);
+        assert!((model.overall_reduction_factor() - 50.0 / 3.0).abs() < 1e-9);
+        assert_eq!(model.representative_metrics().len(), 3);
+        assert!(model.clustering_of("web").is_some());
+        assert!(model.clustering_of("nope").is_none());
+    }
+
+    #[test]
+    fn empty_model_has_factor_one() {
+        let model = SieveModel::default();
+        assert_eq!(model.overall_reduction_factor(), 1.0);
+        let empty_clustering = ComponentClustering {
+            component: "x".into(),
+            total_metrics: 5,
+            filtered_metrics: vec![],
+            clusters: vec![],
+            silhouette: 0.0,
+            chosen_k: 0,
+        };
+        assert_eq!(empty_clustering.reduction_factor(), 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = clustering("web", 10, vec![vec!["cpu", "mem"]]);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ComponentClustering = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,330 @@
+//! The end-to-end Sieve pipeline.
+//!
+//! [`load_application`] implements step 1 (run the application under load,
+//! record metrics and the call graph); [`Sieve::analyze`] chains steps 2 and
+//! 3 on recorded data; [`Sieve::analyze_application`] does all three in one
+//! call, which is what the examples and the benchmark harness use.
+
+use crate::config::SieveConfig;
+use crate::dependencies::identify_dependencies;
+use crate::model::{ComponentClustering, SieveModel};
+use crate::reduce::{prepare_series, reduce_component, NamedSeries};
+use crate::{Result, SieveError};
+use sieve_graph::CallGraph;
+use sieve_simulator::app::AppSpec;
+use sieve_simulator::engine::{SimConfig, Simulation};
+use sieve_simulator::store::MetricStore;
+use sieve_simulator::workload::Workload;
+use std::collections::BTreeMap;
+
+/// Default duration of the offline loading phase (step 1), in milliseconds.
+pub const DEFAULT_LOAD_DURATION_MS: u64 = 150_000;
+
+/// Step 1: loads the application under the given workload and records every
+/// exported metric plus the component call graph.
+///
+/// # Errors
+///
+/// Propagates simulator errors (invalid specs or parameters).
+pub fn load_application(
+    spec: &AppSpec,
+    workload: &Workload,
+    seed: u64,
+    duration_ms: u64,
+    interval_ms: u64,
+) -> Result<(MetricStore, CallGraph)> {
+    let sim_config = SimConfig::new(seed)
+        .with_tick_ms(interval_ms)
+        .with_duration_ms(duration_ms);
+    let mut simulation = Simulation::new(spec.clone(), workload.clone(), sim_config)
+        .map_err(SieveError::from)?;
+    simulation.run_to_completion();
+    Ok((simulation.store().clone(), simulation.call_graph()))
+}
+
+/// The Sieve analysis pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Sieve {
+    config: SieveConfig,
+}
+
+impl Sieve {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: SieveConfig) -> Self {
+        Self { config }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &SieveConfig {
+        &self.config
+    }
+
+    /// Prepares (resamples and truncates) the series of every component in
+    /// the store.
+    pub fn prepare(&self, store: &MetricStore) -> BTreeMap<String, Vec<NamedSeries>> {
+        let mut out: BTreeMap<String, Vec<NamedSeries>> = BTreeMap::new();
+        for component in store.components() {
+            let raw: Vec<_> = store
+                .metric_ids_of(&component)
+                .into_iter()
+                .filter_map(|id| store.series(&id).map(|s| (id.metric, s)))
+                .collect();
+            let prepared = prepare_series(&raw, self.config.interval_ms);
+            out.insert(component, prepared);
+        }
+        out
+    }
+
+    /// Steps 2 and 3 on already-recorded data.
+    ///
+    /// # Errors
+    ///
+    /// * [`SieveError::NoMetrics`] when the store is empty.
+    /// * Propagates configuration, clustering and causality errors.
+    pub fn analyze(
+        &self,
+        application: &str,
+        store: &MetricStore,
+        call_graph: &CallGraph,
+    ) -> Result<SieveModel> {
+        self.config.validate()?;
+        if store.series_count() == 0 {
+            return Err(SieveError::NoMetrics {
+                scope: format!("application {application}"),
+            });
+        }
+        let prepared = self.prepare(store);
+
+        // Step 2: per-component metric reduction, optionally in parallel.
+        let components: Vec<(&String, &Vec<NamedSeries>)> = prepared.iter().collect();
+        let workers = self.config.parallelism.max(1).min(components.len().max(1));
+        let mut clusterings: BTreeMap<String, ComponentClustering> = BTreeMap::new();
+        if workers <= 1 || components.len() <= 1 {
+            for (component, series) in &components {
+                let clustering = reduce_component(component, series, &self.config)?;
+                clusterings.insert((*component).clone(), clustering);
+            }
+        } else {
+            let chunk_size = components.len().div_ceil(workers).max(1);
+            let chunks: Vec<_> = components.chunks(chunk_size).collect();
+            let results = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|chunk| {
+                        let config = &self.config;
+                        scope.spawn(move |_| {
+                            chunk
+                                .iter()
+                                .map(|(component, series)| {
+                                    reduce_component(component, series, config)
+                                        .map(|c| ((*component).clone(), c))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("clustering worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("crossbeam scope failed");
+            for result in results {
+                let (component, clustering) = result?;
+                clusterings.insert(component, clustering);
+            }
+        }
+
+        // Step 3: dependency identification over the call graph.
+        let dependency_graph =
+            identify_dependencies(&prepared, &clusterings, call_graph, &self.config)?;
+
+        Ok(SieveModel {
+            application: application.to_string(),
+            clusterings,
+            dependency_graph,
+        })
+    }
+
+    /// Runs all three steps: loads `spec` under `workload` (for
+    /// [`DEFAULT_LOAD_DURATION_MS`]) and analyses the recorded data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loading and analysis errors.
+    pub fn analyze_application(
+        &self,
+        spec: &AppSpec,
+        workload: &Workload,
+        seed: u64,
+    ) -> Result<SieveModel> {
+        self.analyze_application_for(spec, workload, seed, DEFAULT_LOAD_DURATION_MS)
+    }
+
+    /// Same as [`Sieve::analyze_application`] with an explicit loading
+    /// duration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loading and analysis errors.
+    pub fn analyze_application_for(
+        &self,
+        spec: &AppSpec,
+        workload: &Workload,
+        seed: u64,
+        duration_ms: u64,
+    ) -> Result<SieveModel> {
+        let (store, call_graph) =
+            load_application(spec, workload, seed, duration_ms, self.config.interval_ms)?;
+        self.analyze(&spec.name, &store, &call_graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sieve_simulator::app::{CallSpec, ComponentSpec};
+    use sieve_simulator::metrics::{MetricBehavior, MetricSpec};
+
+    /// A small three-component app with clear metric families.
+    fn small_app() -> AppSpec {
+        let mut app = AppSpec::new("small", "lb");
+        app.add_component(
+            ComponentSpec::new("lb")
+                .with_capacity(200.0)
+                .with_metric(MetricSpec::gauge(
+                    "lb_requests_per_second",
+                    MetricBehavior::load_proportional(1.0),
+                ))
+                .with_metric(MetricSpec::gauge("lb_cpu_usage", MetricBehavior::cpu_like(0.4)))
+                .with_metric(MetricSpec::gauge(
+                    "lb_buffer_size",
+                    MetricBehavior::constant(128.0),
+                )),
+        );
+        app.add_component(
+            ComponentSpec::new("api")
+                .with_capacity(100.0)
+                .with_metric(MetricSpec::gauge(
+                    "api_requests_per_second",
+                    MetricBehavior::load_proportional(1.0),
+                ))
+                .with_metric(MetricSpec::gauge(
+                    "api_latency_ms",
+                    MetricBehavior::latency(40.0, 90.0),
+                ))
+                .with_metric(MetricSpec::gauge("api_cpu_usage", MetricBehavior::cpu_like(1.0)))
+                .with_metric(MetricSpec::gauge(
+                    "api_threads_max",
+                    MetricBehavior::constant(32.0),
+                )),
+        );
+        app.add_component(
+            ComponentSpec::new("db")
+                .with_capacity(300.0)
+                .with_metric(MetricSpec::gauge(
+                    "db_queries_per_second",
+                    MetricBehavior::load_proportional(2.0),
+                ))
+                .with_metric(MetricSpec::gauge(
+                    "db_query_time_ms",
+                    MetricBehavior::latency(5.0, 250.0),
+                ))
+                .with_metric(MetricSpec::counter(
+                    "db_bytes_written_total",
+                    MetricBehavior::counter(100.0),
+                )),
+        );
+        app.add_call(CallSpec::new("lb", "api").with_lag_ms(500));
+        app.add_call(CallSpec::new("api", "db").with_fanout(2.0).with_lag_ms(500));
+        app
+    }
+
+    fn fast_config() -> SieveConfig {
+        SieveConfig::default()
+            .with_cluster_range(2, 3)
+            .with_parallelism(2)
+    }
+
+    #[test]
+    fn end_to_end_analysis_reduces_metrics_and_finds_dependencies() {
+        let app = small_app();
+        let sieve = Sieve::new(fast_config());
+        let model = sieve
+            .analyze_application_for(&app, &Workload::randomized(80.0, 3), 11, 120_000)
+            .unwrap();
+
+        assert_eq!(model.application, "small");
+        assert_eq!(model.clusterings.len(), 3);
+        // Constants are filtered.
+        let lb = model.clustering_of("lb").unwrap();
+        assert!(lb.filtered_metrics.contains(&"lb_buffer_size".to_string()));
+        // The metric space shrinks.
+        assert!(model.total_representative_count() < model.total_metric_count());
+        assert!(model.overall_reduction_factor() > 1.0);
+        // Dependencies follow the call graph topology: lb -> api and api -> db.
+        assert!(model.dependency_graph.has_component_edge("lb", "api"));
+        assert!(model.dependency_graph.has_component_edge("api", "db"));
+        // No fabricated edge between components that never communicate.
+        assert!(model.dependency_graph.edges_between("lb", "db").is_empty());
+    }
+
+    #[test]
+    fn analyze_fails_on_an_empty_store() {
+        let sieve = Sieve::new(SieveConfig::default());
+        let store = MetricStore::new();
+        let graph = CallGraph::new();
+        assert!(matches!(
+            sieve.analyze("empty", &store, &graph),
+            Err(SieveError::NoMetrics { .. })
+        ));
+    }
+
+    #[test]
+    fn analyze_rejects_invalid_configuration() {
+        let app = small_app();
+        let (store, graph) =
+            load_application(&app, &Workload::constant(10.0), 1, 60_000, 500).unwrap();
+        let sieve = Sieve::new(SieveConfig::default().with_interval_ms(0));
+        assert!(matches!(
+            sieve.analyze("small", &store, &graph),
+            Err(SieveError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn load_application_records_everything() {
+        let app = small_app();
+        let (store, graph) =
+            load_application(&app, &Workload::constant(20.0), 5, 60_000, 500).unwrap();
+        assert_eq!(store.series_count(), app.total_metric_count());
+        assert_eq!(graph.component_count(), 3);
+        assert!(graph.has_edge("api", "db"));
+        // 120 ticks of 500 ms.
+        assert_eq!(
+            store
+                .series(&sieve_simulator::store::MetricId::new("db", "db_queries_per_second"))
+                .unwrap()
+                .len(),
+            120
+        );
+    }
+
+    #[test]
+    fn serial_and_parallel_pipelines_agree_on_the_reduction() {
+        let app = small_app();
+        let (store, graph) =
+            load_application(&app, &Workload::randomized(60.0, 1), 9, 90_000, 500).unwrap();
+        let serial = Sieve::new(fast_config().with_parallelism(1))
+            .analyze("small", &store, &graph)
+            .unwrap();
+        let parallel = Sieve::new(fast_config().with_parallelism(4))
+            .analyze("small", &store, &graph)
+            .unwrap();
+        assert_eq!(
+            serial.total_representative_count(),
+            parallel.total_representative_count()
+        );
+        assert_eq!(serial.clusterings.keys().count(), parallel.clusterings.keys().count());
+    }
+}

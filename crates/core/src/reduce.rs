@@ -1,0 +1,328 @@
+//! Step 2 of the pipeline: metric reduction.
+//!
+//! Per component, Sieve (§3.2):
+//!
+//! 1. drops metrics that do not vary with the applied load ("constant trend
+//!    or low variance (var ≤ 0.002)");
+//! 2. reconstructs missing samples with cubic splines and discretises every
+//!    series onto a 500 ms grid;
+//! 3. clusters the remaining series with k-Shape, warm-started from metric
+//!    *name* similarity, choosing the cluster count by the best silhouette
+//!    score under the shape-based distance; and
+//! 4. picks the member closest to each cluster centroid as that cluster's
+//!    *representative metric*.
+//!
+//! The variance threshold is applied to a scale-free variance
+//! (`var / (mean² + var)`), because the simulator's metrics — like real
+//! monitoring data — span wildly different units; a raw threshold of 0.002
+//! would keep a byte counter that is constant up to rounding noise and drop
+//! a perfectly informative ratio metric.
+
+use crate::config::SieveConfig;
+use crate::model::{ComponentClustering, MetricCluster};
+use crate::Result;
+use sieve_cluster::jaro::pre_cluster_names;
+use sieve_cluster::kshape::{KShape, KShapeConfig};
+use sieve_cluster::silhouette::silhouette_score_sbd;
+use sieve_timeseries::sbd::shape_based_distance;
+use sieve_timeseries::stats::{mean, variance};
+use sieve_timeseries::{resample, TimeSeries};
+
+/// A named, resampled metric series ready for clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedSeries {
+    /// Metric name.
+    pub name: String,
+    /// Values on the common discretisation grid.
+    pub values: Vec<f64>,
+}
+
+/// Resamples a set of raw metric series of one component onto the common
+/// grid and truncates them to a common length.
+///
+/// Series that are empty or too short to resample are skipped.
+pub fn prepare_series(
+    raw: &[(String, TimeSeries)],
+    interval_ms: u64,
+) -> Vec<NamedSeries> {
+    let mut prepared: Vec<NamedSeries> = raw
+        .iter()
+        .filter_map(|(name, series)| {
+            if series.len() < 2 {
+                return None;
+            }
+            let resampled = resample::resample(series, interval_ms).ok()?;
+            Some(NamedSeries {
+                name: name.clone(),
+                values: resampled.values().to_vec(),
+            })
+        })
+        .collect();
+    if prepared.is_empty() {
+        return prepared;
+    }
+    let min_len = prepared.iter().map(|s| s.values.len()).min().unwrap_or(0);
+    for s in &mut prepared {
+        s.values.truncate(min_len);
+    }
+    prepared
+}
+
+/// Scale-free variance used by the unvarying-metric filter.
+pub fn relative_variance(values: &[f64]) -> f64 {
+    let var = variance(values);
+    if var == 0.0 {
+        return 0.0;
+    }
+    let m = mean(values);
+    var / (m * m + var)
+}
+
+/// Whether a metric should be dropped as unvarying under the configured
+/// threshold.
+pub fn is_unvarying(values: &[f64], threshold: f64) -> bool {
+    relative_variance(values) <= threshold
+}
+
+/// Runs the full metric-reduction step for one component.
+///
+/// # Errors
+///
+/// Propagates clustering failures; an empty input or a component where every
+/// metric is filtered out produces a clustering with zero clusters rather
+/// than an error.
+pub fn reduce_component(
+    component: &str,
+    series: &[NamedSeries],
+    config: &SieveConfig,
+) -> Result<ComponentClustering> {
+    let total_metrics = series.len();
+
+    // 1. Variance filter.
+    let mut filtered_metrics = Vec::new();
+    let mut kept: Vec<&NamedSeries> = Vec::new();
+    for s in series {
+        if s.values.len() < 4 || is_unvarying(&s.values, config.variance_threshold) {
+            filtered_metrics.push(s.name.clone());
+        } else {
+            kept.push(s);
+        }
+    }
+
+    if kept.is_empty() {
+        return Ok(ComponentClustering {
+            component: component.to_string(),
+            total_metrics,
+            filtered_metrics,
+            clusters: Vec::new(),
+            silhouette: 0.0,
+            chosen_k: 0,
+        });
+    }
+    if kept.len() == 1 {
+        return Ok(ComponentClustering {
+            component: component.to_string(),
+            total_metrics,
+            filtered_metrics,
+            clusters: vec![MetricCluster {
+                members: vec![kept[0].name.clone()],
+                representative: kept[0].name.clone(),
+                representative_distance: 0.0,
+            }],
+            silhouette: 0.0,
+            chosen_k: 1,
+        });
+    }
+
+    let data: Vec<Vec<f64>> = kept.iter().map(|s| s.values.clone()).collect();
+    let names: Vec<&str> = kept.iter().map(|s| s.name.as_str()).collect();
+
+    // 2. Try every k in the configured range and keep the best silhouette.
+    let max_k = config.max_clusters.min(kept.len().saturating_sub(1)).max(1);
+    let min_k = config.min_clusters.min(max_k);
+    let mut best: Option<(f64, sieve_cluster::kshape::KShapeResult, usize)> = None;
+    for k in min_k..=max_k {
+        let init = pre_cluster_names(&names, k);
+        let kshape_config = KShapeConfig::new(k)
+            .with_max_iterations(config.kshape_max_iterations)
+            .with_initial_assignment(init);
+        let result = KShape::new(kshape_config).fit(&data)?;
+        let score = silhouette_score_sbd(&data, &result.assignments)?;
+        let better = match &best {
+            None => true,
+            Some((best_score, _, _)) => score > *best_score,
+        };
+        if better {
+            best = Some((score, result, k));
+        }
+    }
+    let (silhouette, result, chosen_k) = best.expect("at least one k was evaluated");
+
+    // 3. Build clusters with representative metrics.
+    let mut clusters = Vec::new();
+    for c in 0..chosen_k {
+        let member_indices = result.members_of(c);
+        if member_indices.is_empty() {
+            continue;
+        }
+        let centroid = &result.centroids[c];
+        let mut representative = member_indices[0];
+        let mut best_distance = f64::INFINITY;
+        for &idx in &member_indices {
+            let d = if centroid.iter().all(|&v| v == 0.0) {
+                0.0
+            } else {
+                shape_based_distance(centroid, &data[idx])
+                    .map(|r| r.distance)
+                    .unwrap_or(2.0)
+            };
+            if d < best_distance {
+                best_distance = d;
+                representative = idx;
+            }
+        }
+        clusters.push(MetricCluster {
+            members: member_indices
+                .iter()
+                .map(|&i| kept[i].name.clone())
+                .collect(),
+            representative: kept[representative].name.clone(),
+            representative_distance: if best_distance.is_finite() {
+                best_distance
+            } else {
+                0.0
+            },
+        });
+    }
+
+    Ok(ComponentClustering {
+        component: component.to_string(),
+        total_metrics,
+        filtered_metrics,
+        clusters,
+        silhouette,
+        chosen_k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn named(name: &str, values: Vec<f64>) -> NamedSeries {
+        NamedSeries {
+            name: name.to_string(),
+            values,
+        }
+    }
+
+    fn shapes(kind: usize, scale: f64, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| match kind {
+                0 => scale * ((i as f64) * 0.4).sin() + scale,
+                1 => scale * (i as f64) / len as f64 + 0.3 * scale,
+                _ => scale * if i % 16 < 2 { 1.0 } else { 0.0 },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn relative_variance_is_scale_free() {
+        let small: Vec<f64> = (0..50).map(|i| 0.001 * ((i as f64) * 0.3).sin() + 0.01).collect();
+        let large: Vec<f64> = small.iter().map(|v| v * 1.0e9).collect();
+        assert!((relative_variance(&small) - relative_variance(&large)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unvarying_filter_drops_constants_and_near_constants() {
+        assert!(is_unvarying(&vec![5.0; 100], 0.002));
+        // Constant with tiny relative jitter.
+        let jittery: Vec<f64> = (0..100).map(|i| 1.0e6 + ((i % 3) as f64) * 0.1).collect();
+        assert!(is_unvarying(&jittery, 0.002));
+        // A genuinely varying metric survives.
+        let varying: Vec<f64> = (0..100).map(|i| 50.0 + 30.0 * ((i as f64) * 0.3).sin()).collect();
+        assert!(!is_unvarying(&varying, 0.002));
+    }
+
+    #[test]
+    fn prepare_series_aligns_lengths() {
+        let a = TimeSeries::from_values(0, 500, (0..40).map(|i| i as f64).collect());
+        let b = TimeSeries::from_values(0, 1000, (0..30).map(|i| i as f64).collect());
+        let short = TimeSeries::from_values(0, 500, vec![1.0]);
+        let prepared = prepare_series(
+            &[
+                ("a".to_string(), a),
+                ("b".to_string(), b),
+                ("tiny".to_string(), short),
+            ],
+            500,
+        );
+        assert_eq!(prepared.len(), 2, "too-short series are skipped");
+        assert_eq!(prepared[0].values.len(), prepared[1].values.len());
+    }
+
+    #[test]
+    fn reduce_component_groups_similar_shapes_and_picks_representatives() {
+        let len = 64;
+        let mut series = Vec::new();
+        // Three sine-family metrics, three ramp-family metrics and two
+        // constants to be filtered.
+        for i in 0..3 {
+            series.push(named(&format!("cpu_usage_{i}"), shapes(0, 1.0 + i as f64, len)));
+        }
+        for i in 0..3 {
+            series.push(named(&format!("net_bytes_{i}"), shapes(1, 2.0 + i as f64, len)));
+        }
+        series.push(named("open_file_limit", vec![65536.0; len]));
+        series.push(named("num_cpus", vec![4.0; len]));
+
+        let config = SieveConfig::default().with_cluster_range(2, 4);
+        let clustering = reduce_component("web", &series, &config).unwrap();
+
+        assert_eq!(clustering.total_metrics, 8);
+        assert_eq!(clustering.filtered_metrics.len(), 2);
+        assert!(clustering.clusters.len() >= 2);
+        assert!(clustering.clusters.len() <= 4);
+        // Representatives belong to their own clusters.
+        for cluster in &clustering.clusters {
+            assert!(cluster.contains(&cluster.representative));
+        }
+        // The two shape families do not share a cluster.
+        let cpu_cluster = clustering.cluster_of("cpu_usage_0").unwrap();
+        assert!(!cpu_cluster.contains("net_bytes_0"));
+        // Reduction: 8 metrics -> at most 4 representatives.
+        assert!(clustering.reduction_factor() >= 2.0);
+    }
+
+    #[test]
+    fn all_constant_component_yields_zero_clusters() {
+        let series = vec![
+            named("a", vec![1.0; 50]),
+            named("b", vec![2.0; 50]),
+        ];
+        let clustering = reduce_component("idle", &series, &SieveConfig::default()).unwrap();
+        assert_eq!(clustering.clusters.len(), 0);
+        assert_eq!(clustering.chosen_k, 0);
+        assert_eq!(clustering.filtered_metrics.len(), 2);
+        assert_eq!(clustering.representatives().len(), 0);
+    }
+
+    #[test]
+    fn single_varying_metric_becomes_its_own_cluster() {
+        let series = vec![
+            named("only", shapes(0, 1.0, 50)),
+            named("flat", vec![3.0; 50]),
+        ];
+        let clustering = reduce_component("single", &series, &SieveConfig::default()).unwrap();
+        assert_eq!(clustering.chosen_k, 1);
+        assert_eq!(clustering.clusters.len(), 1);
+        assert_eq!(clustering.clusters[0].representative, "only");
+    }
+
+    #[test]
+    fn empty_component_is_handled() {
+        let clustering = reduce_component("none", &[], &SieveConfig::default()).unwrap();
+        assert_eq!(clustering.total_metrics, 0);
+        assert_eq!(clustering.clusters.len(), 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! The component call graph.
+//!
+//! While the application is loaded, Sieve records which components talk to
+//! which (via sysdig in the paper, via the simulator's tracer in this
+//! reproduction) and models the communication "as a directed graph, where the
+//! vertices represent the microservice components and the edges point from
+//! the caller to the callee providing the service" (§3.1). The call graph
+//! restricts the pairwise Granger comparisons to components that actually
+//! communicate.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A directed graph of component-to-component calls with call counts.
+///
+/// # Example
+///
+/// ```
+/// use sieve_graph::CallGraph;
+///
+/// let mut g = CallGraph::new();
+/// g.record_call("haproxy", "web");
+/// g.record_call("web", "mongodb");
+/// g.record_call("web", "mongodb");
+/// assert!(g.has_edge("haproxy", "web"));
+/// assert_eq!(g.call_count("web", "mongodb"), 2);
+/// assert_eq!(g.callees("web"), vec!["mongodb".to_string()]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CallGraph {
+    components: BTreeSet<String>,
+    /// caller -> callee -> number of observed calls.
+    edges: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl CallGraph {
+    /// Creates an empty call graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a component even if it never communicates.
+    pub fn add_component(&mut self, name: impl Into<String>) {
+        self.components.insert(name.into());
+    }
+
+    /// Records one call from `caller` to `callee`, registering both
+    /// components as needed.
+    pub fn record_call(&mut self, caller: impl Into<String>, callee: impl Into<String>) {
+        self.record_calls(caller, callee, 1);
+    }
+
+    /// Records `count` calls from `caller` to `callee`.
+    pub fn record_calls(
+        &mut self,
+        caller: impl Into<String>,
+        callee: impl Into<String>,
+        count: u64,
+    ) {
+        let caller = caller.into();
+        let callee = callee.into();
+        self.components.insert(caller.clone());
+        self.components.insert(callee.clone());
+        *self
+            .edges
+            .entry(caller)
+            .or_default()
+            .entry(callee)
+            .or_insert(0) += count;
+    }
+
+    /// All registered components, sorted by name.
+    pub fn components(&self) -> Vec<String> {
+        self.components.iter().cloned().collect()
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of distinct caller→callee edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|m| m.len()).sum()
+    }
+
+    /// Whether the graph contains the directed edge `caller → callee`.
+    pub fn has_edge(&self, caller: &str, callee: &str) -> bool {
+        self.edges
+            .get(caller)
+            .is_some_and(|m| m.contains_key(callee))
+    }
+
+    /// Number of calls observed on the edge (0 when absent).
+    pub fn call_count(&self, caller: &str, callee: &str) -> u64 {
+        self.edges
+            .get(caller)
+            .and_then(|m| m.get(callee))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Components directly called by `caller`, sorted by name.
+    pub fn callees(&self, caller: &str) -> Vec<String> {
+        self.edges
+            .get(caller)
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Components that directly call `callee`, sorted by name.
+    pub fn callers(&self, callee: &str) -> Vec<String> {
+        self.edges
+            .iter()
+            .filter(|(_, callees)| callees.contains_key(callee))
+            .map(|(from, _)| from.clone())
+            .collect()
+    }
+
+    /// Components adjacent to `component` in either direction (no
+    /// duplicates, sorted).
+    pub fn neighbours(&self, component: &str) -> Vec<String> {
+        let mut set: BTreeSet<String> = BTreeSet::new();
+        for (from, callees) in &self.edges {
+            for to in callees.keys() {
+                if from == component {
+                    set.insert(to.clone());
+                }
+                if to == component {
+                    set.insert(from.clone());
+                }
+            }
+        }
+        set.remove(component);
+        set.into_iter().collect()
+    }
+
+    /// Iterator over `(caller, callee, call_count)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (&str, &str, u64)> + '_ {
+        self.edges.iter().flat_map(|(from, callees)| {
+            callees
+                .iter()
+                .map(move |(to, &count)| (from.as_str(), to.as_str(), count))
+        })
+    }
+
+    /// The communicating component pairs Sieve must examine in its pairwise
+    /// Granger comparison: each directed caller→callee edge.
+    pub fn communicating_pairs(&self) -> Vec<(String, String)> {
+        self.edges()
+            .map(|(from, to, _)| (from.to_string(), to.to_string()))
+            .collect()
+    }
+
+    /// Merges another call graph into this one (summing call counts).
+    pub fn merge(&mut self, other: &CallGraph) {
+        for name in &other.components {
+            self.components.insert(name.clone());
+        }
+        for (from, to, count) in other.edges() {
+            self.record_calls(from, to, count);
+        }
+    }
+
+    /// Total number of recorded calls over all edges.
+    pub fn total_calls(&self) -> u64 {
+        self.edges().map(|(_, _, c)| c).sum()
+    }
+}
+
+impl FromIterator<(String, String)> for CallGraph {
+    fn from_iter<I: IntoIterator<Item = (String, String)>>(iter: I) -> Self {
+        let mut g = CallGraph::new();
+        for (from, to) in iter {
+            g.record_call(from, to);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CallGraph {
+        let mut g = CallGraph::new();
+        g.record_call("haproxy", "web");
+        g.record_call("web", "mongodb");
+        g.record_call("web", "redis");
+        g.record_call("web", "docstore");
+        g.record_call("docstore", "mongodb");
+        g.add_component("spelling");
+        g
+    }
+
+    #[test]
+    fn components_and_edges_are_tracked() {
+        let g = sample();
+        assert_eq!(g.component_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.has_edge("haproxy", "web"));
+        assert!(!g.has_edge("web", "haproxy"));
+        assert_eq!(g.total_calls(), 5);
+    }
+
+    #[test]
+    fn call_counts_accumulate() {
+        let mut g = CallGraph::new();
+        g.record_calls("a", "b", 10);
+        g.record_call("a", "b");
+        assert_eq!(g.call_count("a", "b"), 11);
+        assert_eq!(g.call_count("b", "a"), 0);
+    }
+
+    #[test]
+    fn callees_and_callers_are_directional() {
+        let g = sample();
+        assert_eq!(g.callees("web"), vec!["docstore", "mongodb", "redis"]);
+        assert_eq!(g.callers("mongodb"), vec!["docstore", "web"]);
+        assert!(g.callees("spelling").is_empty());
+    }
+
+    #[test]
+    fn neighbours_are_undirected_and_deduplicated() {
+        let g = sample();
+        assert_eq!(g.neighbours("web"), vec!["docstore", "haproxy", "mongodb", "redis"]);
+        assert_eq!(g.neighbours("spelling"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn isolated_component_appears_without_edges() {
+        let g = sample();
+        assert!(g.components().contains(&"spelling".to_string()));
+        assert!(g.neighbours("spelling").is_empty());
+    }
+
+    #[test]
+    fn merge_sums_counts_and_unions_components() {
+        let mut a = CallGraph::new();
+        a.record_calls("x", "y", 2);
+        let mut b = CallGraph::new();
+        b.record_calls("x", "y", 3);
+        b.record_call("y", "z");
+        a.merge(&b);
+        assert_eq!(a.call_count("x", "y"), 5);
+        assert!(a.has_edge("y", "z"));
+        assert_eq!(a.component_count(), 3);
+    }
+
+    #[test]
+    fn from_iterator_builds_graph() {
+        let g: CallGraph = vec![
+            ("a".to_string(), "b".to_string()),
+            ("b".to_string(), "c".to_string()),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.communicating_pairs().len(), 2);
+    }
+
+    #[test]
+    fn self_calls_are_representable() {
+        let mut g = CallGraph::new();
+        g.record_call("worker", "worker");
+        assert!(g.has_edge("worker", "worker"));
+        // A self-loop does not make the component its own neighbour.
+        assert!(g.neighbours("worker").is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = sample();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: CallGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}

@@ -1,0 +1,316 @@
+//! The metric dependency graph produced by Sieve's causality step.
+//!
+//! "If Sieve determines that there is a relationship between a metric of one
+//! component and another metric of another component, a dependency edge
+//! between these components is created using the corresponding metrics. The
+//! direction of the edge depends on which component is affecting the other."
+//! (§2.3/§3.3). Each edge also records the Granger p-value, F statistic and
+//! the time lag at which the relation was found — the RCA engine compares
+//! these attributes across application versions.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A directed dependency between two representative metrics of two
+/// components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DependencyEdge {
+    /// Component whose metric Granger-causes the target metric.
+    pub source_component: String,
+    /// The causing (representative) metric.
+    pub source_metric: String,
+    /// Component whose metric is affected.
+    pub target_component: String,
+    /// The affected (representative) metric.
+    pub target_metric: String,
+    /// p-value of the Granger F-test.
+    pub p_value: f64,
+    /// F statistic of the Granger test.
+    pub f_statistic: f64,
+    /// Time lag (in milliseconds) at which the dependency was detected.
+    pub lag_ms: u64,
+}
+
+impl DependencyEdge {
+    /// Key identifying the component-level direction of this edge.
+    pub fn component_pair(&self) -> (String, String) {
+        (self.source_component.clone(), self.target_component.clone())
+    }
+
+    /// Key identifying the full metric-level edge.
+    pub fn metric_key(&self) -> (String, String, String, String) {
+        (
+            self.source_component.clone(),
+            self.source_metric.clone(),
+            self.target_component.clone(),
+            self.target_metric.clone(),
+        )
+    }
+}
+
+/// A dependency graph: a set of [`DependencyEdge`]s plus the set of
+/// components known to the analysis (components can exist without edges).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DependencyGraph {
+    components: BTreeSet<String>,
+    edges: Vec<DependencyEdge>,
+}
+
+impl DependencyGraph {
+    /// Creates an empty dependency graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a component.
+    pub fn add_component(&mut self, name: impl Into<String>) {
+        self.components.insert(name.into());
+    }
+
+    /// Adds an edge, registering its endpoint components.
+    pub fn add_edge(&mut self, edge: DependencyEdge) {
+        self.components.insert(edge.source_component.clone());
+        self.components.insert(edge.target_component.clone());
+        self.edges.push(edge);
+    }
+
+    /// All registered components, sorted.
+    pub fn components(&self) -> Vec<String> {
+        self.components.iter().cloned().collect()
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> &[DependencyEdge] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edges whose source or target component is `component`.
+    pub fn edges_of(&self, component: &str) -> Vec<&DependencyEdge> {
+        self.edges
+            .iter()
+            .filter(|e| e.source_component == component || e.target_component == component)
+            .collect()
+    }
+
+    /// Edges from `source` to `target` (component level).
+    pub fn edges_between(&self, source: &str, target: &str) -> Vec<&DependencyEdge> {
+        self.edges
+            .iter()
+            .filter(|e| e.source_component == source && e.target_component == target)
+            .collect()
+    }
+
+    /// Whether any metric-level edge connects `source` to `target`.
+    pub fn has_component_edge(&self, source: &str, target: &str) -> bool {
+        !self.edges_between(source, target).is_empty()
+    }
+
+    /// Removes *bidirectional metric pairs*: when metric A Granger-causes
+    /// metric B **and** B Granger-causes A, both edges are dropped, because
+    /// such relations usually indicate a hidden common cause ("an indicator
+    /// of such a situation is that both metrics will Granger-cause each
+    /// other ... Sieve filters these edges out", §3.3). Returns the number of
+    /// removed edges.
+    pub fn filter_bidirectional(&mut self) -> usize {
+        let keys: BTreeSet<(String, String, String, String)> =
+            self.edges.iter().map(|e| e.metric_key()).collect();
+        let before = self.edges.len();
+        self.edges.retain(|e| {
+            let reverse = (
+                e.target_component.clone(),
+                e.target_metric.clone(),
+                e.source_component.clone(),
+                e.source_metric.clone(),
+            );
+            !keys.contains(&reverse)
+        });
+        before - self.edges.len()
+    }
+
+    /// Counts, per metric name, in how many edges (either endpoint) the
+    /// metric participates — the statistic Sieve's autoscaling case study
+    /// uses to pick the guiding metric ("We pick a metric m that appears the
+    /// most in Granger Causality relations between components", §4.1).
+    /// Returns the counts sorted descending by count, then by name.
+    pub fn metric_appearance_counts(&self) -> Vec<(String, usize)> {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for e in &self.edges {
+            *counts.entry(e.source_metric.clone()).or_insert(0) += 1;
+            *counts.entry(e.target_metric.clone()).or_insert(0) += 1;
+        }
+        let mut out: Vec<(String, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The metric that appears most often in dependency relations, if any.
+    pub fn most_connected_metric(&self) -> Option<String> {
+        self.metric_appearance_counts().first().map(|(m, _)| m.clone())
+    }
+
+    /// Component-level out-degree (number of distinct target components).
+    pub fn out_degree(&self, component: &str) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| e.source_component == component)
+            .map(|e| e.target_component.clone())
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Edges present in `self` but not in `other` (compared by full metric
+    /// key, ignoring the statistical attributes).
+    pub fn edges_not_in<'a>(&'a self, other: &DependencyGraph) -> Vec<&'a DependencyEdge> {
+        let other_keys: BTreeSet<_> = other.edges.iter().map(|e| e.metric_key()).collect();
+        self.edges
+            .iter()
+            .filter(|e| !other_keys.contains(&e.metric_key()))
+            .collect()
+    }
+
+    /// Edges present in both graphs whose lag differs by more than
+    /// `tolerance_ms`; returned as `(self_edge, other_edge)` pairs. The RCA
+    /// engine treats lag changes between versions as anomaly indicators.
+    pub fn lag_changes<'a>(
+        &'a self,
+        other: &'a DependencyGraph,
+        tolerance_ms: u64,
+    ) -> Vec<(&'a DependencyEdge, &'a DependencyEdge)> {
+        let mut out = Vec::new();
+        let other_by_key: BTreeMap<_, &DependencyEdge> =
+            other.edges.iter().map(|e| (e.metric_key(), e)).collect();
+        for e in &self.edges {
+            if let Some(o) = other_by_key.get(&e.metric_key()) {
+                let diff = e.lag_ms.abs_diff(o.lag_ms);
+                if diff > tolerance_ms {
+                    out.push((e, *o));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(
+        sc: &str,
+        sm: &str,
+        tc: &str,
+        tm: &str,
+        p: f64,
+        lag: u64,
+    ) -> DependencyEdge {
+        DependencyEdge {
+            source_component: sc.to_string(),
+            source_metric: sm.to_string(),
+            target_component: tc.to_string(),
+            target_metric: tm.to_string(),
+            p_value: p,
+            f_statistic: 10.0,
+            lag_ms: lag,
+        }
+    }
+
+    fn sample() -> DependencyGraph {
+        let mut g = DependencyGraph::new();
+        g.add_edge(edge("haproxy", "http_requests_mean", "web", "cpu_usage", 0.01, 500));
+        g.add_edge(edge("web", "http_requests_mean", "mongodb", "queries", 0.02, 500));
+        g.add_edge(edge("web", "http_requests_mean", "redis", "ops", 0.03, 1000));
+        g.add_component("spelling");
+        g
+    }
+
+    #[test]
+    fn components_include_isolated_ones() {
+        let g = sample();
+        assert_eq!(g.component_count(), 5);
+        assert!(g.components().contains(&"spelling".to_string()));
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn edge_queries_work() {
+        let g = sample();
+        assert!(g.has_component_edge("haproxy", "web"));
+        assert!(!g.has_component_edge("web", "haproxy"));
+        assert_eq!(g.edges_of("web").len(), 3);
+        assert_eq!(g.edges_between("web", "redis").len(), 1);
+        assert_eq!(g.out_degree("web"), 2);
+        assert_eq!(g.out_degree("spelling"), 0);
+    }
+
+    #[test]
+    fn bidirectional_pairs_are_filtered() {
+        let mut g = DependencyGraph::new();
+        g.add_edge(edge("a", "m1", "b", "m2", 0.01, 500));
+        g.add_edge(edge("b", "m2", "a", "m1", 0.02, 500));
+        g.add_edge(edge("a", "m1", "c", "m3", 0.01, 500));
+        let removed = g.filter_bidirectional();
+        assert_eq!(removed, 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_component_edge("a", "c"));
+    }
+
+    #[test]
+    fn one_directional_edges_survive_filtering() {
+        let mut g = sample();
+        assert_eq!(g.filter_bidirectional(), 0);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn metric_appearance_counts_rank_the_hub_metric_first() {
+        let g = sample();
+        let counts = g.metric_appearance_counts();
+        assert_eq!(counts[0].0, "http_requests_mean");
+        assert_eq!(counts[0].1, 3);
+        assert_eq!(g.most_connected_metric().unwrap(), "http_requests_mean");
+    }
+
+    #[test]
+    fn empty_graph_has_no_most_connected_metric() {
+        assert!(DependencyGraph::new().most_connected_metric().is_none());
+    }
+
+    #[test]
+    fn graph_diff_finds_new_and_discarded_edges() {
+        let correct = sample();
+        let mut faulty = sample();
+        faulty.add_edge(edge("nova_api", "instances_error", "neutron", "ports_down", 0.001, 500));
+        let new_edges = faulty.edges_not_in(&correct);
+        assert_eq!(new_edges.len(), 1);
+        assert_eq!(new_edges[0].source_component, "nova_api");
+        assert!(correct.edges_not_in(&faulty).is_empty());
+    }
+
+    #[test]
+    fn lag_changes_are_detected_with_tolerance() {
+        let a = sample();
+        let mut b = sample();
+        // Change the lag of one edge by 1500 ms.
+        b.edges[2].lag_ms = 2500;
+        assert_eq!(a.lag_changes(&b, 500).len(), 1);
+        assert!(a.lag_changes(&b, 2000).is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = sample();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: DependencyGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}

@@ -1,0 +1,549 @@
+//! The discrete-time simulation engine.
+//!
+//! The engine advances an [`AppSpec`] tick by tick (default 500 ms, the
+//! discretisation Sieve itself uses):
+//!
+//! 1. the [`Workload`] offers an external request rate at the entrypoint;
+//! 2. load propagates along every [`CallSpec`] edge with the edge's fanout
+//!    and lag, so downstream components react *after* their callers — which
+//!    is exactly the temporal structure the Granger step later rediscovers;
+//! 3. every component's metrics are sampled from its per-instance load and
+//!    written to the [`MetricStore`];
+//! 4. the tracer records the caller→callee calls of the tick.
+//!
+//! The engine is deterministic for a given seed, supports changing instance
+//! counts while running (for the autoscaling case study) and reports an
+//! end-to-end request latency per tick (for SLA evaluation).
+
+use crate::app::AppSpec;
+use crate::metrics::MetricState;
+use crate::store::{MetricId, MetricStore};
+use crate::tracer::{Tracer, TracingMode};
+use crate::workload::Workload;
+use crate::{Result, SimulatorError};
+use serde::{Deserialize, Serialize};
+use sieve_graph::CallGraph;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Seed for all deterministic noise.
+    pub seed: u64,
+    /// Tick length in milliseconds (500 ms by default, matching Sieve's
+    /// discretisation).
+    pub tick_ms: u64,
+    /// Total simulated duration in milliseconds.
+    pub duration_ms: u64,
+    /// How the call graph is captured (affects the modelled tracing
+    /// overhead only, never the recorded graph).
+    pub tracing_mode: TracingMode,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the default 500 ms tick and a 2-minute
+    /// duration.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            tick_ms: 500,
+            duration_ms: 120_000,
+            tracing_mode: TracingMode::Sysdig,
+        }
+    }
+
+    /// Sets the simulated duration (builder style).
+    pub fn with_duration_ms(mut self, duration_ms: u64) -> Self {
+        self.duration_ms = duration_ms;
+        self
+    }
+
+    /// Sets the tick length (builder style).
+    pub fn with_tick_ms(mut self, tick_ms: u64) -> Self {
+        self.tick_ms = tick_ms;
+        self
+    }
+
+    /// Number of ticks in a full run.
+    pub fn total_ticks(&self) -> usize {
+        (self.duration_ms / self.tick_ms.max(1)) as usize
+    }
+}
+
+/// Per-tick state exposed to interactive drivers such as the autoscaler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TickSnapshot {
+    /// Tick index (0-based).
+    pub tick: usize,
+    /// Simulated time at the end of this tick, in milliseconds.
+    pub time_ms: u64,
+    /// External request rate offered to the entrypoint during this tick.
+    pub offered_load: f64,
+    /// Per-instance load of every component.
+    pub component_loads: BTreeMap<String, f64>,
+    /// Modelled end-to-end latency of a request entering at the entrypoint
+    /// during this tick, in milliseconds.
+    pub end_to_end_latency_ms: f64,
+}
+
+/// A running simulation of one application under one workload.
+#[derive(Debug)]
+pub struct Simulation {
+    spec: AppSpec,
+    workload: Workload,
+    config: SimConfig,
+    store: MetricStore,
+    tracer: Tracer,
+    metric_states: BTreeMap<String, Vec<MetricState>>,
+    request_history: BTreeMap<String, Vec<f64>>,
+    load_history: BTreeMap<String, Vec<f64>>,
+    instances: BTreeMap<String, usize>,
+    reachable: BTreeSet<String>,
+    latency_base_ms: BTreeMap<String, f64>,
+    current_tick: usize,
+    total_ticks: usize,
+    latency_samples: Vec<f64>,
+}
+
+impl Simulation {
+    /// Creates a new simulation.
+    ///
+    /// # Errors
+    ///
+    /// * Propagates [`AppSpec::validate`] failures.
+    /// * [`SimulatorError::InvalidParameter`] when the tick length is zero or
+    ///   the duration yields no ticks.
+    pub fn new(spec: AppSpec, workload: Workload, config: SimConfig) -> Result<Self> {
+        spec.validate()?;
+        if config.tick_ms == 0 {
+            return Err(SimulatorError::InvalidParameter {
+                name: "tick_ms",
+                reason: "must be positive".to_string(),
+            });
+        }
+        let total_ticks = config.total_ticks();
+        if total_ticks == 0 {
+            return Err(SimulatorError::InvalidParameter {
+                name: "duration_ms",
+                reason: "duration must cover at least one tick".to_string(),
+            });
+        }
+
+        let mut metric_states = BTreeMap::new();
+        let mut instances = BTreeMap::new();
+        let mut latency_base_ms = BTreeMap::new();
+        let mut tracer = Tracer::new();
+        for (ci, component) in spec.components().enumerate() {
+            let states: Vec<MetricState> = component
+                .metrics
+                .iter()
+                .enumerate()
+                .map(|(mi, m)| {
+                    MetricState::new(
+                        m.clone(),
+                        config
+                            .seed
+                            .wrapping_add((ci as u64) << 32)
+                            .wrapping_add(mi as u64),
+                    )
+                })
+                .collect();
+            metric_states.insert(component.name.clone(), states);
+            instances.insert(component.name.clone(), component.instances.max(1));
+            // Base processing latency: derived from an exported latency
+            // metric when present, otherwise a 10 ms default.
+            let base = component
+                .metrics
+                .iter()
+                .find_map(|m| match &m.behavior {
+                    crate::metrics::MetricBehavior::Latency { base_ms, .. } => Some(*base_ms),
+                    _ => None,
+                })
+                .unwrap_or(10.0);
+            latency_base_ms.insert(component.name.clone(), base);
+            tracer.register_component(&component.name);
+        }
+
+        let reachable = reachable_from(&spec, &spec.entrypoint);
+
+        Ok(Self {
+            request_history: spec
+                .component_names()
+                .into_iter()
+                .map(|n| (n, Vec::new()))
+                .collect(),
+            load_history: spec
+                .component_names()
+                .into_iter()
+                .map(|n| (n, Vec::new()))
+                .collect(),
+            metric_states,
+            instances,
+            reachable,
+            latency_base_ms,
+            spec,
+            workload,
+            config,
+            store: MetricStore::new(),
+            tracer,
+            current_tick: 0,
+            total_ticks,
+            latency_samples: Vec::new(),
+        })
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The application specification being simulated.
+    pub fn spec(&self) -> &AppSpec {
+        &self.spec
+    }
+
+    /// The metric store receiving all samples.
+    pub fn store(&self) -> &MetricStore {
+        &self.store
+    }
+
+    /// The call graph observed so far.
+    pub fn call_graph(&self) -> CallGraph {
+        self.tracer.call_graph().clone()
+    }
+
+    /// Current instance count of a component (0 if unknown).
+    pub fn instances(&self, component: &str) -> usize {
+        self.instances.get(component).copied().unwrap_or(0)
+    }
+
+    /// Total instances across all components.
+    pub fn total_instances(&self) -> usize {
+        self.instances.values().sum()
+    }
+
+    /// Changes the instance count of a component (autoscaling). Counts are
+    /// clamped to at least 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulatorError::UnknownComponent`] for unknown components.
+    pub fn set_instances(&mut self, component: &str, count: usize) -> Result<()> {
+        match self.instances.get_mut(component) {
+            Some(slot) => {
+                *slot = count.max(1);
+                Ok(())
+            }
+            None => Err(SimulatorError::UnknownComponent {
+                name: component.to_string(),
+            }),
+        }
+    }
+
+    /// Whether the simulation has processed all ticks.
+    pub fn is_finished(&self) -> bool {
+        self.current_tick >= self.total_ticks
+    }
+
+    /// End-to-end latency samples recorded so far (one per tick).
+    pub fn latency_samples(&self) -> &[f64] {
+        &self.latency_samples
+    }
+
+    /// Advances the simulation by one tick. Returns `None` once the
+    /// configured duration has been simulated.
+    pub fn step(&mut self) -> Option<TickSnapshot> {
+        if self.is_finished() {
+            return None;
+        }
+        let tick = self.current_tick;
+        let time_ms = (tick as u64 + 1) * self.config.tick_ms;
+        let offered = self.workload.rate_at(tick, self.total_ticks);
+
+        // 1. Request rates: external load at the entrypoint plus propagated
+        //    load from callers at earlier ticks.
+        let mut rates: BTreeMap<String, f64> = self
+            .spec
+            .component_names()
+            .into_iter()
+            .map(|n| (n, 0.0))
+            .collect();
+        *rates.get_mut(&self.spec.entrypoint).expect("validated") += offered;
+        for call in self.spec.calls() {
+            let lag_ticks = (call.lag_ms / self.config.tick_ms).max(1) as usize;
+            if tick < lag_ticks {
+                continue;
+            }
+            let caller_rate = self
+                .request_history
+                .get(&call.caller)
+                .and_then(|h| h.get(tick - lag_ticks))
+                .copied()
+                .unwrap_or(0.0);
+            let propagated = call.fanout * caller_rate;
+            if let Some(slot) = rates.get_mut(&call.callee) {
+                *slot += propagated;
+            }
+            // Tracing: record the calls made during this tick.
+            self.tracer
+                .record(&call.caller, &call.callee, propagated.round() as u64);
+        }
+
+        // 2. Per-instance loads and metric sampling.
+        let mut component_loads = BTreeMap::new();
+        for (component, rate) in &rates {
+            let instances = self.instances.get(component).copied().unwrap_or(1).max(1);
+            let load = rate / instances as f64;
+            self.request_history
+                .get_mut(component)
+                .expect("component registered")
+                .push(*rate);
+            let history = self
+                .load_history
+                .get_mut(component)
+                .expect("component registered");
+            history.push(load);
+            component_loads.insert(component.clone(), load);
+
+            let states = self
+                .metric_states
+                .get_mut(component)
+                .expect("component registered");
+            for state in states.iter_mut() {
+                let value = state.sample(tick, history);
+                let id = MetricId::new(component.clone(), state.spec().name.clone());
+                self.store.record(&id, time_ms, value);
+            }
+        }
+
+        // 3. End-to-end latency across all components reachable from the
+        //    entrypoint.
+        let mut latency = 0.0;
+        for component in &self.reachable {
+            let load = component_loads.get(component).copied().unwrap_or(0.0);
+            let capacity = self
+                .spec
+                .component(component)
+                .map(|c| c.capacity_per_instance)
+                .unwrap_or(100.0);
+            let base = self.latency_base_ms.get(component).copied().unwrap_or(10.0);
+            let utilisation = load / capacity.max(1e-9);
+            latency += base * (1.0 + utilisation * utilisation);
+        }
+        // The tracing overhead applies to every request end-to-end.
+        latency *= self.config.tracing_mode.overhead_factor().max(1.0).min(1.25);
+        self.latency_samples.push(latency);
+
+        self.current_tick += 1;
+        Some(TickSnapshot {
+            tick,
+            time_ms,
+            offered_load: offered,
+            component_loads,
+            end_to_end_latency_ms: latency,
+        })
+    }
+
+    /// Runs the remaining ticks to completion and returns the number of
+    /// ticks executed.
+    pub fn run_to_completion(&mut self) -> usize {
+        let mut executed = 0;
+        while self.step().is_some() {
+            executed += 1;
+        }
+        executed
+    }
+}
+
+/// Components reachable from `start` along call edges (including `start`).
+fn reachable_from(spec: &AppSpec, start: &str) -> BTreeSet<String> {
+    let mut visited: BTreeSet<String> = BTreeSet::new();
+    let mut stack = vec![start.to_string()];
+    while let Some(node) = stack.pop() {
+        if !visited.insert(node.clone()) {
+            continue;
+        }
+        for call in spec.calls() {
+            if call.caller == node && !visited.contains(&call.callee) {
+                stack.push(call.callee.clone());
+            }
+        }
+    }
+    visited
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{CallSpec, ComponentSpec};
+    use crate::metrics::{MetricBehavior, MetricSpec};
+
+    fn three_tier_app() -> AppSpec {
+        let mut app = AppSpec::new("threetier", "lb");
+        app.add_component(
+            ComponentSpec::new("lb")
+                .with_metric(MetricSpec::gauge(
+                    "requests_per_s",
+                    MetricBehavior::load_proportional(1.0),
+                ))
+                .with_metric(MetricSpec::gauge("cpu", MetricBehavior::cpu_like(0.5))),
+        );
+        app.add_component(
+            ComponentSpec::new("web")
+                .with_metric(MetricSpec::gauge(
+                    "http_latency_ms",
+                    MetricBehavior::latency(20.0, 80.0),
+                ))
+                .with_metric(MetricSpec::gauge("cpu", MetricBehavior::cpu_like(1.0)))
+                .with_metric(MetricSpec::gauge(
+                    "constant_buffer",
+                    MetricBehavior::constant(64.0),
+                )),
+        );
+        app.add_component(
+            ComponentSpec::new("db")
+                .with_metric(MetricSpec::gauge(
+                    "queries_per_s",
+                    MetricBehavior::load_proportional(3.0),
+                ))
+                .with_metric(MetricSpec::counter(
+                    "bytes_written_total",
+                    MetricBehavior::counter(10.0),
+                )),
+        );
+        app.add_call(CallSpec::new("lb", "web").with_lag_ms(500));
+        app.add_call(CallSpec::new("web", "db").with_fanout(2.0).with_lag_ms(500));
+        app
+    }
+
+    fn run_sim(workload: Workload, duration_ms: u64, seed: u64) -> Simulation {
+        let config = SimConfig::new(seed).with_duration_ms(duration_ms);
+        let mut sim = Simulation::new(three_tier_app(), workload, config).unwrap();
+        sim.run_to_completion();
+        sim
+    }
+
+    #[test]
+    fn records_every_metric_for_every_tick() {
+        let sim = run_sim(Workload::constant(30.0), 30_000, 1);
+        let store = sim.store();
+        assert_eq!(store.series_count(), 7);
+        let id = MetricId::new("web", "cpu");
+        assert_eq!(store.series(&id).unwrap().len(), 60);
+    }
+
+    #[test]
+    fn call_graph_matches_the_topology() {
+        let sim = run_sim(Workload::constant(30.0), 20_000, 2);
+        let g = sim.call_graph();
+        assert!(g.has_edge("lb", "web"));
+        assert!(g.has_edge("web", "db"));
+        assert!(!g.has_edge("db", "web"));
+        assert_eq!(g.component_count(), 3);
+        assert!(g.call_count("web", "db") > g.call_count("lb", "web"), "fanout 2 doubles calls");
+    }
+
+    #[test]
+    fn load_propagates_downstream_with_lag() {
+        // A spike starting at tick 10 must reach the db (two hops, one tick
+        // lag each) around tick 12, not earlier.
+        let workload = Workload::spike(0.0, 100.0, 10, 40);
+        let sim = run_sim(workload, 30_000, 3);
+        let db_series = sim
+            .store()
+            .series(&MetricId::new("db", "queries_per_s"))
+            .unwrap();
+        let values = db_series.values();
+        assert!(values[..11].iter().all(|&v| v < 10.0), "no load before the spike propagates");
+        assert!(values[13] > 100.0, "db sees the fanned-out spike after two lag ticks");
+    }
+
+    #[test]
+    fn latency_increases_under_overload() {
+        let light = run_sim(Workload::constant(5.0), 30_000, 4);
+        let heavy = run_sim(Workload::constant(500.0), 30_000, 4);
+        let light_p90 = sieve_timeseries::stats::percentile(light.latency_samples(), 90.0).unwrap();
+        let heavy_p90 = sieve_timeseries::stats::percentile(heavy.latency_samples(), 90.0).unwrap();
+        assert!(heavy_p90 > 3.0 * light_p90, "p90 {heavy_p90} vs {light_p90}");
+    }
+
+    #[test]
+    fn adding_instances_reduces_latency() {
+        let config = SimConfig::new(5).with_duration_ms(30_000);
+        let mut scaled = Simulation::new(three_tier_app(), Workload::constant(300.0), config).unwrap();
+        scaled.set_instances("web", 8).unwrap();
+        scaled.set_instances("db", 8).unwrap();
+        scaled.run_to_completion();
+        let unscaled = run_sim(Workload::constant(300.0), 30_000, 5);
+        let scaled_mean: f64 =
+            scaled.latency_samples().iter().sum::<f64>() / scaled.latency_samples().len() as f64;
+        let unscaled_mean: f64 = unscaled.latency_samples().iter().sum::<f64>()
+            / unscaled.latency_samples().len() as f64;
+        assert!(scaled_mean < unscaled_mean);
+        assert_eq!(scaled.instances("web"), 8);
+        assert_eq!(scaled.total_instances(), 17);
+    }
+
+    #[test]
+    fn set_instances_rejects_unknown_component_and_clamps_to_one() {
+        let config = SimConfig::new(6).with_duration_ms(10_000);
+        let mut sim = Simulation::new(three_tier_app(), Workload::constant(1.0), config).unwrap();
+        assert!(sim.set_instances("nope", 3).is_err());
+        sim.set_instances("web", 0).unwrap();
+        assert_eq!(sim.instances("web"), 1);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_a_seed() {
+        let a = run_sim(Workload::randomized(40.0, 9), 20_000, 77);
+        let b = run_sim(Workload::randomized(40.0, 9), 20_000, 77);
+        let id = MetricId::new("db", "queries_per_s");
+        assert_eq!(a.store().series(&id).unwrap(), b.store().series(&id).unwrap());
+        // A different seed changes the noise.
+        let c = run_sim(Workload::randomized(40.0, 9), 20_000, 78);
+        assert_ne!(a.store().series(&id).unwrap(), c.store().series(&id).unwrap());
+    }
+
+    #[test]
+    fn step_reports_snapshots_until_finished() {
+        let config = SimConfig::new(1).with_duration_ms(5_000);
+        let mut sim = Simulation::new(three_tier_app(), Workload::constant(10.0), config).unwrap();
+        let mut count = 0;
+        while let Some(snap) = sim.step() {
+            assert_eq!(snap.tick, count);
+            assert!(snap.end_to_end_latency_ms > 0.0);
+            assert_eq!(snap.component_loads.len(), 3);
+            count += 1;
+        }
+        assert_eq!(count, 10);
+        assert!(sim.is_finished());
+        assert!(sim.step().is_none());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let app = three_tier_app();
+        assert!(Simulation::new(
+            app.clone(),
+            Workload::constant(1.0),
+            SimConfig::new(1).with_tick_ms(0)
+        )
+        .is_err());
+        assert!(Simulation::new(
+            app,
+            Workload::constant(1.0),
+            SimConfig::new(1).with_duration_ms(0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn constant_metric_stays_constant_under_load() {
+        let sim = run_sim(Workload::randomized(80.0, 11), 30_000, 8);
+        let series = sim
+            .store()
+            .series(&MetricId::new("web", "constant_buffer"))
+            .unwrap();
+        assert!(series.values().iter().all(|&v| v == 64.0));
+    }
+}

@@ -1,0 +1,62 @@
+use std::fmt;
+
+/// Errors produced by the application simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimulatorError {
+    /// The application specification references an unknown component.
+    UnknownComponent {
+        /// The missing component name.
+        name: String,
+    },
+    /// The application specification is invalid.
+    InvalidSpec {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A simulation parameter is out of range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Explanation of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimulatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulatorError::UnknownComponent { name } => {
+                write!(f, "unknown component `{name}`")
+            }
+            SimulatorError::InvalidSpec { reason } => write!(f, "invalid application spec: {reason}"),
+            SimulatorError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimulatorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = vec![
+            SimulatorError::UnknownComponent { name: "web".into() },
+            SimulatorError::InvalidSpec {
+                reason: "no entrypoint".into(),
+            },
+            SimulatorError::InvalidParameter {
+                name: "tick_ms",
+                reason: "must be positive".into(),
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

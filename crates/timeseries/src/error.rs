@@ -1,0 +1,113 @@
+use std::fmt;
+
+/// Errors produced by time-series operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimeSeriesError {
+    /// The operation requires a non-empty series.
+    Empty,
+    /// Two series were expected to have the same length.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// Timestamps and values have different lengths.
+    MalformedSeries {
+        /// Number of timestamps provided.
+        timestamps: usize,
+        /// Number of values provided.
+        values: usize,
+    },
+    /// Timestamps must be strictly increasing.
+    UnsortedTimestamps {
+        /// Index at which the ordering is violated.
+        index: usize,
+    },
+    /// The operation requires at least `required` observations.
+    TooFewObservations {
+        /// Observations required.
+        required: usize,
+        /// Observations available.
+        actual: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A value was not finite (NaN or infinite) where finiteness is required.
+    NonFiniteValue {
+        /// Index of the offending value.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TimeSeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeSeriesError::Empty => write!(f, "operation requires a non-empty time series"),
+            TimeSeriesError::LengthMismatch { left, right } => {
+                write!(f, "series length mismatch: {left} vs {right}")
+            }
+            TimeSeriesError::MalformedSeries { timestamps, values } => write!(
+                f,
+                "malformed series: {timestamps} timestamps but {values} values"
+            ),
+            TimeSeriesError::UnsortedTimestamps { index } => {
+                write!(f, "timestamps are not strictly increasing at index {index}")
+            }
+            TimeSeriesError::TooFewObservations { required, actual } => write!(
+                f,
+                "too few observations: required {required}, got {actual}"
+            ),
+            TimeSeriesError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            TimeSeriesError::NonFiniteValue { index } => {
+                write!(f, "non-finite value at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimeSeriesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = vec![
+            TimeSeriesError::Empty,
+            TimeSeriesError::LengthMismatch { left: 1, right: 2 },
+            TimeSeriesError::MalformedSeries {
+                timestamps: 3,
+                values: 4,
+            },
+            TimeSeriesError::UnsortedTimestamps { index: 5 },
+            TimeSeriesError::TooFewObservations {
+                required: 10,
+                actual: 2,
+            },
+            TimeSeriesError::InvalidParameter {
+                name: "k",
+                reason: "must be positive".to_string(),
+            },
+            TimeSeriesError::NonFiniteValue { index: 0 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<TimeSeriesError>();
+    }
+}

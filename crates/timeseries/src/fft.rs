@@ -1,0 +1,324 @@
+//! A small radix-2 Cooley–Tukey FFT.
+//!
+//! Sieve's shape-based distance is defined via the normalized
+//! cross-correlation, which k-Shape computes with the Fast Fourier Transform
+//! (§3.2: "Cross correlation is calculated using Fast Fourier
+//! Transformation"). We implement the transform from scratch so that the
+//! reproduction does not depend on external numerics crates.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The purely real complex number `re + 0i`.
+    pub fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude (absolute value).
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// `e^{i theta}` on the unit circle.
+    pub fn from_polar_unit(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Smallest power of two that is `>= n` (returns 1 for `n == 0`).
+pub fn next_power_of_two(n: usize) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    n.next_power_of_two()
+}
+
+/// In-place iterative radix-2 FFT.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two (use [`next_power_of_two`]
+/// and zero-padding to prepare inputs).
+pub fn fft_in_place(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar_unit(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::from_real(1.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// In-place inverse FFT (including the `1/n` scaling).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft_in_place(data: &mut [Complex]) {
+    let n = data.len();
+    for v in data.iter_mut() {
+        *v = v.conj();
+    }
+    fft_in_place(data);
+    let scale = 1.0 / n as f64;
+    for v in data.iter_mut() {
+        *v = Complex::new(v.re * scale, -v.im * scale);
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to `padded_len` (which must be a
+/// power of two at least as large as the signal).
+///
+/// # Panics
+///
+/// Panics if `padded_len` is smaller than `signal.len()` or not a power of
+/// two.
+pub fn fft_real(signal: &[f64], padded_len: usize) -> Vec<Complex> {
+    assert!(padded_len >= signal.len(), "padded length too small");
+    let mut buf: Vec<Complex> = signal.iter().map(|&v| Complex::from_real(v)).collect();
+    buf.resize(padded_len, Complex::default());
+    fft_in_place(&mut buf);
+    buf
+}
+
+/// Full (linear) cross-correlation of `x` and `y` computed via FFT.
+///
+/// The result has length `x.len() + y.len() - 1`. Index `k` corresponds to a
+/// shift of `k - (y.len() - 1)` of `x` relative to `y`, i.e. the centre of
+/// the output is the zero-shift correlation — the same layout as the CC
+/// sequence in the k-Shape paper.
+pub fn cross_correlation(x: &[f64], y: &[f64]) -> Vec<f64> {
+    if x.is_empty() || y.is_empty() {
+        return Vec::new();
+    }
+    let out_len = x.len() + y.len() - 1;
+    let fft_len = next_power_of_two(out_len);
+    let fx = fft_real(x, fft_len);
+    let fy = fft_real(y, fft_len);
+    let mut prod: Vec<Complex> = fx
+        .iter()
+        .zip(fy.iter())
+        .map(|(a, b)| *a * b.conj())
+        .collect();
+    ifft_in_place(&mut prod);
+    // The circular correlation places non-negative shifts at the head and
+    // negative shifts at the tail; rearrange so the output runs from shift
+    // -(m-1) .. (n-1) like a linear correlation.
+    let m = y.len();
+    let mut out = Vec::with_capacity(out_len);
+    for k in 0..out_len {
+        let shift = k as isize - (m as isize - 1);
+        let idx = if shift >= 0 {
+            shift as usize
+        } else {
+            fft_len - shift.unsigned_abs()
+        };
+        out.push(prod[idx].re);
+    }
+    out
+}
+
+/// Naive O(n²) cross-correlation used as a test oracle and for very short
+/// series.
+pub fn cross_correlation_naive(x: &[f64], y: &[f64]) -> Vec<f64> {
+    if x.is_empty() || y.is_empty() {
+        return Vec::new();
+    }
+    let n = x.len();
+    let m = y.len();
+    let mut out = vec![0.0; n + m - 1];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let shift = k as isize - (m as isize - 1);
+        let mut acc = 0.0;
+        for (i, &xi) in x.iter().enumerate() {
+            let j = i as isize - shift;
+            if j >= 0 && (j as usize) < m {
+                acc += xi * y[j as usize];
+            }
+        }
+        *slot = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 8];
+        data[0] = Complex::from_real(1.0);
+        fft_in_place(&mut data);
+        for c in data {
+            assert!((c.re - 1.0).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let original: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64, (i * i) as f64 * 0.1))
+            .collect();
+        let mut data = original.clone();
+        fft_in_place(&mut data);
+        ifft_in_place(&mut data);
+        for (a, b) in data.iter().zip(original.iter()) {
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_parseval_energy_is_preserved() {
+        let signal: Vec<f64> = (0..32).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let spectrum = fft_real(&signal, 32);
+        let time_energy: f64 = signal.iter().map(|v| v * v).sum();
+        let freq_energy: f64 = spectrum.iter().map(|c| c.abs().powi(2)).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn next_power_of_two_bounds() {
+        assert_eq!(next_power_of_two(0), 1);
+        assert_eq!(next_power_of_two(1), 1);
+        assert_eq!(next_power_of_two(5), 8);
+        assert_eq!(next_power_of_two(8), 8);
+        assert_eq!(next_power_of_two(1000), 1024);
+    }
+
+    #[test]
+    fn fft_cross_correlation_matches_naive() {
+        let x = [1.0, 2.0, 3.0, 4.0, 0.5, -1.0];
+        let y = [0.0, 1.0, 0.5, 2.0];
+        let fast = cross_correlation(&x, &y);
+        let slow = cross_correlation_naive(&x, &y);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cross_correlation_peak_identifies_lag() {
+        // y is x delayed by 3 samples: the peak should sit at shift -3
+        // (x must be shifted back to match) i.e. index (m-1) - 3.
+        let x: Vec<f64> = (0..32).map(|i| if i == 5 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = (0..32).map(|i| if i == 8 { 1.0 } else { 0.0 }).collect();
+        let cc = cross_correlation(&x, &y);
+        let (argmax, _) = cc
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let shift = argmax as isize - (y.len() as isize - 1);
+        assert_eq!(shift, -3);
+    }
+
+    #[test]
+    fn cross_correlation_of_empty_is_empty() {
+        assert!(cross_correlation(&[], &[1.0]).is_empty());
+        assert!(cross_correlation(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn complex_arithmetic_identities() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex::new(4.0, 1.5));
+        let prod = a * b;
+        assert!((prod.re - (-4.0)).abs() < 1e-12);
+        assert!((prod.im - (-5.5)).abs() < 1e-12);
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Normalization helpers.
+//!
+//! k-Shape (and therefore Sieve's clustering step) compares time series after
+//! *z-normalization* so that metrics with different units and amplitudes
+//! become comparable (§3.2 of the paper: "k-Shape is robust against
+//! distortion in amplitude because data is normalized via z-normalization").
+
+use crate::stats;
+
+/// Returns the z-normalized copy of `data`: `(x - mean) / std`.
+///
+/// A constant series (zero standard deviation) maps to all zeros, which is
+/// the conventional behaviour in the k-Shape reference implementation.
+///
+/// ```
+/// let z = sieve_timeseries::normalize::z_normalize(&[2.0, 4.0, 6.0]);
+/// assert!(z[1].abs() < 1e-12);
+/// ```
+pub fn z_normalize(data: &[f64]) -> Vec<f64> {
+    let m = stats::mean(data);
+    let s = stats::std_dev(data);
+    if s == 0.0 {
+        return vec![0.0; data.len()];
+    }
+    data.iter().map(|v| (v - m) / s).collect()
+}
+
+/// In-place z-normalization.
+pub fn z_normalize_in_place(data: &mut [f64]) {
+    let m = stats::mean(data);
+    let s = stats::std_dev(data);
+    if s == 0.0 {
+        for v in data.iter_mut() {
+            *v = 0.0;
+        }
+        return;
+    }
+    for v in data.iter_mut() {
+        *v = (*v - m) / s;
+    }
+}
+
+/// Min-max normalization into `[0, 1]`. A constant series maps to all zeros.
+pub fn min_max_normalize(data: &[f64]) -> Vec<f64> {
+    let (Some(lo), Some(hi)) = (stats::min(data), stats::max(data)) else {
+        return Vec::new();
+    };
+    let range = hi - lo;
+    if range == 0.0 {
+        return vec![0.0; data.len()];
+    }
+    data.iter().map(|v| (v - lo) / range).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn z_normalized_series_has_zero_mean_unit_variance() {
+        let data = [1.0, 5.0, 9.0, 2.0, 8.0, 3.0];
+        let z = z_normalize(&data);
+        assert!(stats::mean(&z).abs() < 1e-12);
+        assert!((stats::variance(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_normalize_constant_series_is_all_zero() {
+        let z = z_normalize(&[4.0, 4.0, 4.0]);
+        assert_eq!(z, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn z_normalize_in_place_matches_copy_version() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let copy = z_normalize(&data);
+        let mut inplace = data.to_vec();
+        z_normalize_in_place(&mut inplace);
+        for (a, b) in copy.iter().zip(inplace.iter()) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn z_normalize_is_scale_and_shift_invariant() {
+        let data = [1.0, 2.0, 7.0, 3.0];
+        let scaled: Vec<f64> = data.iter().map(|v| v * 13.0 + 100.0).collect();
+        let za = z_normalize(&data);
+        let zb = z_normalize(&scaled);
+        for (a, b) in za.iter().zip(zb.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_max_maps_to_unit_interval() {
+        let n = min_max_normalize(&[10.0, 20.0, 15.0]);
+        assert_eq!(n, vec![0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn min_max_of_constant_is_zero() {
+        assert_eq!(min_max_normalize(&[7.0, 7.0]), vec![0.0, 0.0]);
+        assert!(min_max_normalize(&[]).is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Discretization of irregular observations onto a fixed grid.
+//!
+//! Monitoring systems retrieve metrics at slightly different points in time;
+//! Sieve discretizes them onto a common 500 ms grid before clustering and
+//! causality testing (§3.2: "we discretize using 500ms instead of the
+//! original 2s used in the original k-Shape paper"). This module resamples a
+//! [`TimeSeries`] onto such a grid using cubic-spline (or linear)
+//! interpolation and aligns pairs of series onto a shared grid.
+
+use crate::interpolate::{linear_interpolate, CubicSpline};
+use crate::{Result, TimeSeries, TimeSeriesError};
+
+/// The sampling interval Sieve uses when discretizing metrics (500 ms).
+pub const DEFAULT_INTERVAL_MS: u64 = 500;
+
+/// Resamples `series` onto a regular grid of `interval_ms` covering the
+/// original time span.
+///
+/// Grid points between observations are interpolated with a natural cubic
+/// spline when at least three observations exist, otherwise linearly.
+///
+/// # Errors
+///
+/// * [`TimeSeriesError::Empty`] for an empty input series.
+/// * [`TimeSeriesError::InvalidParameter`] when `interval_ms` is zero.
+pub fn resample(series: &TimeSeries, interval_ms: u64) -> Result<TimeSeries> {
+    if series.is_empty() {
+        return Err(TimeSeriesError::Empty);
+    }
+    if interval_ms == 0 {
+        return Err(TimeSeriesError::InvalidParameter {
+            name: "interval_ms",
+            reason: "must be positive".to_string(),
+        });
+    }
+    let start = series.start_ms().expect("non-empty");
+    let end = series.end_ms().expect("non-empty");
+    let xs: Vec<f64> = series.timestamps().iter().map(|&t| t as f64).collect();
+    let ys = series.values();
+
+    let n_points = ((end - start) / interval_ms) as usize + 1;
+    let grid: Vec<u64> = (0..n_points as u64)
+        .map(|i| start + i * interval_ms)
+        .collect();
+
+    let values: Vec<f64> = if xs.len() >= 3 {
+        let spline = CubicSpline::fit(&xs, ys)?;
+        grid.iter().map(|&t| spline.evaluate(t as f64)).collect()
+    } else {
+        grid.iter()
+            .map(|&t| linear_interpolate(&xs, ys, t as f64).unwrap_or(ys[0]))
+            .collect()
+    };
+    TimeSeries::from_parts(grid, values)
+}
+
+/// Resamples onto the default 500 ms grid.
+///
+/// # Errors
+///
+/// Same as [`resample`].
+pub fn resample_default(series: &TimeSeries) -> Result<TimeSeries> {
+    resample(series, DEFAULT_INTERVAL_MS)
+}
+
+/// Aligns two series onto a shared regular grid spanning the overlap of
+/// their time ranges, returning `(grid_timestamps, a_values, b_values)`.
+///
+/// # Errors
+///
+/// * [`TimeSeriesError::Empty`] if either series is empty or the series do
+///   not overlap in time.
+/// * [`TimeSeriesError::InvalidParameter`] when `interval_ms` is zero.
+pub fn align(
+    a: &TimeSeries,
+    b: &TimeSeries,
+    interval_ms: u64,
+) -> Result<(Vec<u64>, Vec<f64>, Vec<f64>)> {
+    if a.is_empty() || b.is_empty() {
+        return Err(TimeSeriesError::Empty);
+    }
+    if interval_ms == 0 {
+        return Err(TimeSeriesError::InvalidParameter {
+            name: "interval_ms",
+            reason: "must be positive".to_string(),
+        });
+    }
+    let start = a.start_ms().unwrap().max(b.start_ms().unwrap());
+    let end = a.end_ms().unwrap().min(b.end_ms().unwrap());
+    if end < start {
+        return Err(TimeSeriesError::Empty);
+    }
+    let ra = resample(a, interval_ms)?;
+    let rb = resample(b, interval_ms)?;
+    let wa = ra.window(start, end + 1);
+    let wb = rb.window(start, end + 1);
+    let n = wa.len().min(wb.len());
+    Ok((
+        wa.timestamps()[..n].to_vec(),
+        wa.values()[..n].to_vec(),
+        wb.values()[..n].to_vec(),
+    ))
+}
+
+/// Downsamples by averaging consecutive non-overlapping buckets of
+/// `bucket_ms` width; useful for coarse visualisation and the monitoring
+/// cost model.
+///
+/// # Errors
+///
+/// * [`TimeSeriesError::Empty`] for an empty input.
+/// * [`TimeSeriesError::InvalidParameter`] when `bucket_ms` is zero.
+pub fn downsample_mean(series: &TimeSeries, bucket_ms: u64) -> Result<TimeSeries> {
+    if series.is_empty() {
+        return Err(TimeSeriesError::Empty);
+    }
+    if bucket_ms == 0 {
+        return Err(TimeSeriesError::InvalidParameter {
+            name: "bucket_ms",
+            reason: "must be positive".to_string(),
+        });
+    }
+    let start = series.start_ms().unwrap();
+    let mut out_ts = Vec::new();
+    let mut out_vals = Vec::new();
+    let mut bucket_start = start;
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    for (t, v) in series.iter() {
+        while t >= bucket_start + bucket_ms {
+            if count > 0 {
+                out_ts.push(bucket_start);
+                out_vals.push(acc / count as f64);
+            }
+            bucket_start += bucket_ms;
+            acc = 0.0;
+            count = 0;
+        }
+        acc += v;
+        count += 1;
+    }
+    if count > 0 {
+        out_ts.push(bucket_start);
+        out_vals.push(acc / count as f64);
+    }
+    TimeSeries::from_parts(out_ts, out_vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resample_preserves_regular_series() {
+        let ts = TimeSeries::from_values(0, 500, vec![1.0, 2.0, 3.0, 4.0]);
+        let r = resample(&ts, 500).unwrap();
+        assert_eq!(r.timestamps(), ts.timestamps());
+        for (a, b) in r.values().iter().zip(ts.values()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn resample_densifies_coarse_series() {
+        // 2 s sampling resampled to 500 ms: 4x as many intervals.
+        let ts = TimeSeries::from_values(0, 2000, vec![0.0, 4.0, 8.0, 12.0]);
+        let r = resample(&ts, 500).unwrap();
+        assert_eq!(r.len(), 13);
+        // The underlying signal is linear, so interior points are exact.
+        assert!((r.values()[1] - 1.0).abs() < 1e-9);
+        assert!((r.values()[6] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_rejects_bad_input() {
+        assert!(resample(&TimeSeries::new(), 500).is_err());
+        let ts = TimeSeries::from_values(0, 100, vec![1.0, 2.0]);
+        assert!(resample(&ts, 0).is_err());
+    }
+
+    #[test]
+    fn resample_two_point_series_uses_linear() {
+        let ts = TimeSeries::from_values(0, 1000, vec![0.0, 10.0]);
+        let r = resample(&ts, 500).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!((r.values()[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn align_intersects_time_ranges() {
+        let a = TimeSeries::from_values(0, 500, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let b = TimeSeries::from_values(1000, 500, vec![10.0, 11.0, 12.0, 13.0]);
+        let (grid, va, vb) = align(&a, &b, 500).unwrap();
+        assert_eq!(grid.first().copied(), Some(1000));
+        assert_eq!(va.len(), vb.len());
+        assert_eq!(va.len(), 4);
+        assert!((va[0] - 2.0).abs() < 1e-9);
+        assert!((vb[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn align_fails_without_overlap() {
+        let a = TimeSeries::from_values(0, 100, vec![1.0, 2.0]);
+        let b = TimeSeries::from_values(10_000, 100, vec![1.0, 2.0]);
+        assert!(align(&a, &b, 100).is_err());
+    }
+
+    #[test]
+    fn downsample_mean_averages_buckets() {
+        let ts = TimeSeries::from_values(0, 100, vec![1.0, 3.0, 5.0, 7.0]);
+        let d = downsample_mean(&ts, 200).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!((d.values()[0] - 2.0).abs() < 1e-9);
+        assert!((d.values()[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downsample_handles_sparse_series() {
+        let ts = TimeSeries::from_parts(vec![0, 1000, 5000], vec![1.0, 2.0, 3.0]).unwrap();
+        let d = downsample_mean(&ts, 1000).unwrap();
+        assert_eq!(d.len(), 3);
+    }
+}

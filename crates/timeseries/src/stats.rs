@@ -1,0 +1,239 @@
+//! Descriptive statistics over slices of `f64` samples.
+//!
+//! These helpers back the variance pre-filter of Sieve's metric-reduction
+//! step (§3.2, "Filtering unvarying metrics": drop metrics with
+//! `var <= 0.002`) and the regression machinery in `sieve-causality`.
+
+/// Arithmetic mean of `data`. Returns `0.0` for an empty slice.
+///
+/// ```
+/// assert_eq!(sieve_timeseries::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Population variance (divides by `n`). Returns `0.0` for fewer than two
+/// observations.
+pub fn variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|v| (v - m).powi(2)).sum::<f64>() / data.len() as f64
+}
+
+/// Sample variance (divides by `n - 1`). Returns `0.0` for fewer than two
+/// observations.
+pub fn sample_variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (data.len() - 1) as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(data: &[f64]) -> f64 {
+    variance(data).sqrt()
+}
+
+/// Minimum value; `None` for an empty slice.
+pub fn min(data: &[f64]) -> Option<f64> {
+    data.iter().copied().fold(None, |acc, v| match acc {
+        None => Some(v),
+        Some(m) => Some(if v < m { v } else { m }),
+    })
+}
+
+/// Maximum value; `None` for an empty slice.
+pub fn max(data: &[f64]) -> Option<f64> {
+    data.iter().copied().fold(None, |acc, v| match acc {
+        None => Some(v),
+        Some(m) => Some(if v > m { v } else { m }),
+    })
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`. Returns `None` for an
+/// empty slice.
+///
+/// This is the estimator used to evaluate the "90% of request latencies below
+/// 1000 ms" SLA condition of the autoscaling case study (§4.1, §6.2).
+pub fn percentile(data: &[f64], p: f64) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (50th percentile).
+pub fn median(data: &[f64]) -> Option<f64> {
+    percentile(data, 50.0)
+}
+
+/// Population covariance of two equally long slices; `0.0` if the slices are
+/// shorter than two observations or have different lengths.
+pub fn covariance(x: &[f64], y: &[f64]) -> f64 {
+    if x.len() != y.len() || x.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    x.iter()
+        .zip(y.iter())
+        .map(|(a, b)| (a - mx) * (b - my))
+        .sum::<f64>()
+        / x.len() as f64
+}
+
+/// Pearson correlation coefficient; `0.0` when either series is constant or
+/// the lengths differ.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let sx = std_dev(x);
+    let sy = std_dev(y);
+    if sx == 0.0 || sy == 0.0 {
+        return 0.0;
+    }
+    covariance(x, y) / (sx * sy)
+}
+
+/// Autocorrelation of `data` at a given `lag` (biased estimator, normalised
+/// by the lag-0 autocovariance). Returns `0.0` when it is not defined.
+pub fn autocorrelation(data: &[f64], lag: usize) -> f64 {
+    let n = data.len();
+    if n < 2 || lag >= n {
+        return 0.0;
+    }
+    let m = mean(data);
+    let denom: f64 = data.iter().map(|v| (v - m).powi(2)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (data[i] - m) * (data[i + lag] - m))
+        .sum();
+    num / denom
+}
+
+/// Sum of squared values.
+pub fn sum_of_squares(data: &[f64]) -> f64 {
+    data.iter().map(|v| v * v).sum()
+}
+
+/// Residual sum of squares between observations and fitted values.
+///
+/// Both slices must have equal length; extra elements in the longer slice are
+/// ignored.
+pub fn residual_sum_of_squares(observed: &[f64], fitted: &[f64]) -> f64 {
+    observed
+        .iter()
+        .zip(fitted.iter())
+        .map(|(o, f)| (o - f).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // Population variance of [2, 4, 4, 4, 5, 5, 7, 9] is 4.
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_close(variance(&data), 4.0, 1e-12);
+        assert_close(std_dev(&data), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn sample_variance_uses_n_minus_one() {
+        let data = [1.0, 2.0, 3.0];
+        assert_close(variance(&data), 2.0 / 3.0, 1e-12);
+        assert_close(sample_variance(&data), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn constant_series_has_zero_variance() {
+        let data = vec![5.0; 100];
+        assert_eq!(variance(&data), 0.0);
+    }
+
+    #[test]
+    fn min_max_handle_negatives() {
+        let data = [-3.0, 7.5, 0.0];
+        assert_eq!(min(&data), Some(-3.0));
+        assert_eq!(max(&data), Some(7.5));
+        assert_eq!(min(&[]), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_close(percentile(&data, 0.0).unwrap(), 1.0, 1e-12);
+        assert_close(percentile(&data, 100.0).unwrap(), 4.0, 1e-12);
+        assert_close(percentile(&data, 50.0).unwrap(), 2.5, 1e-12);
+        assert_close(percentile(&data, 90.0).unwrap(), 3.7, 1e-12);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert_close(pearson(&x, &y), 1.0, 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert_close(pearson(&x, &neg), -1.0, 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_is_one_at_lag_zero() {
+        let data = [1.0, 3.0, 2.0, 5.0, 4.0];
+        assert_close(autocorrelation(&data, 0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series_is_negative_at_lag_one() {
+        let data: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&data, 1) < -0.9);
+    }
+
+    #[test]
+    fn rss_of_perfect_fit_is_zero() {
+        let obs = [1.0, 2.0, 3.0];
+        assert_eq!(residual_sum_of_squares(&obs, &obs), 0.0);
+        assert_close(residual_sum_of_squares(&obs, &[1.0, 2.0, 4.0]), 1.0, 1e-12);
+    }
+}

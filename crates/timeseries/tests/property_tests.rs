@@ -1,0 +1,130 @@
+//! Property-based tests for the time-series primitives.
+
+use proptest::prelude::*;
+use sieve_timeseries::{diff, fft, interpolate, normalize, resample, sbd, stats, TimeSeries};
+
+fn finite_vec(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e3f64..1.0e3f64, min_len..=max_len)
+}
+
+proptest! {
+    #[test]
+    fn z_normalization_yields_zero_mean(data in finite_vec(2, 200)) {
+        let z = normalize::z_normalize(&data);
+        prop_assert!(stats::mean(&z).abs() < 1e-6);
+    }
+
+    #[test]
+    fn z_normalization_yields_unit_variance_or_zero(data in finite_vec(2, 200)) {
+        let z = normalize::z_normalize(&data);
+        let var = stats::variance(&z);
+        // Either the input was (numerically) constant, or variance is 1.
+        prop_assert!(var.abs() < 1e-6 || (var - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variance_is_non_negative(data in finite_vec(0, 100)) {
+        prop_assert!(stats::variance(&data) >= 0.0);
+        prop_assert!(stats::sample_variance(&data) >= 0.0);
+    }
+
+    #[test]
+    fn percentile_is_within_min_max(data in finite_vec(1, 100), p in 0.0f64..100.0) {
+        let v = stats::percentile(&data, p).unwrap();
+        let lo = stats::min(&data).unwrap();
+        let hi = stats::max(&data).unwrap();
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn pearson_is_bounded(x in finite_vec(2, 100), y in finite_vec(2, 100)) {
+        let n = x.len().min(y.len());
+        let r = stats::pearson(&x[..n], &y[..n]);
+        prop_assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn fft_cross_correlation_matches_naive(
+        x in finite_vec(1, 40),
+        y in finite_vec(1, 40),
+    ) {
+        let fast = fft::cross_correlation(&x, &y);
+        let slow = fft::cross_correlation_naive(&x, &y);
+        prop_assert_eq!(fast.len(), slow.len());
+        let scale = 1.0 + slow.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            prop_assert!((a - b).abs() / scale < 1e-6, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn sbd_is_in_valid_range(x in finite_vec(2, 100), y in finite_vec(2, 100)) {
+        let d = sbd::sbd(&x, &y).unwrap();
+        prop_assert!((-1e-9..=2.0 + 1e-9).contains(&d), "sbd out of range: {}", d);
+    }
+
+    #[test]
+    fn sbd_of_series_with_itself_is_zero(x in finite_vec(2, 100)) {
+        let d = sbd::sbd(&x, &x).unwrap();
+        // Constant series have SBD 1 against everything including themselves
+        // (defined that way); otherwise the self-distance must vanish.
+        if stats::variance(&x) > 1e-12 {
+            prop_assert!(d.abs() < 1e-6, "self distance {}", d);
+        }
+    }
+
+    #[test]
+    fn sbd_is_symmetric(x in finite_vec(2, 60), y in finite_vec(2, 60)) {
+        let dxy = sbd::sbd(&x, &y).unwrap();
+        let dyx = sbd::sbd(&y, &x).unwrap();
+        prop_assert!((dxy - dyx).abs() < 1e-6);
+    }
+
+    #[test]
+    fn first_difference_reduces_length_by_one(data in finite_vec(2, 100)) {
+        prop_assert_eq!(diff::first_difference(&data).len(), data.len() - 1);
+    }
+
+    #[test]
+    fn differencing_a_cumulative_sum_recovers_the_signal(data in finite_vec(1, 100)) {
+        let mut cumsum = Vec::with_capacity(data.len() + 1);
+        let mut acc = 0.0;
+        cumsum.push(0.0);
+        for v in &data {
+            acc += v;
+            cumsum.push(acc);
+        }
+        let recovered = diff::first_difference(&cumsum);
+        for (a, b) in recovered.iter().zip(data.iter()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spline_passes_through_all_knots(ys in finite_vec(3, 30)) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let spline = interpolate::CubicSpline::fit(&xs, &ys).unwrap();
+        let scale = 1.0 + ys.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            prop_assert!((spline.evaluate(*x) - y).abs() / scale < 1e-6);
+        }
+    }
+
+    #[test]
+    fn resampling_keeps_endpoints(values in finite_vec(2, 50), interval in 1u64..5000) {
+        let ts = TimeSeries::from_values(0, 1000, values.clone());
+        let r = resample::resample(&ts, interval).unwrap();
+        prop_assert_eq!(r.start_ms(), ts.start_ms());
+        // First value must match exactly (grid starts at the first sample).
+        let scale = 1.0 + values.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        prop_assert!((r.values()[0] - values[0]).abs() / scale < 1e-6);
+    }
+
+    #[test]
+    fn timeseries_roundtrips_through_parts(values in finite_vec(0, 50)) {
+        let ts = TimeSeries::from_values(10, 250, values.clone());
+        let (t, v) = ts.clone().into_parts();
+        let rebuilt = TimeSeries::from_parts(t, v).unwrap();
+        prop_assert_eq!(rebuilt, ts);
+    }
+}

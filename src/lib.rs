@@ -1,0 +1,86 @@
+//! # Sieve — actionable insights from monitored metrics in distributed systems
+//!
+//! A from-scratch Rust reproduction of *Sieve: Actionable Insights from
+//! Monitored Metrics in Distributed Systems* (Thalheim et al.,
+//! ACM/IFIP/USENIX Middleware 2017), including every substrate the paper's
+//! evaluation depends on.
+//!
+//! Sieve turns the thousands of metrics a microservices-based application
+//! exports into something an operator can act on, in three steps:
+//!
+//! 1. **Load the application** and record all metrics plus the component
+//!    call graph ([`simulator`], [`apps`]);
+//! 2. **Reduce the metric space** by filtering unvarying metrics and
+//!    clustering the rest with k-Shape under the shape-based distance,
+//!    keeping one representative metric per cluster ([`cluster`],
+//!    [`core::reduce`]);
+//! 3. **Identify dependencies** between the representative metrics of
+//!    communicating components with Granger-causality tests
+//!    ([`causality`], [`core::dependencies`]), yielding a metric dependency
+//!    graph ([`graph`]).
+//!
+//! Two case-study engines consume the resulting model: orchestration of
+//! autoscaling ([`autoscale`]) and root cause analysis ([`rca`]).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use sieve::apps::{sharelatex, MetricRichness};
+//! use sieve::core::config::SieveConfig;
+//! use sieve::core::pipeline::Sieve;
+//! use sieve::simulator::workload::Workload;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Model the application (here: the ShareLatex-like deployment).
+//! let app = sharelatex::app_spec(MetricRichness::Minimal);
+//!
+//! // 2.–3. Run the Sieve pipeline: load, reduce, identify dependencies.
+//! let model = Sieve::new(SieveConfig::default())
+//!     .analyze_application(&app, &Workload::randomized(60.0, 1), 42)?;
+//!
+//! println!(
+//!     "{} metrics -> {} representatives ({}x reduction), {} dependency edges",
+//!     model.total_metric_count(),
+//!     model.total_representative_count(),
+//!     model.overall_reduction_factor().round(),
+//!     model.dependency_graph.edge_count()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for the full autoscaling and RCA workflows
+//! and the `sieve-bench` crate for the harness that regenerates every table
+//! and figure of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sieve_apps as apps;
+pub use sieve_autoscale as autoscale;
+pub use sieve_causality as causality;
+pub use sieve_cluster as cluster;
+pub use sieve_core as core;
+pub use sieve_graph as graph;
+pub use sieve_rca as rca;
+pub use sieve_simulator as simulator;
+pub use sieve_timeseries as timeseries;
+
+/// The most commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use sieve_apps::MetricRichness;
+    pub use sieve_autoscale::{AutoscaleEngine, AutoscalingReport, ScalingRule, SlaCondition};
+    pub use sieve_causality::granger::{granger_causes, GrangerConfig, GrangerResult};
+    pub use sieve_cluster::kshape::{KShape, KShapeConfig, KShapeResult};
+    pub use sieve_core::config::SieveConfig;
+    pub use sieve_core::model::{ComponentClustering, MetricCluster, SieveModel};
+    pub use sieve_core::pipeline::{load_application, Sieve};
+    pub use sieve_graph::{CallGraph, DependencyEdge, DependencyGraph};
+    pub use sieve_rca::{RcaConfig, RcaEngine, RcaReport};
+    pub use sieve_simulator::app::{AppSpec, CallSpec, ComponentSpec};
+    pub use sieve_simulator::engine::{SimConfig, Simulation};
+    pub use sieve_simulator::metrics::{MetricBehavior, MetricSpec};
+    pub use sieve_simulator::store::{MetricId, MetricStore};
+    pub use sieve_simulator::workload::Workload;
+    pub use sieve_timeseries::TimeSeries;
+}
