@@ -16,8 +16,7 @@
 //! changes shape and some call edges change latency or disappear.
 
 use crate::profiles::{
-    datastore_metrics, http_service_metrics, message_queue_metrics, system_metrics,
-    MetricRichness,
+    datastore_metrics, http_service_metrics, message_queue_metrics, system_metrics, MetricRichness,
 };
 use sieve_simulator::app::{AppSpec, CallSpec, ComponentSpec};
 use sieve_simulator::fault::{Fault, FaultScenario};
@@ -292,7 +291,11 @@ pub fn app_spec(richness: MetricRichness) -> AppSpec {
         ("neutron-server", 0.4),
         ("nova-novncproxy", 0.05),
     ] {
-        app.add_call(CallSpec::new("haproxy", callee).with_fanout(fanout).with_lag_ms(500));
+        app.add_call(
+            CallSpec::new("haproxy", callee)
+                .with_fanout(fanout)
+                .with_lag_ms(500),
+        );
     }
 
     // Nova boot workflow.
@@ -319,7 +322,11 @@ pub fn app_spec(richness: MetricRichness) -> AppSpec {
         ("neutron-server", "neutron-ovs-agent", 0.9, 1000),
         ("neutron-server", "keystone", 0.3, 500),
     ] {
-        app.add_call(CallSpec::new(caller, callee).with_fanout(fanout).with_lag_ms(lag));
+        app.add_call(
+            CallSpec::new(caller, callee)
+                .with_fanout(fanout)
+                .with_lag_ms(lag),
+        );
     }
 
     app
@@ -535,7 +542,8 @@ mod tests {
         let workload = Workload::constant(40.0);
         let config = SimConfig::new(7).with_duration_ms(60_000);
 
-        let mut correct = Simulation::new(app_spec(MetricRichness::Minimal), workload.clone(), config).unwrap();
+        let mut correct =
+            Simulation::new(app_spec(MetricRichness::Minimal), workload.clone(), config).unwrap();
         correct.run_to_completion();
         let correct_errors = correct
             .store()
@@ -543,7 +551,8 @@ mod tests {
             .unwrap();
         assert!(sieve_timeseries::stats::variance(correct_errors.values()) < 1e-9);
 
-        let mut faulty = Simulation::new(faulty_app_spec(MetricRichness::Minimal), workload, config).unwrap();
+        let mut faulty =
+            Simulation::new(faulty_app_spec(MetricRichness::Minimal), workload, config).unwrap();
         faulty.run_to_completion();
         let faulty_errors = faulty
             .store()

@@ -7,11 +7,10 @@
 //! the Sieve pipeline cares about: load-following gauges, saturating
 //! latencies, monotone counters, constants (to be filtered) and pure noise.
 
-use serde::{Deserialize, Serialize};
 use sieve_simulator::metrics::{MetricBehavior, MetricSpec};
 
 /// How many metrics each component exports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricRichness {
     /// A handful of metrics per component; keeps tests fast.
     Minimal,
@@ -37,14 +36,26 @@ pub fn system_metrics(load_gain: f64, richness: MetricRichness) -> Vec<MetricSpe
                 ceiling: None,
             },
         ),
-        MetricSpec::counter("net_bytes_recv_total", MetricBehavior::counter(load_gain * 900.0)),
-        MetricSpec::counter("net_bytes_sent_total", MetricBehavior::counter(load_gain * 1400.0)),
+        MetricSpec::counter(
+            "net_bytes_recv_total",
+            MetricBehavior::counter(load_gain * 900.0),
+        ),
+        MetricSpec::counter(
+            "net_bytes_sent_total",
+            MetricBehavior::counter(load_gain * 1400.0),
+        ),
     ];
     if matches!(richness, MetricRichness::Full) {
         metrics.extend(vec![
             MetricSpec::gauge("cpu_usage_user", MetricBehavior::cpu_like(load_gain * 0.7)),
-            MetricSpec::gauge("cpu_usage_system", MetricBehavior::cpu_like(load_gain * 0.3)),
-            MetricSpec::gauge("cpu_usage_iowait", MetricBehavior::cpu_like(load_gain * 0.1)),
+            MetricSpec::gauge(
+                "cpu_usage_system",
+                MetricBehavior::cpu_like(load_gain * 0.3),
+            ),
+            MetricSpec::gauge(
+                "cpu_usage_iowait",
+                MetricBehavior::cpu_like(load_gain * 0.1),
+            ),
             MetricSpec::gauge(
                 "memory_rss_bytes",
                 MetricBehavior::LoadProportional {
@@ -65,10 +76,22 @@ pub fn system_metrics(load_gain: f64, richness: MetricRichness) -> Vec<MetricSpe
                     ceiling: None,
                 },
             ),
-            MetricSpec::counter("net_packets_recv_total", MetricBehavior::counter(load_gain * 12.0)),
-            MetricSpec::counter("net_packets_sent_total", MetricBehavior::counter(load_gain * 15.0)),
-            MetricSpec::counter("disk_read_bytes_total", MetricBehavior::counter(load_gain * 300.0)),
-            MetricSpec::counter("disk_write_bytes_total", MetricBehavior::counter(load_gain * 800.0)),
+            MetricSpec::counter(
+                "net_packets_recv_total",
+                MetricBehavior::counter(load_gain * 12.0),
+            ),
+            MetricSpec::counter(
+                "net_packets_sent_total",
+                MetricBehavior::counter(load_gain * 15.0),
+            ),
+            MetricSpec::counter(
+                "disk_read_bytes_total",
+                MetricBehavior::counter(load_gain * 300.0),
+            ),
+            MetricSpec::counter(
+                "disk_write_bytes_total",
+                MetricBehavior::counter(load_gain * 800.0),
+            ),
             MetricSpec::counter(
                 "context_switches_total",
                 MetricBehavior::counter(load_gain * 40.0),
@@ -76,7 +99,10 @@ pub fn system_metrics(load_gain: f64, richness: MetricRichness) -> Vec<MetricSpe
             // Constants that the variance filter should drop.
             MetricSpec::gauge("open_file_limit", MetricBehavior::constant(65536.0)),
             MetricSpec::gauge("num_cpus", MetricBehavior::constant(4.0)),
-            MetricSpec::gauge("container_memory_limit_bytes", MetricBehavior::constant(8.0e9)),
+            MetricSpec::gauge(
+                "container_memory_limit_bytes",
+                MetricBehavior::constant(8.0e9),
+            ),
             // Load-independent noise and periodic housekeeping signals.
             MetricSpec::gauge(
                 "clock_skew_ms",
@@ -243,10 +269,7 @@ pub fn message_queue_metrics(richness: MetricRichness) -> Vec<MetricSpec> {
                 "message_publish_rate",
                 MetricBehavior::load_proportional(3.1),
             ),
-            MetricSpec::gauge(
-                "memory_watermark_ratio",
-                MetricBehavior::constant(0.4),
-            ),
+            MetricSpec::gauge("memory_watermark_ratio", MetricBehavior::constant(0.4)),
         ]);
     }
     metrics

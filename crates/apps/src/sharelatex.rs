@@ -13,9 +13,7 @@
 //! `http-requests_Project_id_GET_mean`, is exported by the `web` component
 //! as a saturating latency metric.
 
-use crate::profiles::{
-    datastore_metrics, http_service_metrics, system_metrics, MetricRichness,
-};
+use crate::profiles::{datastore_metrics, http_service_metrics, system_metrics, MetricRichness};
 use sieve_simulator::app::{AppSpec, CallSpec, ComponentSpec};
 use sieve_simulator::metrics::{MetricBehavior, MetricSpec};
 
@@ -170,8 +168,16 @@ pub fn app_spec(richness: MetricRichness) -> AppSpec {
     );
 
     // Topology: haproxy fronts web and the websocket layer.
-    app.add_call(CallSpec::new("haproxy", "web").with_fanout(1.0).with_lag_ms(500));
-    app.add_call(CallSpec::new("haproxy", "real-time").with_fanout(0.5).with_lag_ms(500));
+    app.add_call(
+        CallSpec::new("haproxy", "web")
+            .with_fanout(1.0)
+            .with_lag_ms(500),
+    );
+    app.add_call(
+        CallSpec::new("haproxy", "real-time")
+            .with_fanout(0.5)
+            .with_lag_ms(500),
+    );
 
     // web fans out to the feature services and the datastores.
     for (callee, fanout) in [
@@ -188,12 +194,24 @@ pub fn app_spec(richness: MetricRichness) -> AppSpec {
         ("redis", 1.5),
         ("postgresql", 0.4),
     ] {
-        app.add_call(CallSpec::new("web", callee).with_fanout(fanout).with_lag_ms(500));
+        app.add_call(
+            CallSpec::new("web", callee)
+                .with_fanout(fanout)
+                .with_lag_ms(500),
+        );
     }
 
     // real-time pushes edits through doc-updater and Redis pub/sub.
-    app.add_call(CallSpec::new("real-time", "doc-updater").with_fanout(0.9).with_lag_ms(500));
-    app.add_call(CallSpec::new("real-time", "redis").with_fanout(1.2).with_lag_ms(500));
+    app.add_call(
+        CallSpec::new("real-time", "doc-updater")
+            .with_fanout(0.9)
+            .with_lag_ms(500),
+    );
+    app.add_call(
+        CallSpec::new("real-time", "redis")
+            .with_fanout(1.2)
+            .with_lag_ms(500),
+    );
 
     // Feature services persist into the datastores.
     for (caller, callee, fanout) in [
@@ -209,7 +227,11 @@ pub fn app_spec(richness: MetricRichness) -> AppSpec {
         ("clsi", "postgresql", 0.5),
         ("filestore", "mongodb", 0.4),
     ] {
-        app.add_call(CallSpec::new(caller, callee).with_fanout(fanout).with_lag_ms(1000));
+        app.add_call(
+            CallSpec::new(caller, callee)
+                .with_fanout(fanout)
+                .with_lag_ms(1000),
+        );
     }
 
     app
@@ -261,9 +283,15 @@ mod tests {
     fn topology_connects_haproxy_through_web_to_the_datastores() {
         let app = app_spec(MetricRichness::Minimal);
         let calls = app.calls();
-        assert!(calls.iter().any(|c| c.caller == "haproxy" && c.callee == "web"));
-        assert!(calls.iter().any(|c| c.caller == "web" && c.callee == "mongodb"));
-        assert!(calls.iter().any(|c| c.caller == "doc-updater" && c.callee == "redis"));
+        assert!(calls
+            .iter()
+            .any(|c| c.caller == "haproxy" && c.callee == "web"));
+        assert!(calls
+            .iter()
+            .any(|c| c.caller == "web" && c.callee == "mongodb"));
+        assert!(calls
+            .iter()
+            .any(|c| c.caller == "doc-updater" && c.callee == "redis"));
         // No component calls haproxy (it is the entrypoint).
         assert!(calls.iter().all(|c| c.callee != "haproxy"));
     }

@@ -52,7 +52,7 @@ pub fn calibrate_thresholds(
     let component_exists = spec.component(&metric.component).is_some();
     if !component_exists {
         return Err(SimulatorError::UnknownComponent {
-            name: metric.component.clone(),
+            name: metric.component.to_string(),
         });
     }
     let metric_exists = spec
@@ -82,7 +82,10 @@ pub fn calibrate_thresholds(
         });
     }
 
-    let observed_max = pairs.iter().map(|(v, _)| *v).fold(f64::NEG_INFINITY, f64::max);
+    let observed_max = pairs
+        .iter()
+        .map(|(v, _)| *v)
+        .fold(f64::NEG_INFINITY, f64::max);
     let observed_min = pairs.iter().map(|(v, _)| *v).fold(f64::INFINITY, f64::min);
 
     // Both thresholds are anchored on *latency* levels and translated into
@@ -167,16 +170,14 @@ mod tests {
                     "front_latency_ms",
                     MetricBehavior::latency(300.0, 70.0),
                 ))
-                .with_metric(MetricSpec::gauge("front_cpu", MetricBehavior::cpu_like(1.0))),
-        );
-        app.add_component(
-            ComponentSpec::new("db")
-                .with_capacity(150.0)
                 .with_metric(MetricSpec::gauge(
-                    "db_queries",
-                    MetricBehavior::load_proportional(2.0),
+                    "front_cpu",
+                    MetricBehavior::cpu_like(1.0),
                 )),
         );
+        app.add_component(ComponentSpec::new("db").with_capacity(150.0).with_metric(
+            MetricSpec::gauge("db_queries", MetricBehavior::load_proportional(2.0)),
+        ));
         app.add_call(CallSpec::new("front", "db"));
         app
     }
@@ -188,7 +189,10 @@ mod tests {
         let t = calibrate_thresholds(&app(), &metric, &sla, 300.0, 7).unwrap();
         assert!(t.scale_in < t.scale_out, "{t:?}");
         assert!(t.scale_out <= t.observed_max);
-        assert!(t.scale_out > 300.0, "threshold should be above the idle latency");
+        assert!(
+            t.scale_out > 300.0,
+            "threshold should be above the idle latency"
+        );
     }
 
     #[test]

@@ -8,7 +8,6 @@
 //! and the number of scaling actions.
 
 use crate::rules::{ScalingRule, SlaCondition};
-use serde::{Deserialize, Serialize};
 use sieve_simulator::app::AppSpec;
 use sieve_simulator::engine::{SimConfig, Simulation};
 use sieve_simulator::store::MetricId;
@@ -17,7 +16,7 @@ use sieve_simulator::{Result, SimulatorError};
 use std::collections::BTreeMap;
 
 /// The outcome of one autoscaled run (one row-set of Table 4).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AutoscalingReport {
     /// The metric that drove the scaling decisions.
     pub guiding_metric: MetricId,
@@ -276,8 +275,7 @@ mod tests {
         let engine = AutoscaleEngine::new(rule, sla).unwrap();
 
         let scaled = engine.run(&app, &spike_workload(), sim_config()).unwrap();
-        let baseline =
-            run_without_scaling(&app, &spike_workload(), sim_config(), &sla).unwrap();
+        let baseline = run_without_scaling(&app, &spike_workload(), sim_config(), &sla).unwrap();
 
         // The engine must scale out during the spike (scale-in may or may not
         // happen before the run ends, because scale-in decisions are
@@ -301,12 +299,15 @@ mod tests {
     fn report_fields_are_consistent() {
         let app = sharelatex::app_spec(MetricRichness::Minimal);
         let sla = SlaCondition::default();
-        let baseline = run_without_scaling(&app, &Workload::constant(10.0), sim_config(), &sla)
-            .unwrap();
+        let baseline =
+            run_without_scaling(&app, &Workload::constant(10.0), sim_config(), &sla).unwrap();
         assert_eq!(baseline.scaling_actions, 0);
         assert!(baseline.sla_violations <= baseline.total_samples);
         assert!(baseline.mean_cpu_usage_per_component >= 0.0);
         assert!(baseline.latency_p90_ms > 0.0);
-        assert_eq!(baseline.violation_ratio(), baseline.sla_violations as f64 / baseline.total_samples as f64);
+        assert_eq!(
+            baseline.violation_ratio(),
+            baseline.sla_violations as f64 / baseline.total_samples as f64
+        );
     }
 }

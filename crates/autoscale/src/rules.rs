@@ -1,12 +1,11 @@
 //! Scaling rules and SLA conditions.
 
-use serde::{Deserialize, Serialize};
 use sieve_core::model::SieveModel;
 use sieve_simulator::store::MetricId;
 
 /// A service-level agreement on end-to-end request latency, e.g. "90% of all
 /// request latencies below 1000 ms" (§4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlaCondition {
     /// The percentile of latencies the condition constrains (e.g. 90.0).
     pub percentile: f64,
@@ -44,7 +43,7 @@ impl SlaCondition {
 /// The rule scales each target component by ±1 instance when the guiding
 /// metric crosses the scale-out/in thresholds, subject to instance bounds
 /// and a cooldown.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalingRule {
     /// The metric driving the decisions.
     pub guiding_metric: MetricId,
@@ -147,8 +146,16 @@ mod tests {
         // 10 samples, one slow: p90 sits right at the boundary region.
         let mut window = vec![200.0; 9];
         window.push(5000.0);
-        assert!(!SlaCondition { percentile: 50.0, threshold_ms: 1000.0 }.is_violated_by_window(&window));
-        assert!(SlaCondition { percentile: 99.0, threshold_ms: 1000.0 }.is_violated_by_window(&window));
+        assert!(!SlaCondition {
+            percentile: 50.0,
+            threshold_ms: 1000.0
+        }
+        .is_violated_by_window(&window));
+        assert!(SlaCondition {
+            percentile: 99.0,
+            threshold_ms: 1000.0
+        }
+        .is_violated_by_window(&window));
         assert!(!sla.is_violated_by_window(&[]));
     }
 
@@ -187,7 +194,11 @@ mod tests {
     #[test]
     fn guiding_metric_is_the_most_connected_one() {
         let mut graph = DependencyGraph::new();
-        for (target, metric) in [("mongodb", "queries"), ("redis", "ops"), ("clsi", "compiles")] {
+        for (target, metric) in [
+            ("mongodb", "queries"),
+            ("redis", "ops"),
+            ("clsi", "compiles"),
+        ] {
             graph.add_edge(DependencyEdge {
                 source_component: "web".into(),
                 source_metric: "http_latency_mean".into(),

@@ -1,8 +1,10 @@
-//! Criterion micro-benchmarks of the analysis primitives: shape-based
-//! distance, k-Shape clustering (warm vs cold start), silhouette scoring,
-//! Granger causality and AMI.
+//! Micro-benchmarks of the analysis primitives: shape-based distance,
+//! k-Shape clustering (warm vs cold start), silhouette scoring, Granger
+//! causality and AMI.
+//!
+//! Run with: `cargo bench -p sieve-bench --bench analysis`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sieve_bench::harness::Runner;
 use sieve_causality::granger::{granger_causes, GrangerConfig};
 use sieve_cluster::ami::adjusted_mutual_information;
 use sieve_cluster::jaro::pre_cluster_names;
@@ -13,7 +15,8 @@ use std::hint::black_box;
 
 /// Deterministic pseudo-noise used to synthesise benchmark series.
 fn noise(i: usize, seed: u64) -> f64 {
-    let mut s = (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed.wrapping_mul(0xD1B54A32D192ED03);
+    let mut s =
+        (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed.wrapping_mul(0xD1B54A32D192ED03);
     s ^= s >> 33;
     s = s.wrapping_mul(0xff51afd7ed558ccd);
     s ^= s >> 29;
@@ -22,7 +25,10 @@ fn noise(i: usize, seed: u64) -> f64 {
 
 fn series(len: usize, seed: u64) -> Vec<f64> {
     (0..len)
-        .map(|i| 50.0 + 30.0 * ((i as f64) * 0.1 * (1.0 + seed as f64 * 0.1)).sin() + 5.0 * noise(i, seed))
+        .map(|i| {
+            50.0 + 30.0 * ((i as f64) * 0.1 * (1.0 + seed as f64 * 0.1)).sin()
+                + 5.0 * noise(i, seed)
+        })
         .collect()
 }
 
@@ -50,82 +56,76 @@ fn metric_family(count: usize, len: usize) -> (Vec<Vec<f64>>, Vec<String>) {
     (data, names)
 }
 
-fn bench_sbd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sbd");
+fn bench_sbd(runner: &mut Runner) {
     for len in [128usize, 512, 2048] {
         let a = series(len, 1);
         let b = series(len, 2);
-        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |bencher, _| {
-            bencher.iter(|| shape_based_distance(black_box(&a), black_box(&b)).unwrap());
+        runner.bench(&format!("sbd/{len}"), 50, || {
+            shape_based_distance(black_box(&a), black_box(&b)).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_kshape(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kshape");
-    group.sample_size(10);
+fn bench_kshape(runner: &mut Runner) {
     let (data, names) = metric_family(30, 240);
     let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-    group.bench_function("cold_start_k5", |b| {
-        b.iter(|| {
-            KShape::new(KShapeConfig::new(5).with_max_iterations(30))
-                .fit(black_box(&data))
-                .unwrap()
-        });
-    });
-    group.bench_function("jaro_warm_start_k5", |b| {
-        b.iter(|| {
-            let init = pre_cluster_names(&name_refs, 5);
-            KShape::new(
-                KShapeConfig::new(5)
-                    .with_max_iterations(30)
-                    .with_initial_assignment(init),
-            )
+    runner.bench("kshape/cold_start_k5", 10, || {
+        KShape::new(KShapeConfig::new(5).with_max_iterations(30))
             .fit(black_box(&data))
             .unwrap()
-        });
     });
-    group.finish();
+    runner.bench("kshape/jaro_warm_start_k5", 10, || {
+        let init = pre_cluster_names(&name_refs, 5);
+        KShape::new(
+            KShapeConfig::new(5)
+                .with_max_iterations(30)
+                .with_initial_assignment(init),
+        )
+        .fit(black_box(&data))
+        .unwrap()
+    });
 }
 
-fn bench_silhouette(c: &mut Criterion) {
+fn bench_silhouette(runner: &mut Runner) {
     let (data, _) = metric_family(24, 240);
     let labels: Vec<usize> = (0..data.len()).map(|i| i % 3).collect();
-    c.bench_function("silhouette_sbd_24x240", |b| {
-        b.iter(|| silhouette_score_sbd(black_box(&data), black_box(&labels)).unwrap());
+    runner.bench("silhouette_sbd_24x240", 20, || {
+        silhouette_score_sbd(black_box(&data), black_box(&labels)).unwrap()
     });
 }
 
-fn bench_granger(c: &mut Criterion) {
-    let mut group = c.benchmark_group("granger");
+fn bench_granger(runner: &mut Runner) {
     for len in [120usize, 300, 600] {
         let x = series(len, 3);
         let y: Vec<f64> = (0..len)
-            .map(|i| if i == 0 { 0.0 } else { 1.5 * x[i - 1] + noise(i, 9) })
+            .map(|i| {
+                if i == 0 {
+                    0.0
+                } else {
+                    1.5 * x[i - 1] + noise(i, 9)
+                }
+            })
             .collect();
         let config = GrangerConfig::default();
-        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |bencher, _| {
-            bencher.iter(|| granger_causes(black_box(&x), black_box(&y), &config).unwrap());
+        runner.bench(&format!("granger/{len}"), 50, || {
+            granger_causes(black_box(&x), black_box(&y), &config).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_ami(c: &mut Criterion) {
+fn bench_ami(runner: &mut Runner) {
     let a: Vec<usize> = (0..500).map(|i| i % 7).collect();
     let b: Vec<usize> = (0..500).map(|i| (i / 3) % 7).collect();
-    c.bench_function("ami_500_labels", |bencher| {
-        bencher.iter(|| adjusted_mutual_information(black_box(&a), black_box(&b)).unwrap());
+    runner.bench("ami_500_labels", 50, || {
+        adjusted_mutual_information(black_box(&a), black_box(&b)).unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_sbd,
-    bench_kshape,
-    bench_silhouette,
-    bench_granger,
-    bench_ami
-);
-criterion_main!(benches);
+fn main() {
+    let mut runner = Runner::new();
+    bench_sbd(&mut runner);
+    bench_kshape(&mut runner);
+    bench_silhouette(&mut runner);
+    bench_granger(&mut runner);
+    bench_ami(&mut runner);
+}

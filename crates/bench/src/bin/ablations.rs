@@ -37,7 +37,7 @@ fn main() {
         .iter()
         .filter(|s| !is_unvarying(&s.values, config.variance_threshold))
         .collect();
-    let data: Vec<Vec<f64>> = varying.iter().map(|s| s.values.clone()).collect();
+    let data: Vec<&[f64]> = varying.iter().map(|s| &*s.values).collect();
     let names: Vec<&str> = varying.iter().map(|s| s.name.as_str()).collect();
 
     // 1. Variance filter on/off.

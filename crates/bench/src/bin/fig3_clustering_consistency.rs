@@ -11,14 +11,15 @@ use sieve_apps::MetricRichness;
 use sieve_bench::{print_header, sharelatex_clusterings};
 use sieve_cluster::ami::adjusted_mutual_information;
 use sieve_core::model::ComponentClustering;
+use sieve_exec::Name;
 use std::collections::BTreeMap;
 
 /// Computes per-component AMI between two measurement runs, over the metrics
 /// clustered in both runs.
 fn component_amis(
-    a: &BTreeMap<String, ComponentClustering>,
-    b: &BTreeMap<String, ComponentClustering>,
-) -> Vec<(String, f64)> {
+    a: &BTreeMap<Name, ComponentClustering>,
+    b: &BTreeMap<Name, ComponentClustering>,
+) -> Vec<(Name, f64)> {
     let mut out = Vec::new();
     for (component, ca) in a {
         let Some(cb) = b.get(component) else { continue };
@@ -46,7 +47,7 @@ fn component_amis(
 fn main() {
     print_header("Figure 3: clustering consistency across 3 randomized measurements (AMI)");
     println!("Running three independent measurements of ShareLatex (full model) ...");
-    let runs: Vec<BTreeMap<String, ComponentClustering>> = (0..3)
+    let runs: Vec<BTreeMap<Name, ComponentClustering>> = (0..3)
         .map(|i| sharelatex_clusterings(MetricRichness::Full, 100 + i, 7 * (i + 1)))
         .collect();
 

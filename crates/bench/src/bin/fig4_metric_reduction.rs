@@ -8,6 +8,7 @@
 
 use sieve_apps::MetricRichness;
 use sieve_bench::{print_header, sharelatex_clusterings};
+use sieve_exec::Name;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -15,8 +16,8 @@ fn main() {
     const RUNS: u64 = 3;
     println!("Averaging over {RUNS} randomized measurement runs (full ShareLatex model) ...\n");
 
-    let mut before: BTreeMap<String, f64> = BTreeMap::new();
-    let mut after: BTreeMap<String, f64> = BTreeMap::new();
+    let mut before: BTreeMap<Name, f64> = BTreeMap::new();
+    let mut after: BTreeMap<Name, f64> = BTreeMap::new();
     for run in 0..RUNS {
         let clusterings = sharelatex_clusterings(MetricRichness::Full, 200 + run, 13 + run);
         for (component, clustering) in clusterings {
@@ -44,7 +45,11 @@ fn main() {
         "\nTotal: {:.0} metrics -> {:.0} representatives ({:.1}x reduction)",
         total_before,
         total_after,
-        if total_after > 0.0 { total_before / total_after } else { 0.0 }
+        if total_after > 0.0 {
+            total_before / total_after
+        } else {
+            0.0
+        }
     );
     println!("Paper: 889 metrics -> 65 representatives (~13.7x) for ShareLatex.");
 }

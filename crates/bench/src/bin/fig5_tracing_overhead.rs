@@ -27,8 +27,14 @@ fn main() {
             mode.to_string(),
             t,
             percent_change(native, t),
-            if mode.provides_process_context() { "yes" } else { "no" }
+            if mode.provides_process_context() {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
-    println!("\nPaper: native ~0.35 s, tcpdump ~+7%, sysdig ~+22% (sysdig chosen for its context).");
+    println!(
+        "\nPaper: native ~0.35 s, tcpdump ~+7%, sysdig ~+22% (sysdig chosen for its context)."
+    );
 }

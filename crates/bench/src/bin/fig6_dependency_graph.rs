@@ -24,7 +24,7 @@ fn main() {
     );
 
     println!("Component-level relations (direction = Granger causality):");
-    let mut component_pairs: Vec<(String, String, usize)> = Vec::new();
+    let mut component_pairs: Vec<(sieve_exec::Name, sieve_exec::Name, usize)> = Vec::new();
     for source in graph.components() {
         for target in graph.components() {
             let edges = graph.edges_between(&source, &target);
@@ -34,7 +34,10 @@ fn main() {
         }
     }
     for (source, target, count) in &component_pairs {
-        println!("  {:<14} -> {:<14} ({} metric pairs)", source, target, count);
+        println!(
+            "  {:<14} -> {:<14} ({} metric pairs)",
+            source, target, count
+        );
     }
 
     println!("\nMetrics appearing most often in the relations:");
@@ -42,9 +45,7 @@ fn main() {
         println!("  {:<44} {:>3} relations", metric, count);
     }
     if let Some(best) = graph.most_connected_metric() {
-        println!(
-            "\nGuiding-metric candidate (paper: http-requests_Project_id_GET_mean): {best}"
-        );
+        println!("\nGuiding-metric candidate (paper: http-requests_Project_id_GET_mean): {best}");
     }
 
     println!("\nGraphviz DOT output:\n");

@@ -13,7 +13,9 @@ use sieve_bench::{openstack_models, print_header};
 use sieve_rca::{RcaConfig, RcaEngine};
 
 fn main() {
-    print_header("Figure 7: cluster novelty, edge novelty and surviving scope vs similarity threshold");
+    print_header(
+        "Figure 7: cluster novelty, edge novelty and surviving scope vs similarity threshold",
+    );
     println!("Analysing the correct and faulty OpenStack versions (full model) ...\n");
     let (correct, faulty) = openstack_models(MetricRichness::Full, 0x71);
 
@@ -31,7 +33,14 @@ fn main() {
     println!("\n(b) Edge novelty and (c) surviving scope vs similarity threshold:");
     println!(
         "{:>10} {:>6} {:>10} {:>11} {:>10} | {:>11} {:>9} {:>9}",
-        "threshold", "new", "discarded", "lag change", "unchanged", "components", "clusters", "metrics"
+        "threshold",
+        "new",
+        "discarded",
+        "lag change",
+        "unchanged",
+        "components",
+        "clusters",
+        "metrics"
     );
     for threshold in [0.0, 0.5, 0.6, 0.7] {
         let config = RcaConfig::default().with_similarity_threshold(threshold);
@@ -40,7 +49,14 @@ fn main() {
         let (components, clusters, metrics) = report.surviving_scope;
         println!(
             "{:>10.2} {:>6} {:>10} {:>11} {:>10} | {:>11} {:>9} {:>9}",
-            threshold, e.new, e.discarded, e.lag_changed, e.unchanged, components, clusters, metrics
+            threshold,
+            e.new,
+            e.discarded,
+            e.lag_changed,
+            e.unchanged,
+            components,
+            clusters,
+            metrics
         );
     }
     println!("\nPaper (threshold 0.5): 24 interesting edges; 10 components, 16 clusters, 163 metrics survive.");

@@ -22,13 +22,16 @@ fn main() {
     let report = RcaEngine::new(RcaConfig::default()).compare(&correct, &faulty);
 
     // The top-5 components by step-2 novelty ranking.
-    let top: BTreeSet<String> = report
+    let top: BTreeSet<sieve_exec::Name> = report
         .component_rankings
         .iter()
         .take(5)
         .map(|r| r.component.clone())
         .collect();
-    println!("Top-5 components by novelty: {}\n", top.iter().cloned().collect::<Vec<_>>().join(", "));
+    println!(
+        "Top-5 components by novelty: {}\n",
+        top.iter().cloned().collect::<Vec<_>>().join(", ")
+    );
 
     println!(
         "{:<11} {:<22} -> {:<22} {:<34} -> {:<34}",
@@ -39,7 +42,9 @@ fn main() {
         .edge_diffs
         .iter()
         .filter(|d| d.change != EdgeChangeKind::Unchanged)
-        .filter(|d| top.contains(&d.edge.source_component) || top.contains(&d.edge.target_component))
+        .filter(|d| {
+            top.contains(&d.edge.source_component) || top.contains(&d.edge.target_component)
+        })
         .filter(|d| d.is_interesting(&report.config))
     {
         let label = match diff.change {

@@ -23,10 +23,22 @@ fn main() {
     let app = sharelatex::app_spec(MetricRichness::Minimal);
     let sla = SlaCondition::default();
     let peak_rate = 320.0;
-    let scalable: Vec<String> = ["web", "real-time", "chat", "clsi", "contacts", "doc-updater", "docstore", "filestore", "spelling", "tags", "track-changes"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let scalable: Vec<String> = [
+        "web",
+        "real-time",
+        "chat",
+        "clsi",
+        "contacts",
+        "doc-updater",
+        "docstore",
+        "filestore",
+        "spelling",
+        "tags",
+        "track-changes",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
 
     // Guiding metrics: the paper's Sieve selection vs the traditional CPU
     // trigger on the web tier.

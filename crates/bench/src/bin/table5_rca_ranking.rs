@@ -60,7 +60,10 @@ fn main() {
         total_changed, total_metrics
     );
 
-    println!("\nFinal ranking ({} components survive edge filtering):", report.final_ranking.len());
+    println!(
+        "\nFinal ranking ({} components survive edge filtering):",
+        report.final_ranking.len()
+    );
     for cause in &report.final_ranking {
         println!(
             "  #{:<2} {:<22} metrics to inspect: {}",

@@ -1,0 +1,111 @@
+//! A minimal wall-clock benchmarking harness.
+//!
+//! The container this repo builds in has no access to crates.io, so the
+//! usual `criterion` dev-dependency is replaced by this self-contained
+//! harness: each `[[bench]]` target sets `harness = false` and drives
+//! [`Runner`] from its own `main`. The output format (name, iterations,
+//! min/mean per iteration) is deliberately close to criterion's so the
+//! numbers read the same way.
+
+use std::time::{Duration, Instant};
+
+/// Result of one benchmark: per-iteration timings.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// One wall-clock duration per measured iteration.
+    pub samples: Vec<Duration>,
+}
+
+impl Measurement {
+    /// Fastest observed iteration.
+    pub fn min(&self) -> Duration {
+        self.samples.iter().min().copied().unwrap_or_default()
+    }
+
+    /// Mean iteration time.
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::default();
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+/// Runs and reports a sequence of named benchmarks.
+#[derive(Debug, Default)]
+pub struct Runner {
+    measurements: Vec<Measurement>,
+}
+
+impl Runner {
+    /// Creates an empty runner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` once as warm-up and then `iterations` measured times,
+    /// printing a summary line and recording the measurement. Returns the
+    /// mean iteration time.
+    pub fn bench<R>(
+        &mut self,
+        name: &str,
+        iterations: usize,
+        mut f: impl FnMut() -> R,
+    ) -> Duration {
+        let iterations = iterations.max(1);
+        std::hint::black_box(f()); // warm-up, excluded from the stats
+        let mut samples = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            samples.push(start.elapsed());
+        }
+        let m = Measurement {
+            name: name.to_string(),
+            samples,
+        };
+        println!(
+            "{:<44} {:>4} iters   min {:>12.3?}   mean {:>12.3?}",
+            m.name,
+            m.samples.len(),
+            m.min(),
+            m.mean()
+        );
+        let mean = m.mean();
+        self.measurements.push(m);
+        mean
+    }
+
+    /// All recorded measurements.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// The measurement with the given name, if recorded.
+    pub fn measurement(&self, name: &str) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| m.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_requested_iterations() {
+        let mut runner = Runner::new();
+        let mut calls = 0u32;
+        let mean = runner.bench("noop", 5, || {
+            calls += 1;
+            calls
+        });
+        // 5 measured + 1 warm-up.
+        assert_eq!(calls, 6);
+        assert_eq!(runner.measurements().len(), 1);
+        assert_eq!(runner.measurement("noop").unwrap().samples.len(), 5);
+        assert!(mean >= runner.measurement("noop").unwrap().min());
+        assert!(runner.measurement("missing").is_none());
+    }
+}

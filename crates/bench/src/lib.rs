@@ -10,11 +10,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use sieve_apps::{openstack, sharelatex, MetricRichness};
 use sieve_core::config::SieveConfig;
 use sieve_core::model::{ComponentClustering, SieveModel};
 use sieve_core::pipeline::{load_application, Sieve};
 use sieve_core::reduce::{prepare_series, reduce_component};
+use sieve_exec::Name;
 use sieve_graph::CallGraph;
 use sieve_simulator::store::MetricStore;
 use sieve_simulator::workload::Workload;
@@ -67,7 +70,7 @@ pub fn sharelatex_clusterings(
     richness: MetricRichness,
     seed: u64,
     workload_seed: u64,
-) -> BTreeMap<String, ComponentClustering> {
+) -> BTreeMap<Name, ComponentClustering> {
     let (store, _) = load_sharelatex(richness, seed, workload_seed);
     let config = experiment_config();
     let mut out = BTreeMap::new();
@@ -79,7 +82,7 @@ pub fn sharelatex_clusterings(
             .collect();
         let prepared = prepare_series(&raw, config.interval_ms);
         let clustering =
-            reduce_component(&component, &prepared, &config).expect("clustering succeeds");
+            reduce_component(component.clone(), &prepared, &config).expect("clustering succeeds");
         out.insert(component, clustering);
     }
     out

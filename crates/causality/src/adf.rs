@@ -194,7 +194,8 @@ mod tests {
     fn noise(i: usize, seed: u64) -> f64 {
         // Mix index and seed with different multipliers so nearby seeds do
         // not produce shifted copies of the same stream.
-        let mut s = (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed.wrapping_mul(0xD1B54A32D192ED03);
+        let mut s =
+            (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed.wrapping_mul(0xD1B54A32D192ED03);
         s ^= s >> 33;
         s = s.wrapping_mul(0xff51afd7ed558ccd);
         s ^= s >> 29;

@@ -104,7 +104,8 @@ mod tests {
     fn noise(i: usize, seed: u64) -> f64 {
         // Mix index and seed with different multipliers so nearby seeds do
         // not produce shifted copies of the same stream.
-        let mut s = (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed.wrapping_mul(0xD1B54A32D192ED03);
+        let mut s =
+            (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed.wrapping_mul(0xD1B54A32D192ED03);
         s ^= s >> 33;
         s = s.wrapping_mul(0xff51afd7ed558ccd);
         s ^= s >> 29;
@@ -121,8 +122,11 @@ mod tests {
             .map(|i| 1.0 + 2.0 * x1[i] + 1.5 * x2[i] + 0.1 * noise(i, 1))
             .collect();
         let restricted_rows: Vec<Vec<f64>> = x1.iter().map(|&v| vec![v]).collect();
-        let unrestricted_rows: Vec<Vec<f64>> =
-            x1.iter().zip(x2.iter()).map(|(&a, &b)| vec![a, b]).collect();
+        let unrestricted_rows: Vec<Vec<f64>> = x1
+            .iter()
+            .zip(x2.iter())
+            .map(|(&a, &b)| vec![a, b])
+            .collect();
         let r = ols::fit(&restricted_rows, &y, true).unwrap();
         let u = ols::fit(&unrestricted_rows, &y, true).unwrap();
         let test = f_test(&r, &u).unwrap();
@@ -140,8 +144,11 @@ mod tests {
         let x2: Vec<f64> = (0..n).map(|i| noise(i, 99)).collect();
         let y: Vec<f64> = (0..n).map(|i| 2.0 * x1[i] + 0.3 * noise(i, 7)).collect();
         let restricted_rows: Vec<Vec<f64>> = x1.iter().map(|&v| vec![v]).collect();
-        let unrestricted_rows: Vec<Vec<f64>> =
-            x1.iter().zip(x2.iter()).map(|(&a, &b)| vec![a, b]).collect();
+        let unrestricted_rows: Vec<Vec<f64>> = x1
+            .iter()
+            .zip(x2.iter())
+            .map(|(&a, &b)| vec![a, b])
+            .collect();
         let r = ols::fit(&restricted_rows, &y, true).unwrap();
         let u = ols::fit(&unrestricted_rows, &y, true).unwrap();
         let test = f_test(&r, &u).unwrap();

@@ -15,12 +15,11 @@ use crate::adf::is_stationary;
 use crate::ftest::{f_test, FTestResult};
 use crate::ols;
 use crate::{CausalityError, Result};
-use serde::{Deserialize, Serialize};
 use sieve_timeseries::diff::first_difference;
 use sieve_timeseries::stats::variance;
 
 /// Configuration of a Granger causality test.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GrangerConfig {
     /// Maximum autoregressive lag order to try (each order from 1 to this
     /// value is tested and the most significant one is reported).
@@ -60,7 +59,7 @@ impl GrangerConfig {
 }
 
 /// Outcome of a Granger causality test of "X causes Y".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GrangerResult {
     /// Whether X Granger-causes Y at the configured significance level.
     pub causal: bool,
@@ -132,13 +131,12 @@ pub fn granger_causes(x: &[f64], y: &[f64], config: &GrangerConfig) -> Result<Gr
 
     // Difference when either series is non-stationary (as Sieve does for
     // counters); both are differenced to keep them aligned.
-    let (xs, ys, differenced) = if config.difference_non_stationary
-        && (!is_stationary(x) || !is_stationary(y))
-    {
-        (first_difference(x), first_difference(y), true)
-    } else {
-        (x.to_vec(), y.to_vec(), false)
-    };
+    let (xs, ys, differenced) =
+        if config.difference_non_stationary && (!is_stationary(x) || !is_stationary(y)) {
+            (first_difference(x), first_difference(y), true)
+        } else {
+            (x.to_vec(), y.to_vec(), false)
+        };
 
     if variance(&xs) < 1e-12 || variance(&ys) < 1e-12 {
         return Ok(GrangerResult::not_causal(differenced));
@@ -221,10 +219,7 @@ pub fn granger_bidirectional(
     y: &[f64],
     config: &GrangerConfig,
 ) -> Result<(GrangerResult, GrangerResult)> {
-    Ok((
-        granger_causes(x, y, config)?,
-        granger_causes(y, x, config)?,
-    ))
+    Ok((granger_causes(x, y, config)?, granger_causes(y, x, config)?))
 }
 
 /// Runs the restricted/unrestricted comparison at a fixed lag order.
@@ -265,7 +260,8 @@ mod tests {
     fn noise(i: usize, seed: u64) -> f64 {
         // Mix index and seed with different multipliers so nearby seeds do
         // not produce shifted copies of the same stream.
-        let mut s = (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed.wrapping_mul(0xD1B54A32D192ED03);
+        let mut s =
+            (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed.wrapping_mul(0xD1B54A32D192ED03);
         s ^= s >> 33;
         s = s.wrapping_mul(0xff51afd7ed558ccd);
         s ^= s >> 29;
@@ -274,7 +270,9 @@ mod tests {
 
     /// x drives y with the given lag: y_t = gain * x_{t-lag} + noise.
     fn driven_pair(n: usize, lag: usize, gain: f64) -> (Vec<f64>, Vec<f64>) {
-        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.3 * noise(i, 5)).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.37).sin() + 0.3 * noise(i, 5))
+            .collect();
         let y: Vec<f64> = (0..n)
             .map(|i| {
                 if i < lag {
@@ -302,7 +300,13 @@ mod tests {
         let n = 400;
         let x: Vec<f64> = (0..n).map(|i| noise(i, 23)).collect();
         let y: Vec<f64> = (0..n)
-            .map(|i| if i < 3 { 0.0 } else { 1.5 * x[i - 3] + 0.1 * noise(i, 31) })
+            .map(|i| {
+                if i < 3 {
+                    0.0
+                } else {
+                    1.5 * x[i - 3] + 0.1 * noise(i, 31)
+                }
+            })
             .collect();
         let cfg = GrangerConfig::default().with_max_lag(4);
         let r = granger_causes(&x, &y, &cfg).unwrap();
@@ -355,14 +359,20 @@ mod tests {
         }
         let r = granger_causes(&x, &y, &GrangerConfig::default()).unwrap();
         assert!(r.differenced, "counters must be first-differenced");
-        assert!(!r.causal, "independent counters must not appear causal (p={})", r.p_value);
+        assert!(
+            !r.causal,
+            "independent counters must not appear causal (p={})",
+            r.p_value
+        );
     }
 
     #[test]
     fn causality_survives_differencing() {
         // Cumulative counters where the *rate* of y follows the rate of x.
         let n = 400;
-        let rate_x: Vec<f64> = (0..n).map(|i| 2.0 + (i as f64 * 0.25).sin() + 0.1 * noise(i, 4)).collect();
+        let rate_x: Vec<f64> = (0..n)
+            .map(|i| 2.0 + (i as f64 * 0.25).sin() + 0.1 * noise(i, 4))
+            .collect();
         let mut x = vec![0.0];
         let mut y = vec![0.0];
         for i in 1..n {

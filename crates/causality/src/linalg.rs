@@ -133,12 +133,12 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, slot) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
-            for c in 0..self.cols {
-                acc += self.get(r, c) * v[c];
+            for (c, value) in v.iter().enumerate() {
+                acc += self.get(r, c) * value;
             }
-            out[r] = acc;
+            *slot = acc;
         }
         Ok(out)
     }
@@ -157,7 +157,11 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let n = a.rows();
     if a.cols() != n {
         return Err(CausalityError::DimensionMismatch {
-            context: format!("solve requires a square matrix, got {}x{}", a.rows(), a.cols()),
+            context: format!(
+                "solve requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            ),
         });
     }
     if b.len() != n {
@@ -194,8 +198,10 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
             if factor == 0.0 {
                 continue;
             }
-            for c in col..=n {
-                aug[r][c] -= factor * aug[col][c];
+            let (pivot_row, rest) = aug.split_at_mut(col + 1);
+            let row = &mut rest[r - col - 1];
+            for (c, pivot_value) in pivot_row[col].iter().enumerate().take(n + 1).skip(col) {
+                row[c] -= factor * pivot_value;
             }
         }
     }
@@ -287,7 +293,10 @@ mod tests {
     #[test]
     fn solve_detects_singular_matrix() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
-        assert_eq!(solve(&a, &[1.0, 2.0]).unwrap_err(), CausalityError::SingularMatrix);
+        assert_eq!(
+            solve(&a, &[1.0, 2.0]).unwrap_err(),
+            CausalityError::SingularMatrix
+        );
     }
 
     #[test]

@@ -157,7 +157,9 @@ mod tests {
         assert!(fit_perfect.r_squared() > 0.999999);
 
         // Deterministic "noise" unrelated to x.
-        let y_noise: Vec<f64> = (0..100).map(|i| ((i * 2654435761_usize) % 97) as f64).collect();
+        let y_noise: Vec<f64> = (0..100)
+            .map(|i| ((i * 2654435761_usize) % 97) as f64)
+            .collect();
         let fit_noise = fit(&rows, &y_noise, true).unwrap();
         assert!(fit_noise.r_squared() < 0.2);
     }
@@ -205,9 +207,7 @@ mod tests {
 
     #[test]
     fn collinear_regressors_are_singular() {
-        let rows: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![i as f64, 2.0 * i as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
         let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
         assert_eq!(
             fit(&rows, &y, true).unwrap_err(),

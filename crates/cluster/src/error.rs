@@ -55,10 +55,7 @@ impl fmt::Display for ClusterError {
                 expected,
                 index,
                 actual,
-            } => write!(
-                f,
-                "series {index} has length {actual}, expected {expected}"
-            ),
+            } => write!(f, "series {index} has length {actual}, expected {expected}"),
             ClusterError::InvalidInitialAssignment { reason } => {
                 write!(f, "invalid initial assignment: {reason}")
             }

@@ -18,12 +18,11 @@
 //! `max_iterations`.
 
 use crate::{ClusterError, Result};
-use serde::{Deserialize, Serialize};
 use sieve_timeseries::normalize::z_normalize;
 use sieve_timeseries::sbd::{align_to, shape_based_distance};
 
 /// Configuration of a k-Shape run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KShapeConfig {
     /// Number of clusters `k`.
     pub k: usize,
@@ -63,7 +62,7 @@ impl KShapeConfig {
 }
 
 /// Outcome of a k-Shape run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KShapeResult {
     /// Cluster index (in `0..k`) for every input series.
     pub assignments: Vec<usize>,
@@ -118,7 +117,9 @@ impl KShape {
     ///
     /// All series must have the same, non-zero length. Inputs are
     /// z-normalized internally, so amplitude differences between metrics do
-    /// not matter.
+    /// not matter. The input is generic over anything slice-like
+    /// (`Vec<f64>`, `&[f64]`, `Arc<[f64]>`, …) so callers holding shared
+    /// buffers never have to copy them to cluster.
     ///
     /// # Errors
     ///
@@ -127,7 +128,7 @@ impl KShape {
     /// * [`ClusterError::InconsistentLengths`] when the series lengths differ.
     /// * [`ClusterError::InvalidInitialAssignment`] when a provided initial
     ///   assignment has the wrong length or out-of-range cluster indices.
-    pub fn fit(&self, series: &[Vec<f64>]) -> Result<KShapeResult> {
+    pub fn fit<S: AsRef<[f64]>>(&self, series: &[S]) -> Result<KShapeResult> {
         let n = series.len();
         if n == 0 {
             return Err(ClusterError::NoData);
@@ -139,22 +140,22 @@ impl KShape {
                 available: n,
             });
         }
-        let m = series[0].len();
+        let m = series[0].as_ref().len();
         if m == 0 {
             return Err(ClusterError::NoData);
         }
         for (i, s) in series.iter().enumerate() {
-            if s.len() != m {
+            if s.as_ref().len() != m {
                 return Err(ClusterError::InconsistentLengths {
                     expected: m,
                     index: i,
-                    actual: s.len(),
+                    actual: s.as_ref().len(),
                 });
             }
         }
 
         // z-normalize all inputs once.
-        let data: Vec<Vec<f64>> = series.iter().map(|s| z_normalize(s)).collect();
+        let data: Vec<Vec<f64>> = series.iter().map(|s| z_normalize(s.as_ref())).collect();
 
         let mut assignments = match &self.config.initial_assignment {
             Some(init) => {
@@ -181,7 +182,7 @@ impl KShape {
             iterations = iter + 1;
 
             // Refinement: extract the shape of every cluster.
-            for c in 0..k {
+            for (c, centroid) in centroids.iter_mut().enumerate() {
                 let members: Vec<&Vec<f64>> = data
                     .iter()
                     .zip(assignments.iter())
@@ -191,7 +192,7 @@ impl KShape {
                 if members.is_empty() {
                     continue; // keep the previous centroid
                 }
-                centroids[c] = extract_shape(&members, &centroids[c], self.config.power_iterations)?;
+                *centroid = extract_shape(&members, centroid, self.config.power_iterations)?;
             }
 
             // Assignment: nearest centroid under SBD.
@@ -313,7 +314,11 @@ fn extract_shape(
     let dist = |c: &[f64]| -> f64 {
         aligned
             .iter()
-            .map(|a| shape_based_distance(c, a).map(|r| r.distance).unwrap_or(2.0))
+            .map(|a| {
+                shape_based_distance(c, a)
+                    .map(|r| r.distance)
+                    .unwrap_or(2.0)
+            })
             .sum()
     };
     if dist(&flipped) < dist(&centroid) {
@@ -338,7 +343,12 @@ mod tests {
 
     /// Builds `count` noisy copies of a base shape, each scaled and offset
     /// differently (k-Shape must be invariant to that).
-    fn noisy_family(base: &dyn Fn(usize) -> f64, count: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+    fn noisy_family(
+        base: &dyn Fn(usize) -> f64,
+        count: usize,
+        len: usize,
+        seed: u64,
+    ) -> Vec<Vec<f64>> {
         let mut out = Vec::new();
         let mut state = seed;
         let mut next = || {
@@ -413,7 +423,7 @@ mod tests {
             Err(ClusterError::InvalidClusterCount { .. })
         ));
         assert!(matches!(
-            KShape::new(KShapeConfig::new(1)).fit(&[]),
+            KShape::new(KShapeConfig::new(1)).fit::<Vec<f64>>(&[]),
             Err(ClusterError::NoData)
         ));
         let ragged = vec![vec![1.0, 2.0], vec![1.0, 2.0, 3.0]];
@@ -452,8 +462,8 @@ mod tests {
             .fit(&series)
             .unwrap();
         // Same partition (cluster labels may be permuted).
-        let agree = crate::ami::adjusted_mutual_information(&cold.assignments, &warm.assignments)
-            .unwrap();
+        let agree =
+            crate::ami::adjusted_mutual_information(&cold.assignments, &warm.assignments).unwrap();
         assert!(agree > 0.99, "partitions differ: AMI = {agree}");
         // Warm start should converge at least as fast.
         assert!(warm.iterations <= cold.iterations + 1);

@@ -26,8 +26,9 @@ use sieve_timeseries::sbd::sbd;
 ///
 /// * [`ClusterError::NoData`] for empty input.
 /// * [`ClusterError::LabelLengthMismatch`] when `labels` and `data` differ in length.
-pub fn silhouette_score_with<D>(data: &[Vec<f64>], labels: &[usize], mut distance: D) -> Result<f64>
+pub fn silhouette_score_with<S, D>(data: &[S], labels: &[usize], mut distance: D) -> Result<f64>
 where
+    S: AsRef<[f64]>,
     D: FnMut(&[f64], &[f64]) -> f64,
 {
     if data.is_empty() {
@@ -54,7 +55,7 @@ where
     let mut dist = vec![vec![0.0; n]; n];
     for i in 0..n {
         for j in (i + 1)..n {
-            let d = distance(&data[i], &data[j]);
+            let d = distance(data[i].as_ref(), data[j].as_ref());
             dist[i][j] = d;
             dist[j][i] = d;
         }
@@ -82,8 +83,7 @@ where
             if members.is_empty() {
                 continue;
             }
-            let mean: f64 =
-                members.iter().map(|&j| dist[i][j]).sum::<f64>() / members.len() as f64;
+            let mean: f64 = members.iter().map(|&j| dist[i][j]).sum::<f64>() / members.len() as f64;
             if mean < b {
                 b = mean;
             }
@@ -105,7 +105,7 @@ where
 /// # Errors
 ///
 /// Same as [`silhouette_score_with`].
-pub fn silhouette_score_sbd(data: &[Vec<f64>], labels: &[usize]) -> Result<f64> {
+pub fn silhouette_score_sbd<S: AsRef<[f64]>>(data: &[S], labels: &[usize]) -> Result<f64> {
     silhouette_score_with(data, labels, |a, b| sbd(a, b).unwrap_or(2.0))
 }
 
@@ -150,7 +150,10 @@ mod tests {
         let good = silhouette_score_with(&data, &[0, 0, 1, 1], euclidean).unwrap();
         let bad = silhouette_score_with(&data, &[0, 1, 0, 1], euclidean).unwrap();
         assert!(good > bad);
-        assert!(bad < 0.0, "mixing far-apart points should be negative: {bad}");
+        assert!(
+            bad < 0.0,
+            "mixing far-apart points should be negative: {bad}"
+        );
     }
 
     #[test]
@@ -173,7 +176,7 @@ mod tests {
 
     #[test]
     fn errors_on_bad_input() {
-        assert!(silhouette_score_with(&[], &[], euclidean).is_err());
+        assert!(silhouette_score_with::<Vec<f64>, _>(&[], &[], euclidean).is_err());
         let data = vec![vec![1.0], vec![2.0]];
         assert!(matches!(
             silhouette_score_with(&data, &[0], euclidean),

@@ -1,68 +1,142 @@
-//! Property-based tests for the clustering crate.
+//! Randomized property tests for the clustering crate.
+//!
+//! The original suite used `proptest`; the build container has no registry
+//! access, so the same properties are exercised with a deterministic
+//! splitmix64 case generator — every run checks the identical set of
+//! pseudo-random inputs, which also makes failures trivially reproducible.
 
-use proptest::prelude::*;
 use sieve_cluster::ami::{adjusted_mutual_information, normalized_mutual_information};
 use sieve_cluster::jaro::{jaro_similarity, pre_cluster_names};
 use sieve_cluster::kshape::{KShape, KShapeConfig};
 use sieve_cluster::silhouette::{euclidean, silhouette_score_with};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Deterministic splitmix64 generator for test data.
+struct Rng(u64);
 
-    #[test]
-    fn jaro_similarity_is_bounded_and_symmetric(a in "[a-z_]{0,12}", b in "[a-z_]{0,12}") {
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+
+    /// A lowercase identifier like the `[a-z_]{lo,hi}` proptest regex.
+    fn ident(&mut self, lo: usize, hi: usize) -> String {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz_";
+        let len = self.usize_in(lo, hi);
+        (0..len)
+            .map(|_| ALPHABET[(self.next_u64() as usize) % ALPHABET.len()] as char)
+            .collect()
+    }
+
+    fn labels(&mut self, upper: usize, lo: usize, hi: usize) -> Vec<usize> {
+        let len = self.usize_in(lo, hi);
+        (0..len)
+            .map(|_| (self.next_u64() as usize) % upper)
+            .collect()
+    }
+}
+
+const CASES: u64 = 64;
+
+#[test]
+fn jaro_similarity_is_bounded_and_symmetric() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let a = rng.ident(0, 12);
+        let b = rng.ident(0, 12);
         let s = jaro_similarity(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&s));
-        prop_assert!((s - jaro_similarity(&b, &a)).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&s), "seed {seed}");
+        assert!((s - jaro_similarity(&b, &a)).abs() < 1e-12, "seed {seed}");
     }
+}
 
-    #[test]
-    fn jaro_self_similarity_is_one(a in "[a-z_]{1,16}") {
-        prop_assert_eq!(jaro_similarity(&a, &a), 1.0);
+#[test]
+fn jaro_self_similarity_is_one() {
+    for seed in 0..CASES {
+        let a = Rng::new(seed).ident(1, 16);
+        assert_eq!(jaro_similarity(&a, &a), 1.0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn pre_clustering_covers_all_names(names in prop::collection::vec("[a-z_]{1,10}", 1..30), k in 1usize..8) {
+#[test]
+fn pre_clustering_covers_all_names() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let count = rng.usize_in(1, 29);
+        let names: Vec<String> = (0..count).map(|_| rng.ident(1, 10)).collect();
+        let k = rng.usize_in(1, 7);
         let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
         let assignment = pre_cluster_names(&refs, k);
-        prop_assert_eq!(assignment.len(), names.len());
+        assert_eq!(assignment.len(), names.len(), "seed {seed}");
         let limit = k.min(names.len());
-        prop_assert!(assignment.iter().all(|&c| c < limit));
+        assert!(assignment.iter().all(|&c| c < limit), "seed {seed}");
     }
+}
 
-    #[test]
-    fn ami_of_identical_labelings_is_one(labels in prop::collection::vec(0usize..5, 2..40)) {
+#[test]
+fn ami_of_identical_labelings_is_one() {
+    for seed in 0..CASES {
+        let labels = Rng::new(seed).labels(5, 2, 40);
         let ami = adjusted_mutual_information(&labels, &labels).unwrap();
-        prop_assert!((ami - 1.0).abs() < 1e-6, "ami {}", ami);
+        assert!((ami - 1.0).abs() < 1e-6, "seed {seed}: ami {ami}");
     }
+}
 
-    #[test]
-    fn ami_is_at_most_one(
-        a in prop::collection::vec(0usize..4, 2..40),
-        b in prop::collection::vec(0usize..4, 2..40),
-    ) {
+#[test]
+fn ami_is_at_most_one() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let a = rng.labels(4, 2, 40);
+        let b = rng.labels(4, 2, 40);
         let n = a.len().min(b.len());
         let ami = adjusted_mutual_information(&a[..n], &b[..n]).unwrap();
-        prop_assert!(ami <= 1.0 + 1e-9);
+        assert!(ami <= 1.0 + 1e-9, "seed {seed}");
         let nmi = normalized_mutual_information(&a[..n], &b[..n]).unwrap();
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&nmi));
+        assert!((0.0..=1.0 + 1e-9).contains(&nmi), "seed {seed}");
     }
+}
 
-    #[test]
-    fn silhouette_is_bounded(
-        data in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3), 4..20),
-        labels in prop::collection::vec(0usize..3, 4..20),
-    ) {
+#[test]
+fn silhouette_is_bounded() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let rows = rng.usize_in(4, 19);
+        let data: Vec<Vec<f64>> = (0..rows)
+            .map(|_| (0..3).map(|_| rng.range(-50.0, 50.0)).collect())
+            .collect();
+        let labels = rng.labels(3, 4, 19);
         let n = data.len().min(labels.len());
         let s = silhouette_score_with(&data[..n], &labels[..n], euclidean).unwrap();
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s), "seed {seed}");
     }
+}
 
-    #[test]
-    fn kshape_assigns_every_series_to_a_valid_cluster(
-        seeds in prop::collection::vec(0.1f64..10.0, 4..12),
-        k in 1usize..4,
-    ) {
+#[test]
+fn kshape_assigns_every_series_to_a_valid_cluster() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let count = rng.usize_in(4, 11);
+        let seeds: Vec<f64> = (0..count).map(|_| rng.range(0.1, 10.0)).collect();
+        let k = rng.usize_in(1, 3);
         // Build deterministic series from the seed values.
         let series: Vec<Vec<f64>> = seeds
             .iter()
@@ -70,8 +144,8 @@ proptest! {
             .collect();
         let k = k.min(series.len());
         let result = KShape::new(KShapeConfig::new(k)).fit(&series).unwrap();
-        prop_assert_eq!(result.assignments.len(), series.len());
-        prop_assert!(result.assignments.iter().all(|&a| a < k));
-        prop_assert!(result.iterations >= 1);
+        assert_eq!(result.assignments.len(), series.len(), "seed {seed}");
+        assert!(result.assignments.iter().all(|&a| a < k), "seed {seed}");
+        assert!(result.iterations >= 1, "seed {seed}");
     }
 }

@@ -1,11 +1,10 @@
 //! Pipeline configuration.
 
-use serde::{Deserialize, Serialize};
 use sieve_causality::granger::GrangerConfig;
 
 /// Configuration of the Sieve pipeline, defaulting to the values used in the
 /// paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SieveConfig {
     /// Discretisation interval for all metric time series (500 ms in §3.2).
     pub interval_ms: u64,
@@ -24,7 +23,9 @@ pub struct SieveConfig {
     /// differencing).
     pub granger: GrangerConfig,
     /// Number of worker threads used for per-component clustering and
-    /// per-edge causality testing (1 disables parallelism).
+    /// per-edge causality testing (1 disables parallelism). An explicit
+    /// setting is honoured exactly by the executor; the default adapts to
+    /// the hardware ([`sieve_exec::par::hardware_parallelism`]).
     pub parallelism: usize,
 }
 
@@ -37,7 +38,7 @@ impl Default for SieveConfig {
             max_clusters: 7,
             kshape_max_iterations: 50,
             granger: GrangerConfig::default(),
-            parallelism: 4,
+            parallelism: sieve_exec::par::hardware_parallelism(),
         }
     }
 }
@@ -117,13 +118,18 @@ mod tests {
         assert_eq!(c.parallelism, 1);
         assert!(c.validate().is_ok());
 
-        assert!(SieveConfig::default().with_interval_ms(0).validate().is_err());
+        assert!(SieveConfig::default()
+            .with_interval_ms(0)
+            .validate()
+            .is_err());
         assert!(SieveConfig::default()
             .with_cluster_range(5, 2)
             .validate()
             .is_err());
-        let mut bad = SieveConfig::default();
-        bad.variance_threshold = -1.0;
+        let bad = SieveConfig {
+            variance_threshold: -1.0,
+            ..SieveConfig::default()
+        };
         assert!(bad.validate().is_err());
     }
 }

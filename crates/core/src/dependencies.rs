@@ -9,29 +9,36 @@
 //! directions, the significant directions become edges annotated with the
 //! detected lag, and metric pairs that cause each other in both directions
 //! are filtered out as likely artefacts of a hidden common cause.
+//!
+//! The comparisons run per-edge through [`sieve_exec::par_map_chunks`] — the
+//! same executor as the reduction step — and the candidate-edge list comes
+//! back in plan order, so the resulting graph is identical regardless of the
+//! parallelism degree. The series lookup borrows the `Arc`-shared prepared
+//! buffers; nothing on this path clones a string or a sample vector.
 
 use crate::config::SieveConfig;
 use crate::model::ComponentClustering;
 use crate::reduce::NamedSeries;
 use crate::Result;
 use sieve_causality::granger::granger_causes;
+use sieve_exec::{par_map_chunks, Name};
 use sieve_graph::{CallGraph, DependencyEdge, DependencyGraph};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One Granger comparison that should be executed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Comparison {
-    source_component: String,
-    source_metric: String,
-    target_component: String,
-    target_metric: String,
+    source_component: Name,
+    source_metric: Name,
+    target_component: Name,
+    target_metric: Name,
 }
 
 /// Builds the list of metric pairs to test from the call graph and the
 /// per-component representative metrics.
 fn comparisons(
     call_graph: &CallGraph,
-    clusterings: &BTreeMap<String, ComponentClustering>,
+    clusterings: &BTreeMap<Name, ComponentClustering>,
 ) -> Vec<Comparison> {
     let mut out = Vec::new();
     for (caller, callee) in call_graph.communicating_pairs() {
@@ -60,7 +67,7 @@ fn comparisons(
 /// Number of pairwise tests a naive all-pairs/all-metrics approach would
 /// need, for comparison against the call-graph-restricted plan (used by the
 /// ablation bench).
-pub fn naive_comparison_count(clusterings: &BTreeMap<String, ComponentClustering>) -> usize {
+pub fn naive_comparison_count(clusterings: &BTreeMap<Name, ComponentClustering>) -> usize {
     let components: Vec<&ComponentClustering> = clusterings.values().collect();
     let mut count = 0;
     for (i, a) in components.iter().enumerate() {
@@ -77,15 +84,15 @@ pub fn naive_comparison_count(clusterings: &BTreeMap<String, ComponentClustering
 /// Number of pairwise tests Sieve actually performs.
 pub fn planned_comparison_count(
     call_graph: &CallGraph,
-    clusterings: &BTreeMap<String, ComponentClustering>,
+    clusterings: &BTreeMap<Name, ComponentClustering>,
 ) -> usize {
     comparisons(call_graph, clusterings).len() * 2
 }
 
 /// Runs the Granger comparisons and assembles the dependency graph.
 ///
-/// `series` maps each component to its prepared (resampled) metric series —
-/// the same data the reduction step ran on.
+/// `series` maps each component to its prepared (resampled, `Arc`-shared)
+/// metric series — the same buffers the reduction step ran on.
 ///
 /// # Errors
 ///
@@ -93,90 +100,73 @@ pub fn planned_comparison_count(
 /// that fail because a series is too short or degenerate are simply skipped
 /// (no edge is produced).
 pub fn identify_dependencies(
-    series: &BTreeMap<String, Vec<NamedSeries>>,
-    clusterings: &BTreeMap<String, ComponentClustering>,
+    series: &BTreeMap<Name, Vec<NamedSeries>>,
+    clusterings: &BTreeMap<Name, ComponentClustering>,
     call_graph: &CallGraph,
     config: &SieveConfig,
 ) -> Result<DependencyGraph> {
     let plan = comparisons(call_graph, clusterings);
 
-    // Index the prepared series for O(1) lookup.
-    let mut lookup: BTreeMap<(&str, &str), &[f64]> = BTreeMap::new();
+    // Index the prepared series for O(1) lookup. Keys borrow the interned
+    // names, values borrow the shared buffers — no clones on this path.
+    let mut lookup: HashMap<(&str, &str), &[f64]> = HashMap::new();
     for (component, list) in series {
         for s in list {
             lookup.insert((component.as_str(), s.name.as_str()), &s.values);
         }
     }
 
-    // Each comparison is tested in both directions; results are collected as
-    // candidate edges and the bidirectional ones are filtered at the end.
-    let workers = config.parallelism.max(1).min(plan.len().max(1));
-    let chunk_size = plan.len().div_ceil(workers.max(1)).max(1);
-    let mut candidate_edges: Vec<DependencyEdge> = Vec::new();
-
-    let run_chunk = |chunk: &[Comparison]| -> Vec<DependencyEdge> {
+    // Each comparison is tested in both directions (the callee may drive the
+    // caller, e.g. back-pressure); the per-edge work runs through the shared
+    // executor and the candidate edges are concatenated in plan order.
+    let per_comparison = |cmp: &Comparison| -> Vec<DependencyEdge> {
         let mut edges = Vec::new();
-        for cmp in chunk {
-            let Some(&source) = lookup.get(&(
-                cmp.source_component.as_str(),
-                cmp.source_metric.as_str(),
-            )) else {
-                continue;
-            };
-            let Some(&target) = lookup.get(&(
-                cmp.target_component.as_str(),
-                cmp.target_metric.as_str(),
-            )) else {
-                continue;
-            };
-            // Forward direction: caller metric Granger-causes callee metric.
-            if let Ok(result) = granger_causes(source, target, &config.granger) {
-                if result.causal {
-                    edges.push(DependencyEdge {
-                        source_component: cmp.source_component.clone(),
-                        source_metric: cmp.source_metric.clone(),
-                        target_component: cmp.target_component.clone(),
-                        target_metric: cmp.target_metric.clone(),
-                        p_value: result.p_value,
-                        f_statistic: result.f_statistic,
-                        lag_ms: result.best_lag as u64 * config.interval_ms,
-                    });
-                }
+        let Some(&source) =
+            lookup.get(&(cmp.source_component.as_str(), cmp.source_metric.as_str()))
+        else {
+            return edges;
+        };
+        let Some(&target) =
+            lookup.get(&(cmp.target_component.as_str(), cmp.target_metric.as_str()))
+        else {
+            return edges;
+        };
+        // Forward direction: caller metric Granger-causes callee metric.
+        if let Ok(result) = granger_causes(source, target, &config.granger) {
+            if result.causal {
+                edges.push(DependencyEdge {
+                    source_component: cmp.source_component.clone(),
+                    source_metric: cmp.source_metric.clone(),
+                    target_component: cmp.target_component.clone(),
+                    target_metric: cmp.target_metric.clone(),
+                    p_value: result.p_value,
+                    f_statistic: result.f_statistic,
+                    lag_ms: result.best_lag as u64 * config.interval_ms,
+                });
             }
-            // Reverse direction: the callee may drive the caller (e.g.
-            // back-pressure); the edge direction is whatever Granger says.
-            if let Ok(result) = granger_causes(target, source, &config.granger) {
-                if result.causal {
-                    edges.push(DependencyEdge {
-                        source_component: cmp.target_component.clone(),
-                        source_metric: cmp.target_metric.clone(),
-                        target_component: cmp.source_component.clone(),
-                        target_metric: cmp.source_metric.clone(),
-                        p_value: result.p_value,
-                        f_statistic: result.f_statistic,
-                        lag_ms: result.best_lag as u64 * config.interval_ms,
-                    });
-                }
+        }
+        // Reverse direction: the edge direction is whatever Granger says.
+        if let Ok(result) = granger_causes(target, source, &config.granger) {
+            if result.causal {
+                edges.push(DependencyEdge {
+                    source_component: cmp.target_component.clone(),
+                    source_metric: cmp.target_metric.clone(),
+                    target_component: cmp.source_component.clone(),
+                    target_metric: cmp.source_metric.clone(),
+                    p_value: result.p_value,
+                    f_statistic: result.f_statistic,
+                    lag_ms: result.best_lag as u64 * config.interval_ms,
+                });
             }
         }
         edges
     };
 
-    if workers <= 1 || plan.len() <= 1 {
-        candidate_edges = run_chunk(&plan);
-    } else {
-        let chunks: Vec<&[Comparison]> = plan.chunks(chunk_size).collect();
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| scope.spawn(|_| run_chunk(chunk)))
-                .collect();
-            for handle in handles {
-                candidate_edges.extend(handle.join().expect("worker thread panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
-    }
+    let candidate_edges: Vec<DependencyEdge> =
+        par_map_chunks(config.parallelism, &plan, per_comparison)
+            .into_iter()
+            .flatten()
+            .collect();
 
     let mut graph = DependencyGraph::new();
     for component in clusterings.keys() {
@@ -199,14 +189,14 @@ mod tests {
 
     fn clustering(component: &str, reps: Vec<&str>) -> ComponentClustering {
         ComponentClustering {
-            component: component.to_string(),
+            component: component.into(),
             total_metrics: reps.len(),
             filtered_metrics: vec![],
             clusters: reps
                 .iter()
                 .map(|r| MetricCluster {
-                    members: vec![r.to_string()],
-                    representative: r.to_string(),
+                    members: vec![Name::new(r)],
+                    representative: Name::new(r),
                     representative_distance: 0.0,
                 })
                 .collect(),
@@ -219,9 +209,8 @@ mod tests {
         // Mix the index and the seed with different multipliers so that
         // streams with nearby seeds are genuinely independent (and not
         // shifted copies of each other).
-        let mut s = (i as u64 + 1)
-            .wrapping_mul(0x9E3779B97F4A7C15)
-            ^ seed.wrapping_mul(0xD1B54A32D192ED03);
+        let mut s =
+            (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed.wrapping_mul(0xD1B54A32D192ED03);
         s ^= s >> 33;
         s = s.wrapping_mul(0xff51afd7ed558ccd);
         s ^= s >> 29;
@@ -232,12 +221,14 @@ mod tests {
     /// `backend/queries` with a one-step lag and `backend/noise` is
     /// unrelated.
     fn scenario() -> (
-        BTreeMap<String, Vec<NamedSeries>>,
-        BTreeMap<String, ComponentClustering>,
+        BTreeMap<Name, Vec<NamedSeries>>,
+        BTreeMap<Name, ComponentClustering>,
         CallGraph,
     ) {
         let n = 240;
-        let requests: Vec<f64> = (0..n).map(|i| 50.0 + 30.0 * ((i as f64) * 0.2).sin() + 3.0 * noise(i, 1)).collect();
+        let requests: Vec<f64> = (0..n)
+            .map(|i| 50.0 + 30.0 * ((i as f64) * 0.2).sin() + 3.0 * noise(i, 1))
+            .collect();
         let queries: Vec<f64> = (0..n)
             .map(|i| {
                 if i == 0 {
@@ -251,30 +242,24 @@ mod tests {
 
         let mut series = BTreeMap::new();
         series.insert(
-            "frontend".to_string(),
-            vec![NamedSeries {
-                name: "requests".into(),
-                values: requests,
-            }],
+            Name::new("frontend"),
+            vec![NamedSeries::new("requests", requests)],
         );
         series.insert(
-            "backend".to_string(),
+            Name::new("backend"),
             vec![
-                NamedSeries {
-                    name: "queries".into(),
-                    values: queries,
-                },
-                NamedSeries {
-                    name: "noise".into(),
-                    values: unrelated,
-                },
+                NamedSeries::new("queries", queries),
+                NamedSeries::new("noise", unrelated),
             ],
         );
 
         let mut clusterings = BTreeMap::new();
-        clusterings.insert("frontend".to_string(), clustering("frontend", vec!["requests"]));
         clusterings.insert(
-            "backend".to_string(),
+            Name::new("frontend"),
+            clustering("frontend", vec!["requests"]),
+        );
+        clusterings.insert(
+            Name::new("backend"),
             clustering("backend", vec!["queries", "noise"]),
         );
 
@@ -295,20 +280,19 @@ mod tests {
             .iter()
             .any(|e| e.source_metric == "requests" && e.target_metric == "queries"));
         // The unrelated noise metric does not get an edge from requests.
-        assert!(!edges
-            .iter()
-            .any(|e| e.target_metric == "noise"));
+        assert!(!edges.iter().any(|e| e.target_metric == "noise"));
         // The detected lag is a small multiple of the interval.
-        let edge = edges
-            .iter()
-            .find(|e| e.target_metric == "queries")
-            .unwrap();
-        assert!(edge.lag_ms >= 500 && edge.lag_ms <= 1500, "lag {}", edge.lag_ms);
+        let edge = edges.iter().find(|e| e.target_metric == "queries").unwrap();
+        assert!(
+            edge.lag_ms >= 500 && edge.lag_ms <= 1500,
+            "lag {}",
+            edge.lag_ms
+        );
         assert!(edge.p_value < 0.05);
     }
 
     #[test]
-    fn parallel_and_serial_execution_agree() {
+    fn parallel_and_serial_execution_produce_identical_graphs() {
         let (series, clusterings, call_graph) = scenario();
         let serial = identify_dependencies(
             &series,
@@ -324,7 +308,9 @@ mod tests {
             &SieveConfig::default().with_parallelism(4),
         )
         .unwrap();
-        assert_eq!(serial.edge_count(), parallel.edge_count());
+        // Same edges in the same order, with identical statistics — the
+        // executor guarantees plan-order results.
+        assert_eq!(serial, parallel);
     }
 
     #[test]
@@ -337,7 +323,7 @@ mod tests {
         // With more components not in the call graph, the naive count grows
         // but the planned count does not.
         let mut clusterings2 = clusterings.clone();
-        clusterings2.insert("idle".to_string(), clustering("idle", vec!["m1", "m2"]));
+        clusterings2.insert(Name::new("idle"), clustering("idle", vec!["m1", "m2"]));
         assert_eq!(planned_comparison_count(&call_graph, &clusterings2), 4);
         assert!(naive_comparison_count(&clusterings2) > 4);
     }
@@ -371,5 +357,82 @@ mod tests {
         )
         .unwrap();
         assert!(graph.edges_between("backend", "backend").is_empty());
+    }
+
+    #[test]
+    fn mutually_causal_metric_pairs_are_filtered_out() {
+        // x and y drive each other (shifted copies of a common signal), so
+        // Granger finds significance in both directions — the classic
+        // hidden-common-cause artefact §3.3 filters.
+        let n = 240;
+        let base: Vec<f64> = (0..n)
+            .map(|i| 40.0 + 25.0 * ((i as f64) * 0.25).sin() + 2.0 * noise(i, 11))
+            .collect();
+        let x: Vec<f64> = (0..n).map(|i| base[i] + 0.5 * noise(i, 12)).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    0.0
+                } else {
+                    base[i - 1] + 0.5 * noise(i, 13)
+                }
+            })
+            .collect();
+
+        let mut series = BTreeMap::new();
+        series.insert(Name::new("a"), vec![NamedSeries::new("x", x)]);
+        series.insert(Name::new("b"), vec![NamedSeries::new("y", y)]);
+        let mut clusterings = BTreeMap::new();
+        clusterings.insert(Name::new("a"), clustering("a", vec!["x"]));
+        clusterings.insert(Name::new("b"), clustering("b", vec!["y"]));
+        let mut call_graph = CallGraph::new();
+        call_graph.record_call("a", "b");
+
+        let config = SieveConfig::default().with_parallelism(1);
+
+        // Sanity-check the setup: both directions really are significant
+        // before filtering (otherwise this test would pass vacuously).
+        let forward = sieve_causality::granger::granger_causes(
+            &series["a"][0].values,
+            &series["b"][0].values,
+            &config.granger,
+        )
+        .unwrap();
+        let backward = sieve_causality::granger::granger_causes(
+            &series["b"][0].values,
+            &series["a"][0].values,
+            &config.granger,
+        )
+        .unwrap();
+        assert!(
+            forward.causal && backward.causal,
+            "scenario must be bidirectionally causal (forward p={}, backward p={})",
+            forward.p_value,
+            backward.p_value
+        );
+
+        let graph = identify_dependencies(&series, &clusterings, &call_graph, &config).unwrap();
+        assert_eq!(
+            graph.edge_count(),
+            0,
+            "bidirectional x<->y edges must be dropped"
+        );
+        // The components themselves are still registered as nodes.
+        assert_eq!(graph.component_count(), 2);
+    }
+
+    #[test]
+    fn missing_prepared_series_produce_no_edges() {
+        let (_, clusterings, call_graph) = scenario();
+        // Clusterings reference metrics that have no prepared series at all.
+        let empty: BTreeMap<Name, Vec<NamedSeries>> = BTreeMap::new();
+        let graph = identify_dependencies(
+            &empty,
+            &clusterings,
+            &call_graph,
+            &SieveConfig::default().with_parallelism(2),
+        )
+        .unwrap();
+        assert_eq!(graph.edge_count(), 0);
     }
 }

@@ -93,10 +93,8 @@ mod tests {
         assert!(!e.to_string().is_empty());
         let e: SieveError = sieve_causality::CausalityError::SingularMatrix.into();
         assert!(!e.to_string().is_empty());
-        let e: SieveError = sieve_simulator::SimulatorError::InvalidSpec {
-            reason: "x".into(),
-        }
-        .into();
+        let e: SieveError =
+            sieve_simulator::SimulatorError::InvalidSpec { reason: "x".into() }.into();
         assert!(!e.to_string().is_empty());
     }
 

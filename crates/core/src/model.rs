@@ -1,17 +1,22 @@
 //! The output model of a Sieve analysis.
+//!
+//! All component and metric identifiers in the model are interned
+//! [`Name`]s: cloning a model (or lifting names out of it into the RCA and
+//! autoscaling engines) bumps reference counts instead of copying strings,
+//! and lookups hit the interner's pointer-equality fast path.
 
-use serde::{Deserialize, Serialize};
+use sieve_exec::Name;
 use sieve_graph::DependencyGraph;
 use std::collections::BTreeMap;
 
 /// One cluster of similarly behaving metrics within a component.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricCluster {
     /// Names of the metrics assigned to this cluster.
-    pub members: Vec<String>,
+    pub members: Vec<Name>,
     /// The representative metric: the member closest (by shape-based
     /// distance) to the cluster centroid.
-    pub representative: String,
+    pub representative: Name,
     /// Shape-based distance between the representative and the centroid.
     pub representative_distance: f64,
 }
@@ -29,14 +34,14 @@ impl MetricCluster {
 }
 
 /// The clustering of one component's metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComponentClustering {
     /// Component name.
-    pub component: String,
+    pub component: Name,
     /// Total number of metrics the component exported.
     pub total_metrics: usize,
     /// Metrics dropped by the variance filter.
-    pub filtered_metrics: Vec<String>,
+    pub filtered_metrics: Vec<Name>,
     /// The clusters of the remaining metrics.
     pub clusters: Vec<MetricCluster>,
     /// Silhouette score of the chosen clustering (under SBD).
@@ -47,7 +52,7 @@ pub struct ComponentClustering {
 
 impl ComponentClustering {
     /// The representative metrics of this component (one per cluster).
-    pub fn representatives(&self) -> Vec<String> {
+    pub fn representatives(&self) -> Vec<Name> {
         self.clusters
             .iter()
             .map(|c| c.representative.clone())
@@ -55,7 +60,7 @@ impl ComponentClustering {
     }
 
     /// All metrics that survived the variance filter.
-    pub fn clustered_metrics(&self) -> Vec<String> {
+    pub fn clustered_metrics(&self) -> Vec<Name> {
         self.clusters
             .iter()
             .flat_map(|c| c.members.iter().cloned())
@@ -79,12 +84,12 @@ impl ComponentClustering {
 
 /// The complete result of a Sieve analysis: per-component clusterings plus
 /// the metric dependency graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SieveModel {
     /// Name of the analysed application.
     pub application: String,
     /// Per-component clustering results, keyed by component name.
-    pub clusterings: BTreeMap<String, ComponentClustering>,
+    pub clusterings: BTreeMap<Name, ComponentClustering>,
     /// The dependency graph over representative metrics.
     pub dependency_graph: DependencyGraph,
 }
@@ -112,13 +117,14 @@ impl SieveModel {
 
     /// The representative metrics of every component, as
     /// `(component, metric)` pairs — the set an operator keeps monitoring.
-    pub fn representative_metrics(&self) -> Vec<(String, String)> {
+    pub fn representative_metrics(&self) -> Vec<(Name, Name)> {
         self.clusterings
             .values()
             .flat_map(|c| {
+                let component = c.component.clone();
                 c.representatives()
                     .into_iter()
-                    .map(move |m| (c.component.clone(), m))
+                    .map(move |m| (component.clone(), m))
             })
             .collect()
     }
@@ -135,14 +141,14 @@ mod tests {
 
     fn clustering(component: &str, total: usize, clusters: Vec<Vec<&str>>) -> ComponentClustering {
         ComponentClustering {
-            component: component.to_string(),
+            component: component.into(),
             total_metrics: total,
             filtered_metrics: vec![],
             clusters: clusters
                 .into_iter()
                 .map(|members| MetricCluster {
-                    representative: members[0].to_string(),
-                    members: members.into_iter().map(String::from).collect(),
+                    representative: members[0].into(),
+                    members: members.into_iter().map(Name::from).collect(),
                     representative_distance: 0.1,
                 })
                 .collect(),
@@ -168,9 +174,10 @@ mod tests {
             application: "test".into(),
             ..Default::default()
         };
-        model
-            .clusterings
-            .insert("web".into(), clustering("web", 30, vec![vec!["a"], vec!["b", "c"]]));
+        model.clusterings.insert(
+            "web".into(),
+            clustering("web", 30, vec![vec!["a"], vec!["b", "c"]]),
+        );
         model
             .clusterings
             .insert("db".into(), clustering("db", 20, vec![vec!["q"]]));
@@ -198,10 +205,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_equality_roundtrip() {
         let c = clustering("web", 10, vec![vec!["cpu", "mem"]]);
-        let json = serde_json::to_string(&c).unwrap();
-        let back: ComponentClustering = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, c);
+        let copy = c.clone();
+        assert_eq!(copy, c);
     }
 }

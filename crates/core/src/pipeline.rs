@@ -4,12 +4,19 @@
 //! record metrics and the call graph); [`Sieve::analyze`] chains steps 2 and
 //! 3 on recorded data; [`Sieve::analyze_application`] does all three in one
 //! call, which is what the examples and the benchmark harness use.
+//!
+//! Both parallel stages — per-component reduction (step 2) and per-edge
+//! Granger testing (step 3) — run through the shared
+//! [`sieve_exec::par_map_chunks`] executor. The executor returns results in
+//! input order, so a `parallelism = 1` run and a `parallelism = N` run
+//! produce *identical* [`SieveModel`]s, not merely equivalent ones.
 
 use crate::config::SieveConfig;
 use crate::dependencies::identify_dependencies;
 use crate::model::{ComponentClustering, SieveModel};
 use crate::reduce::{prepare_series, reduce_component, NamedSeries};
 use crate::{Result, SieveError};
+use sieve_exec::{try_par_map_chunks, Name};
 use sieve_graph::CallGraph;
 use sieve_simulator::app::AppSpec;
 use sieve_simulator::engine::{SimConfig, Simulation};
@@ -22,6 +29,9 @@ pub const DEFAULT_LOAD_DURATION_MS: u64 = 150_000;
 
 /// Step 1: loads the application under the given workload and records every
 /// exported metric plus the component call graph.
+///
+/// The finished simulation is consumed via [`Simulation::into_parts`], so
+/// the recorded store and call graph are moved out, not copied.
 ///
 /// # Errors
 ///
@@ -36,10 +46,10 @@ pub fn load_application(
     let sim_config = SimConfig::new(seed)
         .with_tick_ms(interval_ms)
         .with_duration_ms(duration_ms);
-    let mut simulation = Simulation::new(spec.clone(), workload.clone(), sim_config)
-        .map_err(SieveError::from)?;
+    let mut simulation =
+        Simulation::new(spec.clone(), workload.clone(), sim_config).map_err(SieveError::from)?;
     simulation.run_to_completion();
-    Ok((simulation.store().clone(), simulation.call_graph()))
+    Ok(simulation.into_parts())
 }
 
 /// The Sieve analysis pipeline.
@@ -60,9 +70,10 @@ impl Sieve {
     }
 
     /// Prepares (resamples and truncates) the series of every component in
-    /// the store.
-    pub fn prepare(&self, store: &MetricStore) -> BTreeMap<String, Vec<NamedSeries>> {
-        let mut out: BTreeMap<String, Vec<NamedSeries>> = BTreeMap::new();
+    /// the store. The returned series are `Arc`-shared: steps 2 and 3 both
+    /// read these buffers without re-copying them.
+    pub fn prepare(&self, store: &MetricStore) -> BTreeMap<Name, Vec<NamedSeries>> {
+        let mut out: BTreeMap<Name, Vec<NamedSeries>> = BTreeMap::new();
         for component in store.components() {
             let raw: Vec<_> = store
                 .metric_ids_of(&component)
@@ -95,45 +106,18 @@ impl Sieve {
         }
         let prepared = self.prepare(store);
 
-        // Step 2: per-component metric reduction, optionally in parallel.
-        let components: Vec<(&String, &Vec<NamedSeries>)> = prepared.iter().collect();
-        let workers = self.config.parallelism.max(1).min(components.len().max(1));
-        let mut clusterings: BTreeMap<String, ComponentClustering> = BTreeMap::new();
-        if workers <= 1 || components.len() <= 1 {
-            for (component, series) in &components {
-                let clustering = reduce_component(component, series, &self.config)?;
-                clusterings.insert((*component).clone(), clustering);
-            }
-        } else {
-            let chunk_size = components.len().div_ceil(workers).max(1);
-            let chunks: Vec<_> = components.chunks(chunk_size).collect();
-            let results = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|chunk| {
-                        let config = &self.config;
-                        scope.spawn(move |_| {
-                            chunk
-                                .iter()
-                                .map(|(component, series)| {
-                                    reduce_component(component, series, config)
-                                        .map(|c| ((*component).clone(), c))
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("clustering worker panicked"))
-                    .collect::<Vec<_>>()
-            })
-            .expect("crossbeam scope failed");
-            for result in results {
-                let (component, clustering) = result?;
-                clusterings.insert(component, clustering);
-            }
-        }
+        // Step 2: per-component metric reduction through the shared
+        // executor; results come back in component order.
+        let components: Vec<(&Name, &Vec<NamedSeries>)> = prepared.iter().collect();
+        let reduced = try_par_map_chunks(
+            self.config.parallelism,
+            &components,
+            |(component, series)| {
+                reduce_component((*component).clone(), series, &self.config)
+                    .map(|clustering| ((*component).clone(), clustering))
+            },
+        )?;
+        let clusterings: BTreeMap<Name, ComponentClustering> = reduced.into_iter().collect();
 
         // Step 3: dependency identification over the call graph.
         let dependency_graph =
@@ -196,7 +180,10 @@ mod tests {
                     "lb_requests_per_second",
                     MetricBehavior::load_proportional(1.0),
                 ))
-                .with_metric(MetricSpec::gauge("lb_cpu_usage", MetricBehavior::cpu_like(0.4)))
+                .with_metric(MetricSpec::gauge(
+                    "lb_cpu_usage",
+                    MetricBehavior::cpu_like(0.4),
+                ))
                 .with_metric(MetricSpec::gauge(
                     "lb_buffer_size",
                     MetricBehavior::constant(128.0),
@@ -213,7 +200,10 @@ mod tests {
                     "api_latency_ms",
                     MetricBehavior::latency(40.0, 90.0),
                 ))
-                .with_metric(MetricSpec::gauge("api_cpu_usage", MetricBehavior::cpu_like(1.0)))
+                .with_metric(MetricSpec::gauge(
+                    "api_cpu_usage",
+                    MetricBehavior::cpu_like(1.0),
+                ))
                 .with_metric(MetricSpec::gauge(
                     "api_threads_max",
                     MetricBehavior::constant(32.0),
@@ -258,7 +248,7 @@ mod tests {
         assert_eq!(model.clusterings.len(), 3);
         // Constants are filtered.
         let lb = model.clustering_of("lb").unwrap();
-        assert!(lb.filtered_metrics.contains(&"lb_buffer_size".to_string()));
+        assert!(lb.filtered_metrics.iter().any(|m| m == "lb_buffer_size"));
         // The metric space shrinks.
         assert!(model.total_representative_count() < model.total_metric_count());
         assert!(model.overall_reduction_factor() > 1.0);
@@ -303,7 +293,10 @@ mod tests {
         // 120 ticks of 500 ms.
         assert_eq!(
             store
-                .series(&sieve_simulator::store::MetricId::new("db", "db_queries_per_second"))
+                .series(&sieve_simulator::store::MetricId::new(
+                    "db",
+                    "db_queries_per_second"
+                ))
                 .unwrap()
                 .len(),
             120
@@ -311,20 +304,48 @@ mod tests {
     }
 
     #[test]
-    fn serial_and_parallel_pipelines_agree_on_the_reduction() {
+    fn serial_and_parallel_pipelines_produce_identical_models() {
         let app = small_app();
         let (store, graph) =
             load_application(&app, &Workload::randomized(60.0, 1), 9, 90_000, 500).unwrap();
         let serial = Sieve::new(fast_config().with_parallelism(1))
             .analyze("small", &store, &graph)
             .unwrap();
-        let parallel = Sieve::new(fast_config().with_parallelism(4))
+        let parallel = Sieve::new(fast_config().with_parallelism(8))
             .analyze("small", &store, &graph)
             .unwrap();
+
+        // Full structural equality: clusterings (members, representatives,
+        // scores), dependency edges with their lags and statistics — not
+        // just matching counts.
+        assert_eq!(serial, parallel);
+
+        // Spell out the load-bearing pieces so a regression pinpoints
+        // itself even if `SieveModel`'s PartialEq ever loosens.
+        assert_eq!(serial.clusterings, parallel.clusterings);
+        for (s, p) in serial
+            .dependency_graph
+            .edges()
+            .iter()
+            .zip(parallel.dependency_graph.edges())
+        {
+            assert_eq!(s, p);
+        }
         assert_eq!(
-            serial.total_representative_count(),
-            parallel.total_representative_count()
+            serial.dependency_graph.edge_count(),
+            parallel.dependency_graph.edge_count()
         );
-        assert_eq!(serial.clusterings.keys().count(), parallel.clusterings.keys().count());
+        assert_eq!(
+            serial
+                .clusterings
+                .values()
+                .map(|c| c.representatives())
+                .collect::<Vec<_>>(),
+            parallel
+                .clusterings
+                .values()
+                .map(|c| c.representatives())
+                .collect::<Vec<_>>()
+        );
     }
 }

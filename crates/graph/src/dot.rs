@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn empty_graphs_render_valid_dot() {
-        assert_eq!(call_graph_to_dot(&CallGraph::new()), "digraph callgraph {\n}\n");
+        assert_eq!(
+            call_graph_to_dot(&CallGraph::new()),
+            "digraph callgraph {\n}\n"
+        );
         assert_eq!(
             dependency_graph_to_dot(&DependencyGraph::new()),
             "digraph dependencies {\n}\n"

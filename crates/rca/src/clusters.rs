@@ -10,27 +10,27 @@
 //! that new metrics added in the faulty cluster do not penalise the match.
 
 use crate::metrics::MetricDiff;
-use serde::{Deserialize, Serialize};
 use sieve_core::model::{ComponentClustering, SieveModel};
+use sieve_exec::Name;
 use std::collections::BTreeSet;
 
 /// Modified Jaccard similarity between a correct-version cluster and a
 /// faulty-version cluster (equation 2 of the paper).
-pub fn cluster_similarity(correct_members: &[String], faulty_members: &[String]) -> f64 {
+pub fn cluster_similarity(correct_members: &[Name], faulty_members: &[Name]) -> f64 {
     if correct_members.is_empty() {
         return 0.0;
     }
-    let correct: BTreeSet<&String> = correct_members.iter().collect();
-    let faulty: BTreeSet<&String> = faulty_members.iter().collect();
+    let correct: BTreeSet<&Name> = correct_members.iter().collect();
+    let faulty: BTreeSet<&Name> = faulty_members.iter().collect();
     correct.intersection(&faulty).count() as f64 / correct.len() as f64
 }
 
 /// Novelty and similarity of one faulty-version (or vanished
 /// correct-version) cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterAssessment {
     /// Component the cluster belongs to.
-    pub component: String,
+    pub component: Name,
     /// Index of the cluster in the faulty version (`None` for clusters that
     /// only exist in the correct version).
     pub faulty_index: Option<usize>,
@@ -39,13 +39,13 @@ pub struct ClusterAssessment {
     /// Similarity to that best match (0 when there is none).
     pub similarity: f64,
     /// New metrics (per step 1) that live in this cluster.
-    pub new_metrics: Vec<String>,
+    pub new_metrics: Vec<Name>,
     /// Discarded metrics (per step 1) associated with this cluster (for
     /// vanished correct-version clusters these are their members).
-    pub discarded_metrics: Vec<String>,
+    pub discarded_metrics: Vec<Name>,
     /// All members of the cluster (faulty version when present, correct
     /// version otherwise).
-    pub members: Vec<String>,
+    pub members: Vec<Name>,
 }
 
 impl ClusterAssessment {
@@ -61,7 +61,7 @@ impl ClusterAssessment {
 }
 
 /// Aggregate counts over a component's clusters (one slice of Figure 7a).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ClusterNoveltyCounts {
     /// Clusters containing only new metrics (among their changed metrics).
     pub with_new_only: usize,
@@ -97,8 +97,8 @@ pub fn assess_component_clusters(
     let correct_clusters = correct.map(|c| c.clusters.as_slice()).unwrap_or(&empty);
     let faulty_clusters = faulty.map(|c| c.clusters.as_slice()).unwrap_or(&empty);
 
-    let new_set: BTreeSet<&String> = diff.new_metrics.iter().collect();
-    let discarded_set: BTreeSet<&String> = diff.discarded_metrics.iter().collect();
+    let new_set: BTreeSet<&Name> = diff.new_metrics.iter().collect();
+    let discarded_set: BTreeSet<&Name> = diff.discarded_metrics.iter().collect();
 
     let mut out = Vec::new();
 
@@ -111,7 +111,7 @@ pub fn assess_component_clusters(
                 best = Some((ci, s));
             }
         }
-        let new_metrics: Vec<String> = fc
+        let new_metrics: Vec<Name> = fc
             .members
             .iter()
             .filter(|m| new_set.contains(m))
@@ -119,7 +119,7 @@ pub fn assess_component_clusters(
             .collect();
         // Discarded metrics "associated" with this cluster: metrics that
         // disappeared from its best-matching correct cluster.
-        let discarded_metrics: Vec<String> = match best {
+        let discarded_metrics: Vec<Name> = match best {
             Some((ci, _)) => correct_clusters[ci]
                 .members
                 .iter()
@@ -129,7 +129,7 @@ pub fn assess_component_clusters(
             None => Vec::new(),
         };
         out.push(ClusterAssessment {
-            component: component.to_string(),
+            component: component.into(),
             faulty_index: Some(fi),
             matched_correct_index: best.map(|(ci, _)| ci),
             similarity: best.map(|(_, s)| s).unwrap_or(0.0),
@@ -145,7 +145,7 @@ pub fn assess_component_clusters(
         let vanished = cc.members.iter().all(|m| discarded_set.contains(m));
         if vanished && !cc.members.is_empty() {
             out.push(ClusterAssessment {
-                component: component.to_string(),
+                component: component.into(),
                 faulty_index: None,
                 matched_correct_index: None,
                 similarity: 0.0,
@@ -210,14 +210,14 @@ mod tests {
 
     fn clustering(component: &str, clusters: Vec<Vec<&str>>) -> ComponentClustering {
         ComponentClustering {
-            component: component.to_string(),
+            component: component.into(),
             total_metrics: clusters.iter().map(|c| c.len()).sum(),
             filtered_metrics: vec![],
             clusters: clusters
                 .into_iter()
                 .map(|members| MetricCluster {
-                    representative: members[0].to_string(),
-                    members: members.into_iter().map(String::from).collect(),
+                    representative: members[0].into(),
+                    members: members.into_iter().map(Name::from).collect(),
                     representative_distance: 0.05,
                 })
                 .collect(),
@@ -229,14 +229,19 @@ mod tests {
     fn model(component: &str, clusters: Vec<Vec<&str>>) -> SieveModel {
         let mut m = SieveModel::default();
         m.clusterings
-            .insert(component.to_string(), clustering(component, clusters));
+            .insert(component.into(), clustering(component, clusters));
         m
     }
 
     #[test]
     fn similarity_is_normalised_by_the_correct_cluster() {
-        let correct = vec!["a".to_string(), "b".to_string()];
-        let faulty = vec!["a".to_string(), "b".to_string(), "c".to_string(), "d".to_string()];
+        let correct = vec![Name::new("a"), Name::new("b")];
+        let faulty = vec![
+            Name::new("a"),
+            Name::new("b"),
+            Name::new("c"),
+            Name::new("d"),
+        ];
         // All correct members survive: similarity 1 despite the new metrics.
         assert_eq!(cluster_similarity(&correct, &faulty), 1.0);
         // Half the correct members survive.
@@ -254,7 +259,7 @@ mod tests {
         // The unchanged cluster has similarity 1 and no novelty.
         let stable = assessments
             .iter()
-            .find(|a| a.members.contains(&"cpu".to_string()))
+            .find(|a| a.members.iter().any(|m| m == "cpu"))
             .unwrap();
         assert_eq!(stable.similarity, 1.0);
         assert_eq!(stable.novelty_score(), 0);
@@ -262,7 +267,7 @@ mod tests {
         // its correct counterpart with similarity 0.5.
         let changed = assessments
             .iter()
-            .find(|a| a.members.contains(&"error".to_string()))
+            .find(|a| a.members.iter().any(|m| m == "error"))
             .unwrap();
         assert_eq!(changed.new_metrics, vec!["error"]);
         assert_eq!(changed.discarded_metrics, vec!["active"]);
@@ -276,7 +281,10 @@ mod tests {
         let faulty = model("agent", vec![vec!["cpu"]]);
         let diffs = metric_diffs(&correct, &faulty);
         let assessments = assess_all_clusters(&correct, &faulty, &diffs);
-        let vanished: Vec<_> = assessments.iter().filter(|a| a.faulty_index.is_none()).collect();
+        let vanished: Vec<_> = assessments
+            .iter()
+            .filter(|a| a.faulty_index.is_none())
+            .collect();
         assert_eq!(vanished.len(), 1);
         assert_eq!(vanished[0].discarded_metrics.len(), 2);
         assert_eq!(vanished[0].similarity, 0.0);

@@ -1,9 +1,7 @@
 //! RCA engine configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Thresholds steering the edge-filtering step.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RcaConfig {
     /// Minimum cluster similarity (modified Jaccard, §4.2 eq. 2) for an edge
     /// between "maintained" clusters to be considered interesting. The

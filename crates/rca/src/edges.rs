@@ -12,13 +12,13 @@
 
 use crate::clusters::ClusterAssessment;
 use crate::config::RcaConfig;
-use serde::{Deserialize, Serialize};
 use sieve_core::model::SieveModel;
+use sieve_exec::Name;
 use sieve_graph::DependencyEdge;
 use std::collections::BTreeSet;
 
 /// How an edge differs between the correct and faulty versions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeChangeKind {
     /// The edge exists only in the faulty version.
     New,
@@ -32,7 +32,7 @@ pub enum EdgeChangeKind {
 
 /// One dependency-graph edge annotated with its change classification and
 /// the cluster context needed for filtering.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgeDiff {
     /// The edge (taken from the faulty version when present there, otherwise
     /// from the correct version).
@@ -57,13 +57,12 @@ impl EdgeDiff {
         if self.change == EdgeChangeKind::Unchanged {
             return false;
         }
-        self.involves_novel_cluster
-            || self.min_endpoint_similarity >= config.similarity_threshold
+        self.involves_novel_cluster || self.min_endpoint_similarity >= config.similarity_threshold
     }
 }
 
 /// Counts of edge classifications (one group of bars in Figure 7b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EdgeNoveltyCounts {
     /// Edges present only in the faulty version.
     pub new: usize,
@@ -120,10 +119,8 @@ pub fn diff_edges(
                     correct_lag: Option<u64>,
                     faulty_lag: Option<u64>|
      -> EdgeDiff {
-        let source =
-            assessment_for(assessments, &edge.source_component, &edge.source_metric);
-        let target =
-            assessment_for(assessments, &edge.target_component, &edge.target_metric);
+        let source = assessment_for(assessments, &edge.source_component, &edge.source_metric);
+        let target = assessment_for(assessments, &edge.target_component, &edge.target_metric);
         let involves_novel_cluster = source
             .map(|a| a.is_novel(config.novelty_threshold))
             .unwrap_or(false)
@@ -186,8 +183,8 @@ pub fn diff_edges(
 pub fn edge_novelty_counts(diffs: &[EdgeDiff], config: &RcaConfig) -> EdgeNoveltyCounts {
     let mut counts = EdgeNoveltyCounts::default();
     for d in diffs {
-        let admitted = d.involves_novel_cluster
-            || d.min_endpoint_similarity >= config.similarity_threshold;
+        let admitted =
+            d.involves_novel_cluster || d.min_endpoint_similarity >= config.similarity_threshold;
         if !admitted {
             continue;
         }
@@ -208,9 +205,9 @@ pub fn surviving_scope(
     assessments: &[ClusterAssessment],
     config: &RcaConfig,
 ) -> (usize, usize, usize) {
-    let mut components: BTreeSet<String> = BTreeSet::new();
-    let mut clusters: BTreeSet<(String, Option<usize>)> = BTreeSet::new();
-    let mut metrics: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut components: BTreeSet<Name> = BTreeSet::new();
+    let mut clusters: BTreeSet<(Name, Option<usize>)> = BTreeSet::new();
+    let mut metrics: BTreeSet<(Name, Name)> = BTreeSet::new();
     for d in diffs.iter().filter(|d| d.is_interesting(config)) {
         for (component, metric) in [
             (&d.edge.source_component, &d.edge.source_metric),
@@ -241,14 +238,14 @@ mod tests {
 
     fn clustering(component: &str, clusters: Vec<Vec<&str>>) -> ComponentClustering {
         ComponentClustering {
-            component: component.to_string(),
+            component: component.into(),
             total_metrics: clusters.iter().map(|c| c.len()).sum(),
             filtered_metrics: vec![],
             clusters: clusters
                 .into_iter()
                 .map(|members| MetricCluster {
-                    representative: members[0].to_string(),
-                    members: members.into_iter().map(String::from).collect(),
+                    representative: members[0].into(),
+                    members: members.into_iter().map(Name::from).collect(),
                     representative_distance: 0.05,
                 })
                 .collect(),

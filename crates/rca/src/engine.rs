@@ -4,30 +4,32 @@
 //! ordered by component, following the rank given in step 2. The metric list
 //! items include the metrics identified at steps 3 and 4." (§4.2)
 
-use crate::clusters::{assess_all_clusters, novelty_counts, ClusterAssessment, ClusterNoveltyCounts};
+use crate::clusters::{
+    assess_all_clusters, novelty_counts, ClusterAssessment, ClusterNoveltyCounts,
+};
 use crate::config::RcaConfig;
 use crate::edges::{diff_edges, edge_novelty_counts, surviving_scope, EdgeDiff, EdgeNoveltyCounts};
 use crate::metrics::{metric_diffs, rank_components, ComponentRanking, MetricDiff};
-use serde::{Deserialize, Serialize};
 use sieve_core::model::SieveModel;
+use sieve_exec::Name;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One entry of the final ranking: a candidate root-cause component with the
 /// metrics a developer should inspect.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankedCause {
     /// Final rank (1 = most likely related to the root cause).
     pub rank: usize,
     /// Component name.
-    pub component: String,
+    pub component: Name,
     /// Novelty score from step 2.
     pub novelty_score: usize,
     /// Metrics implicated by steps 3 and 4.
-    pub metrics: Vec<String>,
+    pub metrics: Vec<Name>,
 }
 
 /// The full output of an RCA comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RcaReport {
     /// Step 1: per-component metric differences.
     pub metric_diffs: Vec<MetricDiff>,
@@ -109,18 +111,13 @@ impl RcaEngine {
         // Step 5: components surviving the edge filter, ordered by the
         // step-2 ranking; their metric lists combine the novel-cluster
         // metrics (step 3) and the metrics on interesting edges (step 4).
-        let surviving_components: BTreeSet<&String> = edge_diffs
+        let surviving_components: BTreeSet<&Name> = edge_diffs
             .iter()
             .filter(|d| d.is_interesting(&self.config))
-            .flat_map(|d| {
-                [
-                    &d.edge.source_component,
-                    &d.edge.target_component,
-                ]
-            })
+            .flat_map(|d| [&d.edge.source_component, &d.edge.target_component])
             .collect();
 
-        let mut metric_lists: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut metric_lists: BTreeMap<Name, BTreeSet<Name>> = BTreeMap::new();
         for d in edge_diffs.iter().filter(|d| d.is_interesting(&self.config)) {
             metric_lists
                 .entry(d.edge.source_component.clone())
@@ -183,14 +180,14 @@ mod tests {
 
     fn clustering(component: &str, clusters: Vec<Vec<&str>>) -> ComponentClustering {
         ComponentClustering {
-            component: component.to_string(),
+            component: component.into(),
             total_metrics: clusters.iter().map(|c| c.len()).sum::<usize>() + 1,
             filtered_metrics: vec!["some_constant".into()],
             clusters: clusters
                 .into_iter()
                 .map(|members| MetricCluster {
-                    representative: members[0].to_string(),
-                    members: members.into_iter().map(String::from).collect(),
+                    representative: members[0].into(),
+                    members: members.into_iter().map(Name::from).collect(),
                     representative_distance: 0.05,
                 })
                 .collect(),
@@ -220,7 +217,10 @@ mod tests {
             "nova-api".into(),
             clustering(
                 "nova-api",
-                vec![vec!["instances_active", "cpu", "build_rate"], vec!["req_rate"]],
+                vec![
+                    vec!["instances_active", "cpu", "build_rate"],
+                    vec!["req_rate"],
+                ],
             ),
         );
         correct.clusterings.insert(
@@ -232,14 +232,23 @@ mod tests {
             clustering("keystone", vec![vec!["auth_rate", "auth_cpu"]]),
         );
         let mut cg = DependencyGraph::new();
-        cg.add_edge(edge("nova-api", "instances_active", "neutron", "ports_active", 500));
+        cg.add_edge(edge(
+            "nova-api",
+            "instances_active",
+            "neutron",
+            "ports_active",
+            500,
+        ));
         cg.add_edge(edge("nova-api", "req_rate", "keystone", "auth_rate", 500));
         correct.dependency_graph = cg;
 
         let mut faulty = SieveModel::default();
         faulty.clusterings.insert(
             "nova-api".into(),
-            clustering("nova-api", vec![vec!["instances_error", "cpu"], vec!["req_rate"]]),
+            clustering(
+                "nova-api",
+                vec![vec!["instances_error", "cpu"], vec!["req_rate"]],
+            ),
         );
         faulty.clusterings.insert(
             "neutron".into(),
@@ -250,7 +259,13 @@ mod tests {
             clustering("keystone", vec![vec!["auth_rate", "auth_cpu"]]),
         );
         let mut fg = DependencyGraph::new();
-        fg.add_edge(edge("nova-api", "instances_error", "neutron", "ports_down", 500));
+        fg.add_edge(edge(
+            "nova-api",
+            "instances_error",
+            "neutron",
+            "ports_down",
+            500,
+        ));
         fg.add_edge(edge("nova-api", "req_rate", "keystone", "auth_rate", 500));
         faulty.dependency_graph = fg;
         (correct, faulty)

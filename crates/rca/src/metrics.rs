@@ -12,21 +12,21 @@
 //! technically exports it, which matches how the paper's OpenStack agent
 //! crash manifests.
 
-use serde::{Deserialize, Serialize};
 use sieve_core::model::SieveModel;
+use sieve_exec::Name;
 use std::collections::BTreeSet;
 
 /// Per-component metric differences between the correct and faulty versions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricDiff {
     /// Component name.
-    pub component: String,
+    pub component: Name,
     /// Metrics present (clustered) only in the faulty version.
-    pub new_metrics: Vec<String>,
+    pub new_metrics: Vec<Name>,
     /// Metrics present (clustered) only in the correct version.
-    pub discarded_metrics: Vec<String>,
+    pub discarded_metrics: Vec<Name>,
     /// Metrics present in both versions (healthy behaviour).
-    pub unchanged_metrics: Vec<String>,
+    pub unchanged_metrics: Vec<Name>,
     /// Total number of metrics the component exported (faulty version, or
     /// correct when the component vanished).
     pub total_metrics: usize,
@@ -40,10 +40,10 @@ impl MetricDiff {
 }
 
 /// One row of the step-2 component ranking (Table 5's left columns).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComponentRanking {
     /// Component name.
-    pub component: String,
+    pub component: Name,
     /// Novelty score (new + discarded metrics).
     pub novelty_score: usize,
     /// Number of new metrics.
@@ -56,30 +56,30 @@ pub struct ComponentRanking {
 
 /// Computes the per-component metric diff between two Sieve models.
 pub fn metric_diffs(correct: &SieveModel, faulty: &SieveModel) -> Vec<MetricDiff> {
-    let components: BTreeSet<&String> = correct
+    let components: BTreeSet<&Name> = correct
         .clusterings
         .keys()
         .chain(faulty.clusterings.keys())
         .collect();
     let mut out = Vec::new();
     for component in components {
-        let correct_metrics: BTreeSet<String> = correct
+        let correct_metrics: BTreeSet<Name> = correct
             .clustering_of(component)
             .map(|c| c.clustered_metrics().into_iter().collect())
             .unwrap_or_default();
-        let faulty_metrics: BTreeSet<String> = faulty
+        let faulty_metrics: BTreeSet<Name> = faulty
             .clustering_of(component)
             .map(|c| c.clustered_metrics().into_iter().collect())
             .unwrap_or_default();
-        let new_metrics: Vec<String> = faulty_metrics
+        let new_metrics: Vec<Name> = faulty_metrics
             .difference(&correct_metrics)
             .cloned()
             .collect();
-        let discarded_metrics: Vec<String> = correct_metrics
+        let discarded_metrics: Vec<Name> = correct_metrics
             .difference(&faulty_metrics)
             .cloned()
             .collect();
-        let unchanged_metrics: Vec<String> = correct_metrics
+        let unchanged_metrics: Vec<Name> = correct_metrics
             .intersection(&faulty_metrics)
             .cloned()
             .collect();
@@ -128,14 +128,14 @@ mod tests {
     fn model_with(component: &str, metrics: Vec<&str>) -> SieveModel {
         let mut model = SieveModel::default();
         model.clusterings.insert(
-            component.to_string(),
+            component.into(),
             ComponentClustering {
-                component: component.to_string(),
+                component: component.into(),
                 total_metrics: metrics.len() + 2,
                 filtered_metrics: vec!["constant_a".into(), "constant_b".into()],
                 clusters: vec![MetricCluster {
-                    members: metrics.iter().map(|m| m.to_string()).collect(),
-                    representative: metrics.first().unwrap_or(&"none").to_string(),
+                    members: metrics.iter().map(|m| Name::new(m)).collect(),
+                    representative: metrics.first().copied().unwrap_or("none").into(),
                     representative_distance: 0.1,
                 }],
                 silhouette: 0.6,

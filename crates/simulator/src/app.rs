@@ -8,11 +8,10 @@
 
 use crate::metrics::MetricSpec;
 use crate::{Result, SimulatorError};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One microservice component and the metrics it exports.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComponentSpec {
     /// Component name (unique within the application).
     pub name: String,
@@ -69,7 +68,7 @@ impl ComponentSpec {
 }
 
 /// A caller→callee RPC relationship along which load propagates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CallSpec {
     /// The calling component.
     pub caller: String,
@@ -108,7 +107,7 @@ impl CallSpec {
 }
 
 /// A complete application model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppSpec {
     /// Application name (e.g. "sharelatex").
     pub name: String,
@@ -215,8 +214,7 @@ impl AppSpec {
                     reason: format!("component `{}` exports no metrics", component.name),
                 });
             }
-            let mut names: Vec<&str> =
-                component.metrics.iter().map(|m| m.name.as_str()).collect();
+            let mut names: Vec<&str> = component.metrics.iter().map(|m| m.name.as_str()).collect();
             names.sort_unstable();
             let before = names.len();
             names.dedup();
@@ -248,7 +246,11 @@ mod tests {
                 .with_instances(2)
                 .with_capacity(50.0),
         );
-        app.add_call(CallSpec::new("frontend", "backend").with_fanout(2.0).with_lag_ms(1000));
+        app.add_call(
+            CallSpec::new("frontend", "backend")
+                .with_fanout(2.0)
+                .with_lag_ms(1000),
+        );
         app
     }
 

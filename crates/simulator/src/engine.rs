@@ -4,9 +4,10 @@
 //! discretisation Sieve itself uses):
 //!
 //! 1. the [`Workload`] offers an external request rate at the entrypoint;
-//! 2. load propagates along every [`CallSpec`] edge with the edge's fanout
-//!    and lag, so downstream components react *after* their callers — which
-//!    is exactly the temporal structure the Granger step later rediscovers;
+//! 2. load propagates along every [`CallSpec`](crate::app::CallSpec) edge
+//!    with the edge's fanout and lag, so downstream components react *after*
+//!    their callers — which is exactly the temporal structure the Granger
+//!    step later rediscovers;
 //! 3. every component's metrics are sampled from its per-instance load and
 //!    written to the [`MetricStore`];
 //! 4. the tracer records the caller→callee calls of the tick.
@@ -14,6 +15,10 @@
 //! The engine is deterministic for a given seed, supports changing instance
 //! counts while running (for the autoscaling case study) and reports an
 //! end-to-end request latency per tick (for SLA evaluation).
+//!
+//! All per-tick bookkeeping is keyed by interned [`Name`]s, and the
+//! [`MetricId`] of every exported metric is interned once at construction —
+//! the tick loop never touches the interner or clones a `String`.
 
 use crate::app::AppSpec;
 use crate::metrics::MetricState;
@@ -21,12 +26,12 @@ use crate::store::{MetricId, MetricStore};
 use crate::tracer::{Tracer, TracingMode};
 use crate::workload::Workload;
 use crate::{Result, SimulatorError};
-use serde::{Deserialize, Serialize};
+use sieve_exec::Name;
 use sieve_graph::CallGraph;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Simulation parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Seed for all deterministic noise.
     pub seed: u64,
@@ -71,7 +76,7 @@ impl SimConfig {
 }
 
 /// Per-tick state exposed to interactive drivers such as the autoscaler.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TickSnapshot {
     /// Tick index (0-based).
     pub tick: usize,
@@ -80,7 +85,7 @@ pub struct TickSnapshot {
     /// External request rate offered to the entrypoint during this tick.
     pub offered_load: f64,
     /// Per-instance load of every component.
-    pub component_loads: BTreeMap<String, f64>,
+    pub component_loads: BTreeMap<Name, f64>,
     /// Modelled end-to-end latency of a request entering at the entrypoint
     /// during this tick, in milliseconds.
     pub end_to_end_latency_ms: f64,
@@ -94,12 +99,16 @@ pub struct Simulation {
     config: SimConfig,
     store: MetricStore,
     tracer: Tracer,
-    metric_states: BTreeMap<String, Vec<MetricState>>,
-    request_history: BTreeMap<String, Vec<f64>>,
-    load_history: BTreeMap<String, Vec<f64>>,
-    instances: BTreeMap<String, usize>,
-    reachable: BTreeSet<String>,
-    latency_base_ms: BTreeMap<String, f64>,
+    /// Per component: every exported metric's interned id and evaluation
+    /// state, resolved once so the tick loop records without interning.
+    metric_states: BTreeMap<Name, Vec<(MetricId, MetricState)>>,
+    /// Interned caller/callee names of `spec.calls()`, index-aligned.
+    call_edges: Vec<(Name, Name)>,
+    request_history: BTreeMap<Name, Vec<f64>>,
+    load_history: BTreeMap<Name, Vec<f64>>,
+    instances: BTreeMap<Name, usize>,
+    reachable: BTreeSet<Name>,
+    latency_base_ms: BTreeMap<Name, f64>,
     current_tick: usize,
     total_ticks: usize,
     latency_samples: Vec<f64>,
@@ -134,22 +143,26 @@ impl Simulation {
         let mut latency_base_ms = BTreeMap::new();
         let mut tracer = Tracer::new();
         for (ci, component) in spec.components().enumerate() {
-            let states: Vec<MetricState> = component
+            let component_name = Name::new(&component.name);
+            let states: Vec<(MetricId, MetricState)> = component
                 .metrics
                 .iter()
                 .enumerate()
                 .map(|(mi, m)| {
-                    MetricState::new(
-                        m.clone(),
-                        config
-                            .seed
-                            .wrapping_add((ci as u64) << 32)
-                            .wrapping_add(mi as u64),
+                    (
+                        MetricId::new(component_name.clone(), m.name.as_str()),
+                        MetricState::new(
+                            m.clone(),
+                            config
+                                .seed
+                                .wrapping_add((ci as u64) << 32)
+                                .wrapping_add(mi as u64),
+                        ),
                     )
                 })
                 .collect();
-            metric_states.insert(component.name.clone(), states);
-            instances.insert(component.name.clone(), component.instances.max(1));
+            metric_states.insert(component_name.clone(), states);
+            instances.insert(component_name.clone(), component.instances.max(1));
             // Base processing latency: derived from an exported latency
             // metric when present, otherwise a 10 ms default.
             let base = component
@@ -160,24 +173,28 @@ impl Simulation {
                     _ => None,
                 })
                 .unwrap_or(10.0);
-            latency_base_ms.insert(component.name.clone(), base);
-            tracer.register_component(&component.name);
+            latency_base_ms.insert(component_name.clone(), base);
+            tracer.register_component(component_name);
         }
 
+        let call_edges: Vec<(Name, Name)> = spec
+            .calls()
+            .iter()
+            .map(|c| (Name::new(&c.caller), Name::new(&c.callee)))
+            .collect();
         let reachable = reachable_from(&spec, &spec.entrypoint);
 
         Ok(Self {
-            request_history: spec
-                .component_names()
-                .into_iter()
-                .map(|n| (n, Vec::new()))
+            request_history: metric_states
+                .keys()
+                .map(|n| (n.clone(), Vec::new()))
                 .collect(),
-            load_history: spec
-                .component_names()
-                .into_iter()
-                .map(|n| (n, Vec::new()))
+            load_history: metric_states
+                .keys()
+                .map(|n| (n.clone(), Vec::new()))
                 .collect(),
             metric_states,
+            call_edges,
             instances,
             reachable,
             latency_base_ms,
@@ -210,6 +227,13 @@ impl Simulation {
     /// The call graph observed so far.
     pub fn call_graph(&self) -> CallGraph {
         self.tracer.call_graph().clone()
+    }
+
+    /// Consumes the finished simulation and hands out its recorded data —
+    /// the metric store and the observed call graph — without copying
+    /// either. This is what the pipeline's loading step uses.
+    pub fn into_parts(self) -> (MetricStore, CallGraph) {
+        (self.store, self.tracer.into_call_graph())
     }
 
     /// Current instance count of a component (0 if unknown).
@@ -262,31 +286,32 @@ impl Simulation {
 
         // 1. Request rates: external load at the entrypoint plus propagated
         //    load from callers at earlier ticks.
-        let mut rates: BTreeMap<String, f64> = self
-            .spec
-            .component_names()
-            .into_iter()
-            .map(|n| (n, 0.0))
+        let mut rates: BTreeMap<Name, f64> = self
+            .request_history
+            .keys()
+            .map(|n| (n.clone(), 0.0))
             .collect();
-        *rates.get_mut(&self.spec.entrypoint).expect("validated") += offered;
-        for call in self.spec.calls() {
+        *rates
+            .get_mut(self.spec.entrypoint.as_str())
+            .expect("validated") += offered;
+        for (call, (caller, callee)) in self.spec.calls().iter().zip(self.call_edges.iter()) {
             let lag_ticks = (call.lag_ms / self.config.tick_ms).max(1) as usize;
             if tick < lag_ticks {
                 continue;
             }
             let caller_rate = self
                 .request_history
-                .get(&call.caller)
+                .get(caller)
                 .and_then(|h| h.get(tick - lag_ticks))
                 .copied()
                 .unwrap_or(0.0);
             let propagated = call.fanout * caller_rate;
-            if let Some(slot) = rates.get_mut(&call.callee) {
+            if let Some(slot) = rates.get_mut(callee) {
                 *slot += propagated;
             }
             // Tracing: record the calls made during this tick.
             self.tracer
-                .record(&call.caller, &call.callee, propagated.round() as u64);
+                .record(caller, callee, propagated.round() as u64);
         }
 
         // 2. Per-instance loads and metric sampling.
@@ -309,10 +334,9 @@ impl Simulation {
                 .metric_states
                 .get_mut(component)
                 .expect("component registered");
-            for state in states.iter_mut() {
+            for (id, state) in states.iter_mut() {
                 let value = state.sample(tick, history);
-                let id = MetricId::new(component.clone(), state.spec().name.clone());
-                self.store.record(&id, time_ms, value);
+                self.store.record(id, time_ms, value);
             }
         }
 
@@ -331,7 +355,7 @@ impl Simulation {
             latency += base * (1.0 + utilisation * utilisation);
         }
         // The tracing overhead applies to every request end-to-end.
-        latency *= self.config.tracing_mode.overhead_factor().max(1.0).min(1.25);
+        latency *= self.config.tracing_mode.overhead_factor().clamp(1.0, 1.25);
         self.latency_samples.push(latency);
 
         self.current_tick += 1;
@@ -356,16 +380,16 @@ impl Simulation {
 }
 
 /// Components reachable from `start` along call edges (including `start`).
-fn reachable_from(spec: &AppSpec, start: &str) -> BTreeSet<String> {
-    let mut visited: BTreeSet<String> = BTreeSet::new();
-    let mut stack = vec![start.to_string()];
+fn reachable_from(spec: &AppSpec, start: &str) -> BTreeSet<Name> {
+    let mut visited: BTreeSet<Name> = BTreeSet::new();
+    let mut stack = vec![Name::new(start)];
     while let Some(node) = stack.pop() {
         if !visited.insert(node.clone()) {
             continue;
         }
         for call in spec.calls() {
-            if call.caller == node && !visited.contains(&call.callee) {
-                stack.push(call.callee.clone());
+            if call.caller == node && !visited.contains(call.callee.as_str()) {
+                stack.push(Name::new(&call.callee));
             }
         }
     }
@@ -440,7 +464,10 @@ mod tests {
         assert!(g.has_edge("web", "db"));
         assert!(!g.has_edge("db", "web"));
         assert_eq!(g.component_count(), 3);
-        assert!(g.call_count("web", "db") > g.call_count("lb", "web"), "fanout 2 doubles calls");
+        assert!(
+            g.call_count("web", "db") > g.call_count("lb", "web"),
+            "fanout 2 doubles calls"
+        );
     }
 
     #[test]
@@ -454,8 +481,14 @@ mod tests {
             .series(&MetricId::new("db", "queries_per_s"))
             .unwrap();
         let values = db_series.values();
-        assert!(values[..11].iter().all(|&v| v < 10.0), "no load before the spike propagates");
-        assert!(values[13] > 100.0, "db sees the fanned-out spike after two lag ticks");
+        assert!(
+            values[..11].iter().all(|&v| v < 10.0),
+            "no load before the spike propagates"
+        );
+        assert!(
+            values[13] > 100.0,
+            "db sees the fanned-out spike after two lag ticks"
+        );
     }
 
     #[test]
@@ -464,13 +497,17 @@ mod tests {
         let heavy = run_sim(Workload::constant(500.0), 30_000, 4);
         let light_p90 = sieve_timeseries::stats::percentile(light.latency_samples(), 90.0).unwrap();
         let heavy_p90 = sieve_timeseries::stats::percentile(heavy.latency_samples(), 90.0).unwrap();
-        assert!(heavy_p90 > 3.0 * light_p90, "p90 {heavy_p90} vs {light_p90}");
+        assert!(
+            heavy_p90 > 3.0 * light_p90,
+            "p90 {heavy_p90} vs {light_p90}"
+        );
     }
 
     #[test]
     fn adding_instances_reduces_latency() {
         let config = SimConfig::new(5).with_duration_ms(30_000);
-        let mut scaled = Simulation::new(three_tier_app(), Workload::constant(300.0), config).unwrap();
+        let mut scaled =
+            Simulation::new(three_tier_app(), Workload::constant(300.0), config).unwrap();
         scaled.set_instances("web", 8).unwrap();
         scaled.set_instances("db", 8).unwrap();
         scaled.run_to_completion();
@@ -498,10 +535,16 @@ mod tests {
         let a = run_sim(Workload::randomized(40.0, 9), 20_000, 77);
         let b = run_sim(Workload::randomized(40.0, 9), 20_000, 77);
         let id = MetricId::new("db", "queries_per_s");
-        assert_eq!(a.store().series(&id).unwrap(), b.store().series(&id).unwrap());
+        assert_eq!(
+            a.store().series(&id).unwrap(),
+            b.store().series(&id).unwrap()
+        );
         // A different seed changes the noise.
         let c = run_sim(Workload::randomized(40.0, 9), 20_000, 78);
-        assert_ne!(a.store().series(&id).unwrap(), c.store().series(&id).unwrap());
+        assert_ne!(
+            a.store().series(&id).unwrap(),
+            c.store().series(&id).unwrap()
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ impl fmt::Display for SimulatorError {
             SimulatorError::UnknownComponent { name } => {
                 write!(f, "unknown component `{name}`")
             }
-            SimulatorError::InvalidSpec { reason } => write!(f, "invalid application spec: {reason}"),
+            SimulatorError::InvalidSpec { reason } => {
+                write!(f, "invalid application spec: {reason}")
+            }
             SimulatorError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }

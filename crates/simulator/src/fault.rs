@@ -11,10 +11,9 @@
 use crate::app::AppSpec;
 use crate::metrics::MetricSpec;
 use crate::{Result, SimulatorError};
-use serde::{Deserialize, Serialize};
 
 /// A single observable fault applied to an application specification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Fault {
     /// A metric stops being exported (e.g. an agent crashed).
     RemoveMetric {
@@ -66,7 +65,7 @@ pub enum Fault {
 }
 
 /// A named set of faults representing one failure scenario.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultScenario {
     /// Human-readable scenario name (e.g. "neutron-ovs-agent-crash").
     pub name: String,
@@ -126,11 +125,11 @@ impl FaultScenario {
 fn apply_fault(spec: &mut AppSpec, fault: &Fault) -> Result<()> {
     match fault {
         Fault::RemoveMetric { component, metric } => {
-            let comp = spec
-                .component_mut(component)
-                .ok_or_else(|| SimulatorError::UnknownComponent {
-                    name: component.clone(),
-                })?;
+            let comp =
+                spec.component_mut(component)
+                    .ok_or_else(|| SimulatorError::UnknownComponent {
+                        name: component.clone(),
+                    })?;
             let before = comp.metrics.len();
             comp.metrics.retain(|m| m.name != *metric);
             if comp.metrics.len() == before {
@@ -141,11 +140,11 @@ fn apply_fault(spec: &mut AppSpec, fault: &Fault) -> Result<()> {
             Ok(())
         }
         Fault::AddMetric { component, metric } => {
-            let comp = spec
-                .component_mut(component)
-                .ok_or_else(|| SimulatorError::UnknownComponent {
-                    name: component.clone(),
-                })?;
+            let comp =
+                spec.component_mut(component)
+                    .ok_or_else(|| SimulatorError::UnknownComponent {
+                        name: component.clone(),
+                    })?;
             if comp.metrics.iter().any(|m| m.name == metric.name) {
                 return Err(SimulatorError::InvalidSpec {
                     reason: format!(
@@ -162,11 +161,11 @@ fn apply_fault(spec: &mut AppSpec, fault: &Fault) -> Result<()> {
             metric,
             replacement,
         } => {
-            let comp = spec
-                .component_mut(component)
-                .ok_or_else(|| SimulatorError::UnknownComponent {
-                    name: component.clone(),
-                })?;
+            let comp =
+                spec.component_mut(component)
+                    .ok_or_else(|| SimulatorError::UnknownComponent {
+                        name: component.clone(),
+                    })?;
             match comp.metrics.iter_mut().find(|m| m.name == *metric) {
                 Some(slot) => {
                     *slot = MetricSpec {
@@ -216,11 +215,11 @@ fn apply_fault(spec: &mut AppSpec, fault: &Fault) -> Result<()> {
                     reason: format!("capacity factor {factor} must be in (0, 1]"),
                 });
             }
-            let comp = spec
-                .component_mut(component)
-                .ok_or_else(|| SimulatorError::UnknownComponent {
-                    name: component.clone(),
-                })?;
+            let comp =
+                spec.component_mut(component)
+                    .ok_or_else(|| SimulatorError::UnknownComponent {
+                        name: component.clone(),
+                    })?;
             comp.capacity_per_instance *= factor;
             Ok(())
         }
@@ -272,7 +271,10 @@ mod tests {
         assert_eq!(agent.metrics[0].name, "ports_down");
         assert_eq!(scenario.fault_count(), 2);
         // The original spec is untouched.
-        assert_eq!(app().component("agent").unwrap().metrics[0].name, "ports_active");
+        assert_eq!(
+            app().component("agent").unwrap().metrics[0].name,
+            "ports_active"
+        );
     }
 
     #[test]
@@ -284,7 +286,11 @@ mod tests {
         });
         let faulty = scenario.applied_to(&app()).unwrap();
         let api = faulty.component("api").unwrap();
-        let m = api.metrics.iter().find(|m| m.name == "instances_active").unwrap();
+        let m = api
+            .metrics
+            .iter()
+            .find(|m| m.name == "instances_active")
+            .unwrap();
         assert_eq!(m.behavior, MetricBehavior::constant(0.0));
     }
 

@@ -8,12 +8,10 @@
 //! that maps the component's current load (plus deterministic noise) to a
 //! sample value.
 
-use serde::{Deserialize, Serialize};
-
 /// Whether a metric is an instantaneous gauge or a monotonically increasing
 /// counter (counters are what the ADF/first-difference handling in the
 //  causality step exists for).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricKind {
     /// Instantaneous value (CPU usage, queue depth, latency…).
     Gauge,
@@ -22,7 +20,7 @@ pub enum MetricKind {
 }
 
 /// How a metric responds to the component's load.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MetricBehavior {
     /// `value = offset + gain * load + noise_amplitude * noise`.
     ///
@@ -139,7 +137,7 @@ impl MetricBehavior {
 }
 
 /// A named metric exported by a component.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricSpec {
     /// Metric name, unique within its component.
     pub name: String,
@@ -317,7 +315,10 @@ mod tests {
         let full = state.sample(2, &[1.0, 25.0, 50.0]);
         let over = state.sample(3, &[1.0, 25.0, 50.0, 100.0]);
         assert!(idle < half && half < full && full < over);
-        assert!(over > 2.0 * full - idle * 0.5, "latency must grow faster than linear");
+        assert!(
+            over > 2.0 * full - idle * 0.5,
+            "latency must grow faster than linear"
+        );
     }
 
     #[test]

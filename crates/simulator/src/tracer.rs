@@ -8,11 +8,11 @@
 //! models those relative overheads so the Figure 5 experiment can be
 //! regenerated.
 
-use serde::{Deserialize, Serialize};
+use sieve_exec::Name;
 use sieve_graph::CallGraph;
 
 /// How the call graph is captured.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TracingMode {
     /// No tracing (baseline).
     Native,
@@ -42,7 +42,11 @@ impl TracingMode {
 
     /// All modes, for iteration in experiments.
     pub fn all() -> [TracingMode; 3] {
-        [TracingMode::Native, TracingMode::Sysdig, TracingMode::Tcpdump]
+        [
+            TracingMode::Native,
+            TracingMode::Sysdig,
+            TracingMode::Tcpdump,
+        ]
     }
 }
 
@@ -70,8 +74,10 @@ impl Tracer {
         Self::default()
     }
 
-    /// Records `count` calls from `caller` to `callee`.
-    pub fn record(&mut self, caller: &str, callee: &str, count: u64) {
+    /// Records `count` calls from `caller` to `callee`. Accepts anything
+    /// that interns to a [`Name`]; passing `&Name`s (as the simulation
+    /// engine does every tick) skips the interner entirely.
+    pub fn record(&mut self, caller: impl Into<Name>, callee: impl Into<Name>, count: u64) {
         if count == 0 {
             return;
         }
@@ -80,7 +86,7 @@ impl Tracer {
     }
 
     /// Registers a component that may never communicate.
-    pub fn register_component(&mut self, name: &str) {
+    pub fn register_component(&mut self, name: impl Into<Name>) {
         self.graph.add_component(name);
     }
 
@@ -123,7 +129,7 @@ mod tests {
         assert_eq!(t.event_count(), 10);
         let g = t.call_graph();
         assert_eq!(g.call_count("web", "mongodb"), 5);
-        assert!(g.components().contains(&"spelling".to_string()));
+        assert!(g.components().iter().any(|c| c == "spelling"));
         let owned = t.into_call_graph();
         assert_eq!(owned.edge_count(), 2);
     }

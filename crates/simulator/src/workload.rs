@@ -9,11 +9,10 @@
 //! spike, decay" shape.
 
 use crate::metrics::deterministic_noise;
-use serde::{Deserialize, Serialize};
 
 /// A workload: the external request rate offered to the application's
 /// entrypoint as a function of time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Workload {
     /// Constant request rate.
     Constant {

@@ -60,10 +60,9 @@ impl fmt::Display for TimeSeriesError {
             TimeSeriesError::UnsortedTimestamps { index } => {
                 write!(f, "timestamps are not strictly increasing at index {index}")
             }
-            TimeSeriesError::TooFewObservations { required, actual } => write!(
-                f,
-                "too few observations: required {required}, got {actual}"
-            ),
+            TimeSeriesError::TooFewObservations { required, actual } => {
+                write!(f, "too few observations: required {required}, got {actual}")
+            }
             TimeSeriesError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }

@@ -233,8 +233,14 @@ mod tests {
         let v = linear_interpolate(&[0.0, 2.0], &[0.0, 10.0], 1.0).unwrap();
         assert!((v - 5.0).abs() < 1e-12);
         // Constant extrapolation outside the range.
-        assert_eq!(linear_interpolate(&[0.0, 2.0], &[0.0, 10.0], -1.0), Some(0.0));
-        assert_eq!(linear_interpolate(&[0.0, 2.0], &[0.0, 10.0], 5.0), Some(10.0));
+        assert_eq!(
+            linear_interpolate(&[0.0, 2.0], &[0.0, 10.0], -1.0),
+            Some(0.0)
+        );
+        assert_eq!(
+            linear_interpolate(&[0.0, 2.0], &[0.0, 10.0], 5.0),
+            Some(10.0)
+        );
     }
 
     #[test]

@@ -119,15 +119,12 @@ pub fn align_to(x: &[f64], y: &[f64]) -> Result<Vec<f64>> {
     if shift >= 0 {
         // `y` lags `x`: move `y` earlier in time.
         let s = shift as usize;
-        for i in 0..n.saturating_sub(s) {
-            out[i] = y[i + s];
-        }
+        let keep = n.saturating_sub(s);
+        out[..keep].copy_from_slice(&y[s..s + keep]);
     } else {
         // `y` leads `x`: move `y` later in time.
         let s = (-shift) as usize;
-        for i in s..n {
-            out[i] = y[i - s];
-        }
+        out[s..n].copy_from_slice(&y[..n - s]);
     }
     Ok(out)
 }
@@ -182,7 +179,9 @@ mod tests {
         let mut s1: u64 = 42;
         let mut s2: u64 = 1337;
         let next = |s: &mut u64| {
-            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((*s >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         let x: Vec<f64> = (0..256).map(|_| next(&mut s1)).collect();
@@ -210,7 +209,7 @@ mod tests {
         let y = vec![1.0, -2.0, 0.5, 0.5, 2.0, -1.0];
         let seq = ncc_sequence(&x, &y).unwrap();
         for v in seq {
-            assert!(v <= 1.0 + 1e-9 && v >= -1.0 - 1e-9);
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v));
         }
     }
 

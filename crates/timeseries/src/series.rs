@@ -1,7 +1,6 @@
 //! The [`TimeSeries`] container: timestamped observations of one metric.
 
 use crate::{Result, TimeSeriesError};
-use serde::{Deserialize, Serialize};
 
 /// A single metric's observations over time.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ts.len(), 3);
 /// assert_eq!(ts.timestamps(), &[0, 1000, 2000]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TimeSeries {
     timestamps_ms: Vec<u64>,
     values: Vec<f64>,

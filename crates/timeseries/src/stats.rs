@@ -226,7 +226,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_series_is_negative_at_lag_one() {
-        let data: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let data: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&data, 1) < -0.9);
     }
 

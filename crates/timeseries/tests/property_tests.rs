@@ -1,92 +1,177 @@
-//! Property-based tests for the time-series primitives.
+//! Randomized property tests for the time-series primitives.
+//!
+//! The original suite used `proptest`; the build container has no registry
+//! access, so the same properties are exercised with a deterministic
+//! splitmix64 case generator — every run checks the identical set of
+//! pseudo-random inputs, which also makes failures trivially reproducible.
 
-use proptest::prelude::*;
 use sieve_timeseries::{diff, fft, interpolate, normalize, resample, sbd, stats, TimeSeries};
 
-fn finite_vec(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1.0e3f64..1.0e3f64, min_len..=max_len)
-}
+/// Deterministic splitmix64 generator for test data.
+struct Rng(u64);
 
-proptest! {
-    #[test]
-    fn z_normalization_yields_zero_mean(data in finite_vec(2, 200)) {
-        let z = normalize::z_normalize(&data);
-        prop_assert!(stats::mean(&z).abs() < 1e-6);
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
     }
 
-    #[test]
-    fn z_normalization_yields_unit_variance_or_zero(data in finite_vec(2, 200)) {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+
+    /// A vector of finite values in `[-1e3, 1e3)` with a random length in
+    /// `[min_len, max_len]`.
+    fn finite_vec(&mut self, min_len: usize, max_len: usize) -> Vec<f64> {
+        let len = self.usize_in(min_len, max_len);
+        (0..len).map(|_| self.range(-1.0e3, 1.0e3)).collect()
+    }
+}
+
+const CASES: u64 = 50;
+
+#[test]
+fn z_normalization_yields_zero_mean() {
+    for seed in 0..CASES {
+        let data = Rng::new(seed).finite_vec(2, 200);
+        let z = normalize::z_normalize(&data);
+        assert!(stats::mean(&z).abs() < 1e-6, "seed {seed}");
+    }
+}
+
+#[test]
+fn z_normalization_yields_unit_variance_or_zero() {
+    for seed in 0..CASES {
+        let data = Rng::new(seed).finite_vec(2, 200);
         let z = normalize::z_normalize(&data);
         let var = stats::variance(&z);
         // Either the input was (numerically) constant, or variance is 1.
-        prop_assert!(var.abs() < 1e-6 || (var - 1.0).abs() < 1e-6);
+        assert!(var.abs() < 1e-6 || (var - 1.0).abs() < 1e-6, "seed {seed}");
     }
+}
 
-    #[test]
-    fn variance_is_non_negative(data in finite_vec(0, 100)) {
-        prop_assert!(stats::variance(&data) >= 0.0);
-        prop_assert!(stats::sample_variance(&data) >= 0.0);
+#[test]
+fn variance_is_non_negative() {
+    for seed in 0..CASES {
+        let data = Rng::new(seed).finite_vec(0, 100);
+        assert!(stats::variance(&data) >= 0.0, "seed {seed}");
+        assert!(stats::sample_variance(&data) >= 0.0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn percentile_is_within_min_max(data in finite_vec(1, 100), p in 0.0f64..100.0) {
+#[test]
+fn percentile_is_within_min_max() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let data = rng.finite_vec(1, 100);
+        let p = rng.range(0.0, 100.0);
         let v = stats::percentile(&data, p).unwrap();
         let lo = stats::min(&data).unwrap();
         let hi = stats::max(&data).unwrap();
-        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn pearson_is_bounded(x in finite_vec(2, 100), y in finite_vec(2, 100)) {
+#[test]
+fn pearson_is_bounded() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let x = rng.finite_vec(2, 100);
+        let y = rng.finite_vec(2, 100);
         let n = x.len().min(y.len());
         let r = stats::pearson(&x[..n], &y[..n]);
-        prop_assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9);
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "seed {seed}");
     }
+}
 
-    #[test]
-    fn fft_cross_correlation_matches_naive(
-        x in finite_vec(1, 40),
-        y in finite_vec(1, 40),
-    ) {
+#[test]
+fn fft_cross_correlation_matches_naive() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let x = rng.finite_vec(1, 40);
+        let y = rng.finite_vec(1, 40);
         let fast = fft::cross_correlation(&x, &y);
         let slow = fft::cross_correlation_naive(&x, &y);
-        prop_assert_eq!(fast.len(), slow.len());
+        assert_eq!(fast.len(), slow.len(), "seed {seed}");
         let scale = 1.0 + slow.iter().map(|v| v.abs()).fold(0.0, f64::max);
         for (a, b) in fast.iter().zip(slow.iter()) {
-            prop_assert!((a - b).abs() / scale < 1e-6, "{} vs {}", a, b);
+            assert!((a - b).abs() / scale < 1e-6, "seed {seed}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn sbd_is_in_valid_range(x in finite_vec(2, 100), y in finite_vec(2, 100)) {
+#[test]
+fn sbd_is_in_valid_range() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let x = rng.finite_vec(2, 100);
+        let y = rng.finite_vec(2, 100);
         let d = sbd::sbd(&x, &y).unwrap();
-        prop_assert!((-1e-9..=2.0 + 1e-9).contains(&d), "sbd out of range: {}", d);
+        assert!(
+            (-1e-9..=2.0 + 1e-9).contains(&d),
+            "seed {seed}: sbd out of range: {d}"
+        );
     }
+}
 
-    #[test]
-    fn sbd_of_series_with_itself_is_zero(x in finite_vec(2, 100)) {
+#[test]
+fn sbd_of_series_with_itself_is_zero() {
+    for seed in 0..CASES {
+        let x = Rng::new(seed).finite_vec(2, 100);
         let d = sbd::sbd(&x, &x).unwrap();
         // Constant series have SBD 1 against everything including themselves
         // (defined that way); otherwise the self-distance must vanish.
         if stats::variance(&x) > 1e-12 {
-            prop_assert!(d.abs() < 1e-6, "self distance {}", d);
+            assert!(d.abs() < 1e-6, "seed {seed}: self distance {d}");
         }
     }
+}
 
-    #[test]
-    fn sbd_is_symmetric(x in finite_vec(2, 60), y in finite_vec(2, 60)) {
+#[test]
+fn sbd_is_symmetric() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let x = rng.finite_vec(2, 60);
+        let y = rng.finite_vec(2, 60);
         let dxy = sbd::sbd(&x, &y).unwrap();
         let dyx = sbd::sbd(&y, &x).unwrap();
-        prop_assert!((dxy - dyx).abs() < 1e-6);
+        assert!((dxy - dyx).abs() < 1e-6, "seed {seed}");
     }
+}
 
-    #[test]
-    fn first_difference_reduces_length_by_one(data in finite_vec(2, 100)) {
-        prop_assert_eq!(diff::first_difference(&data).len(), data.len() - 1);
+#[test]
+fn first_difference_reduces_length_by_one() {
+    for seed in 0..CASES {
+        let data = Rng::new(seed).finite_vec(2, 100);
+        assert_eq!(
+            diff::first_difference(&data).len(),
+            data.len() - 1,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn differencing_a_cumulative_sum_recovers_the_signal(data in finite_vec(1, 100)) {
+#[test]
+fn differencing_a_cumulative_sum_recovers_the_signal() {
+    for seed in 0..CASES {
+        let data = Rng::new(seed).finite_vec(1, 100);
         let mut cumsum = Vec::with_capacity(data.len() + 1);
         let mut acc = 0.0;
         cumsum.push(0.0);
@@ -96,35 +181,52 @@ proptest! {
         }
         let recovered = diff::first_difference(&cumsum);
         for (a, b) in recovered.iter().zip(data.iter()) {
-            prop_assert!((a - b).abs() < 1e-6);
+            assert!((a - b).abs() < 1e-6, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn spline_passes_through_all_knots(ys in finite_vec(3, 30)) {
+#[test]
+fn spline_passes_through_all_knots() {
+    for seed in 0..CASES {
+        let ys = Rng::new(seed).finite_vec(3, 30);
         let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
         let spline = interpolate::CubicSpline::fit(&xs, &ys).unwrap();
         let scale = 1.0 + ys.iter().map(|v| v.abs()).fold(0.0, f64::max);
         for (x, y) in xs.iter().zip(ys.iter()) {
-            prop_assert!((spline.evaluate(*x) - y).abs() / scale < 1e-6);
+            assert!(
+                (spline.evaluate(*x) - y).abs() / scale < 1e-6,
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn resampling_keeps_endpoints(values in finite_vec(2, 50), interval in 1u64..5000) {
+#[test]
+fn resampling_keeps_endpoints() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let values = rng.finite_vec(2, 50);
+        let interval = rng.usize_in(1, 4999) as u64;
         let ts = TimeSeries::from_values(0, 1000, values.clone());
         let r = resample::resample(&ts, interval).unwrap();
-        prop_assert_eq!(r.start_ms(), ts.start_ms());
+        assert_eq!(r.start_ms(), ts.start_ms(), "seed {seed}");
         // First value must match exactly (grid starts at the first sample).
         let scale = 1.0 + values.iter().map(|v| v.abs()).fold(0.0, f64::max);
-        prop_assert!((r.values()[0] - values[0]).abs() / scale < 1e-6);
+        assert!(
+            (r.values()[0] - values[0]).abs() / scale < 1e-6,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn timeseries_roundtrips_through_parts(values in finite_vec(0, 50)) {
-        let ts = TimeSeries::from_values(10, 250, values.clone());
+#[test]
+fn timeseries_roundtrips_through_parts() {
+    for seed in 0..CASES {
+        let values = Rng::new(seed).finite_vec(0, 50);
+        let ts = TimeSeries::from_values(10, 250, values);
         let (t, v) = ts.clone().into_parts();
         let rebuilt = TimeSeries::from_parts(t, v).unwrap();
-        prop_assert_eq!(rebuilt, ts);
+        assert_eq!(rebuilt, ts, "seed {seed}");
     }
 }

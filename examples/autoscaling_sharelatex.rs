@@ -39,17 +39,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // 2. Guiding-metric selection.
-    let guiding = select_guiding_metric(&model)
-        .unwrap_or_else(|| MetricId::new(sharelatex::GUIDING_COMPONENT, sharelatex::GUIDING_METRIC));
+    let guiding = select_guiding_metric(&model).unwrap_or_else(|| {
+        MetricId::new(sharelatex::GUIDING_COMPONENT, sharelatex::GUIDING_METRIC)
+    });
     println!("Guiding metric selected by Sieve: {guiding}");
     let cpu_metric = MetricId::new("web", "cpu_usage");
 
     // 3. Threshold calibration for both policies.
     let peak_rate = 320.0;
-    let scalable: Vec<String> = ["web", "real-time", "chat", "clsi", "contacts", "doc-updater", "docstore", "filestore", "spelling", "tags", "track-changes"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let scalable: Vec<String> = [
+        "web",
+        "real-time",
+        "chat",
+        "clsi",
+        "contacts",
+        "doc-updater",
+        "docstore",
+        "filestore",
+        "spelling",
+        "tags",
+        "track-changes",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let sieve_rule = calibrated_rule(&app, &guiding, &sla, peak_rate, scalable.clone(), 21)?
         .with_instance_bounds(1, 12)
         .with_cooldown_ticks(10);
@@ -70,8 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SimConfig::new(0xE1).with_duration_ms(3_600_000);
 
     println!("\nReplaying the one-hour trace with the Sieve-selected trigger ...");
-    let sieve_report =
-        AutoscaleEngine::new(sieve_rule, sla)?.run(&app, &workload, config)?;
+    let sieve_report = AutoscaleEngine::new(sieve_rule, sla)?.run(&app, &workload, config)?;
     println!("Replaying the one-hour trace with the CPU-usage trigger ...");
     let cpu_report = AutoscaleEngine::new(cpu_rule, sla)?.run(&app, &workload, config)?;
 
@@ -80,8 +92,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<38} {:>12} {:>12} {:>12}",
         "Metric", "CPU usage", "Sieve", "Difference"
     );
-    let diff =
-        |a: f64, b: f64| -> String { format!("{:+.2}%", if a == 0.0 { 0.0 } else { (b - a) / a * 100.0 }) };
+    let diff = |a: f64, b: f64| -> String {
+        format!("{:+.2}%", if a == 0.0 { 0.0 } else { (b - a) / a * 100.0 })
+    };
     println!(
         "{:<38} {:>12.2} {:>12.2} {:>12}",
         "Mean CPU usage per component [%]",
@@ -94,7 +107,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "{:<38} {:>12} {:>12} {:>12}",
-        format!("SLA violations (out of {} samples)", cpu_report.total_samples),
+        format!(
+            "SLA violations (out of {} samples)",
+            cpu_report.total_samples
+        ),
         cpu_report.sla_violations,
         sieve_report.sla_violations,
         diff(

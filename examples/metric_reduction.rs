@@ -26,33 +26,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("cpu_usage", 0.7, 5.0),
         ("net_bytes_sent_rate", 900.0, 1000.0),
     ] {
-        series.push(NamedSeries {
-            name: name.to_string(),
-            values: (0..len)
+        series.push(NamedSeries::new(
+            name,
+            (0..len)
                 .map(|i| offset + scale * (40.0 + 30.0 * ((i as f64) * 0.1).sin()))
-                .collect(),
-        });
+                .collect::<Vec<f64>>(),
+        ));
     }
     // Family 2: queue-style metrics that lag the request wave.
     for (name, lag) in [("queue_depth", 5usize), ("worker_backlog", 7usize)] {
-        series.push(NamedSeries {
-            name: name.to_string(),
-            values: (0..len)
+        series.push(NamedSeries::new(
+            name,
+            (0..len)
                 .map(|i: usize| 10.0 + 8.0 * ((i.saturating_sub(lag) as f64) * 0.1).sin())
-                .collect(),
-        });
+                .collect::<Vec<f64>>(),
+        ));
     }
     // Family 3: periodic housekeeping independent of load.
-    series.push(NamedSeries {
-        name: "gc_pause_ms".to_string(),
-        values: (0..len).map(|i| 4.0 + 3.0 * ((i as f64) * 0.8).sin()).collect(),
-    });
+    series.push(NamedSeries::new(
+        "gc_pause_ms",
+        (0..len)
+            .map(|i| 4.0 + 3.0 * ((i as f64) * 0.8).sin())
+            .collect::<Vec<f64>>(),
+    ));
     // Constants that the variance filter must drop.
     for (name, value) in [("open_file_limit", 65536.0), ("num_cpus", 8.0)] {
-        series.push(NamedSeries {
-            name: name.to_string(),
-            values: vec![value; len],
-        });
+        series.push(NamedSeries::new(name, vec![value; len]));
     }
 
     let config = SieveConfig::default();
@@ -79,9 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show that the representative really is shape-close to its cluster
     // members.
-    let by_name: std::collections::HashMap<&str, &Vec<f64>> = series
+    let by_name: std::collections::HashMap<&str, &[f64]> = series
         .iter()
-        .map(|s| (s.name.as_str(), &s.values))
+        .map(|s| (s.name.as_str(), &*s.values))
         .collect();
     println!("\nShape-based distances inside the first cluster:");
     if let Some(cluster) = clustering.clusters.first() {

@@ -65,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     if model.dependency_graph.edge_count() > 10 {
-        println!("  ... and {} more", model.dependency_graph.edge_count() - 10);
+        println!(
+            "  ... and {} more",
+            model.dependency_graph.edge_count() - 10
+        );
     }
 
     if let Some(metric) = model.dependency_graph.most_connected_metric() {
@@ -75,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The graph can be exported to Graphviz DOT for visual inspection
     // (Figure 6 of the paper).
     let dot = dependency_graph_to_dot(&model.dependency_graph);
-    println!("\nDOT export: {} bytes (pipe into `dot -Tpng` to render)", dot.len());
+    println!(
+        "\nDOT export: {} bytes (pipe into `dot -Tpng` to render)",
+        dot.len()
+    );
 
     Ok(())
 }

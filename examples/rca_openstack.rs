@@ -60,11 +60,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c = &report.cluster_novelty;
     println!(
         "new-only: {}, discarded-only: {}, new+discarded: {}, changed membership: {}, total: {}",
-        c.with_new_only, c.with_discarded_only, c.with_new_and_discarded, c.changed_membership, c.total
+        c.with_new_only,
+        c.with_discarded_only,
+        c.with_new_and_discarded,
+        c.changed_membership,
+        c.total
     );
 
-    println!("\n=== Step 4: edge novelty at similarity threshold {:.2} (Figure 7b) ===",
-        report.config.similarity_threshold);
+    println!(
+        "\n=== Step 4: edge novelty at similarity threshold {:.2} (Figure 7b) ===",
+        report.config.similarity_threshold
+    );
     let e = &report.edge_novelty;
     println!(
         "new: {}, discarded: {}, lag changed: {}, unchanged: {}",

@@ -61,6 +61,7 @@ pub use sieve_autoscale as autoscale;
 pub use sieve_causality as causality;
 pub use sieve_cluster as cluster;
 pub use sieve_core as core;
+pub use sieve_exec as exec;
 pub use sieve_graph as graph;
 pub use sieve_rca as rca;
 pub use sieve_simulator as simulator;
@@ -75,6 +76,7 @@ pub mod prelude {
     pub use sieve_core::config::SieveConfig;
     pub use sieve_core::model::{ComponentClustering, MetricCluster, SieveModel};
     pub use sieve_core::pipeline::{load_application, Sieve};
+    pub use sieve_exec::{par_map_chunks, Name};
     pub use sieve_graph::{CallGraph, DependencyEdge, DependencyGraph};
     pub use sieve_rca::{RcaConfig, RcaEngine, RcaReport};
     pub use sieve_simulator::app::{AppSpec, CallSpec, ComponentSpec};

@@ -10,10 +10,22 @@ use sieve::prelude::*;
 use sieve_apps::sharelatex;
 
 fn scalable_components() -> Vec<String> {
-    ["web", "real-time", "chat", "clsi", "contacts", "doc-updater", "docstore", "filestore", "spelling", "tags", "track-changes"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect()
+    [
+        "web",
+        "real-time",
+        "chat",
+        "clsi",
+        "contacts",
+        "doc-updater",
+        "docstore",
+        "filestore",
+        "spelling",
+        "tags",
+        "track-changes",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
 }
 
 #[test]

@@ -15,7 +15,12 @@ fn fast_config() -> SieveConfig {
 fn analyzed_model(seed: u64, workload_seed: u64) -> SieveModel {
     let app = sharelatex::app_spec(MetricRichness::Minimal);
     Sieve::new(fast_config())
-        .analyze_application_for(&app, &Workload::randomized(90.0, workload_seed), seed, 120_000)
+        .analyze_application_for(
+            &app,
+            &Workload::randomized(90.0, workload_seed),
+            seed,
+            120_000,
+        )
         .expect("pipeline run succeeds")
 }
 
@@ -121,7 +126,11 @@ fn clustering_is_consistent_across_independent_runs() {
                 .iter()
                 .position(|c| c.contains(metric))
                 .unwrap_or(idx_a);
-            if let Some(cluster_b) = clustering_b.clusters.iter().position(|c| c.contains(metric)) {
+            if let Some(cluster_b) = clustering_b
+                .clusters
+                .iter()
+                .position(|c| c.contains(metric))
+            {
                 labels_a.push(cluster_a);
                 labels_b.push(cluster_b);
             }
@@ -158,7 +167,19 @@ fn monitoring_cost_drops_after_reduction() {
     let before = store.resource_usage();
     let after = reduced.resource_usage();
     let savings = before.reduction_percent(&after);
-    assert!(savings.cpu_time_s > 50.0, "cpu savings {:.1}%", savings.cpu_time_s);
-    assert!(savings.db_size_kb > 50.0, "storage savings {:.1}%", savings.db_size_kb);
-    assert!(savings.network_in_mb > 50.0, "network savings {:.1}%", savings.network_in_mb);
+    assert!(
+        savings.cpu_time_s > 50.0,
+        "cpu savings {:.1}%",
+        savings.cpu_time_s
+    );
+    assert!(
+        savings.db_size_kb > 50.0,
+        "storage savings {:.1}%",
+        savings.db_size_kb
+    );
+    assert!(
+        savings.network_in_mb > 50.0,
+        "network savings {:.1}%",
+        savings.network_in_mb
+    );
 }

@@ -44,7 +44,10 @@ fn rca_ranks_the_faulty_components_and_isolates_the_root_cause_edge_metrics() {
             .unwrap_or(0)
     };
     assert!(novelty_of("nova-api") > 0, "nova-api shows no novelty");
-    assert!(novelty_of("neutron-server") > 0, "neutron-server shows no novelty");
+    assert!(
+        novelty_of("neutron-server") > 0,
+        "neutron-server shows no novelty"
+    );
     assert!(
         novelty_of("nova-api") >= novelty_of("memcached"),
         "an unaffected component outranks nova-api"
@@ -95,11 +98,7 @@ fn rca_ranks_the_faulty_components_and_isolates_the_root_cause_edge_metrics() {
     );
 
     // The final scope is a genuine reduction of the search space.
-    let total_metrics: usize = faulty
-        .clusterings
-        .values()
-        .map(|c| c.total_metrics)
-        .sum();
+    let total_metrics: usize = faulty.clusterings.values().map(|c| c.total_metrics).sum();
     let (components, _clusters, metrics) = report.surviving_scope;
     assert!(components <= 16);
     assert!(
