@@ -1,16 +1,20 @@
-//! Micro-benchmarks of the analysis primitives: shape-based distance,
-//! k-Shape clustering (warm vs cold start), silhouette scoring, Granger
-//! causality and AMI.
+//! Micro-benchmarks of the analysis primitives: shape-based distance
+//! (direct and via cached spectra), k-Shape clustering (warm vs cold
+//! start), silhouette scoring, Granger causality, AMI — and the acceptance
+//! comparison of the cached-distance k-sweep against the naive one.
 //!
 //! Run with: `cargo bench -p sieve-bench --bench analysis`
 
-use sieve_bench::harness::Runner;
+use sieve_bench::harness::{smoke_mode, Runner};
 use sieve_causality::granger::{granger_causes, GrangerConfig};
 use sieve_cluster::ami::adjusted_mutual_information;
 use sieve_cluster::jaro::pre_cluster_names;
 use sieve_cluster::kshape::{KShape, KShapeConfig};
 use sieve_cluster::silhouette::silhouette_score_sbd;
+use sieve_core::config::SieveConfig;
+use sieve_core::reduce::{reduce_component, NamedSeries};
 use sieve_timeseries::sbd::shape_based_distance;
+use sieve_timeseries::spectrum::{sbd_from_spectra, SeriesSpectrum};
 use std::hint::black_box;
 
 /// Deterministic pseudo-noise used to synthesise benchmark series.
@@ -63,6 +67,71 @@ fn bench_sbd(runner: &mut Runner) {
         runner.bench(&format!("sbd/{len}"), 50, || {
             shape_based_distance(black_box(&a), black_box(&b)).unwrap()
         });
+    }
+}
+
+fn bench_sbd_spectra(runner: &mut Runner) {
+    for len in [128usize, 512, 2048] {
+        let a = series(len, 1);
+        let b = series(len, 2);
+        let sa = SeriesSpectrum::compute(&a).unwrap();
+        let sb = SeriesSpectrum::compute(&b).unwrap();
+        // Sanity: cached == direct, bit for bit.
+        assert_eq!(
+            sbd_from_spectra(&sa, &sb).unwrap().distance.to_bits(),
+            shape_based_distance(&a, &b).unwrap().distance.to_bits()
+        );
+        runner.bench(&format!("sbd_spectra/{len}"), 50, || {
+            sbd_from_spectra(black_box(&sa), black_box(&sb)).unwrap()
+        });
+    }
+}
+
+/// The acceptance comparison: one component's full k-sweep + silhouette
+/// stage (what `reduce_component` spends its time on) with the shared SBD
+/// engine versus the naive direct-SBD path. The engine must be at least
+/// 1.5x faster while producing an identical clustering.
+fn bench_reduce_k_sweep_cached_vs_naive(runner: &mut Runner) {
+    let (data, names) = metric_family(30, 240);
+    let series: Vec<NamedSeries> = names
+        .iter()
+        .zip(data)
+        .map(|(name, values)| NamedSeries::new(name.as_str(), values))
+        .collect();
+    // parallelism = 1 so the comparison is purely algorithmic — the cached
+    // path must win on FFT reuse alone, not on threads.
+    let base = SieveConfig::default()
+        .with_cluster_range(2, 6)
+        .with_parallelism(1);
+    let cached_config = base.clone().with_sbd_cache(true);
+    let naive_config = base.with_sbd_cache(false);
+
+    let cached_model = reduce_component("bench", &series, &cached_config).unwrap();
+    let naive_model = reduce_component("bench", &series, &naive_config).unwrap();
+    assert_eq!(
+        cached_model, naive_model,
+        "cached and naive reduction must produce identical clusterings"
+    );
+
+    let iters = if smoke_mode() { 1 } else { 5 };
+    runner.bench("reduce_k_sweep/cached", iters, || {
+        reduce_component("bench", black_box(&series), &cached_config).unwrap()
+    });
+    runner.bench("reduce_k_sweep/naive", iters, || {
+        reduce_component("bench", black_box(&series), &naive_config).unwrap()
+    });
+    let cached = runner.measurement("reduce_k_sweep/cached").unwrap().min();
+    let naive = runner.measurement("reduce_k_sweep/naive").unwrap().min();
+    let speedup = naive.as_secs_f64() / cached.as_secs_f64().max(1e-12);
+    println!(
+        "reduce_k_sweep: cached-distance path speedup over naive (best of {iters}): \
+         {speedup:.2}x (naive {naive:.3?}, cached {cached:.3?})"
+    );
+    if !smoke_mode() {
+        assert!(
+            speedup >= 1.5,
+            "cached k-sweep must be at least 1.5x faster than the naive path, got {speedup:.2}x"
+        );
     }
 }
 
@@ -124,6 +193,8 @@ fn bench_ami(runner: &mut Runner) {
 fn main() {
     let mut runner = Runner::new();
     bench_sbd(&mut runner);
+    bench_sbd_spectra(&mut runner);
+    bench_reduce_k_sweep_cached_vs_naive(&mut runner);
     bench_kshape(&mut runner);
     bench_silhouette(&mut runner);
     bench_granger(&mut runner);

@@ -9,6 +9,14 @@
 
 use std::time::{Duration, Instant};
 
+/// Whether the benches run in CI smoke mode (`SIEVE_BENCH_SMOKE=1`): tiny
+/// workloads, single iterations, and wall-clock assertions disabled — the
+/// point is to prove the harness still runs end to end, not to measure.
+/// Correctness assertions (model equality across configurations) stay on.
+pub fn smoke_mode() -> bool {
+    std::env::var_os("SIEVE_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
 /// Result of one benchmark: per-iteration timings.
 #[derive(Debug, Clone)]
 pub struct Measurement {

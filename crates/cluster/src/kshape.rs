@@ -17,9 +17,11 @@
 //! The algorithm stops when the assignment no longer changes or after
 //! `max_iterations`.
 
+use crate::distance::compute_spectra;
 use crate::{ClusterError, Result};
 use sieve_timeseries::normalize::z_normalize;
-use sieve_timeseries::sbd::{align_to, shape_based_distance};
+use sieve_timeseries::sbd::{align_to, apply_shift, shape_based_distance};
+use sieve_timeseries::spectrum::{sbd_from_spectra, SeriesSpectrum};
 
 /// Configuration of a k-Shape run.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +61,29 @@ impl KShapeConfig {
         self.max_iterations = max_iterations;
         self
     }
+
+    /// Validates the configured initial assignment against `n` series (and
+    /// `self.k` clusters), or produces the deterministic round-robin
+    /// default. Shared by [`KShape::fit`] and [`KShape::fit_cached`].
+    fn initial_labels(&self, n: usize) -> Result<Vec<usize>> {
+        let k = self.k;
+        match &self.initial_assignment {
+            Some(init) => {
+                if init.len() != n {
+                    return Err(ClusterError::InvalidInitialAssignment {
+                        reason: format!("expected {} labels, got {}", n, init.len()),
+                    });
+                }
+                if let Some(&bad) = init.iter().find(|&&c| c >= k) {
+                    return Err(ClusterError::InvalidInitialAssignment {
+                        reason: format!("cluster index {bad} out of range for k={k}"),
+                    });
+                }
+                Ok(init.clone())
+            }
+            None => Ok((0..n).map(|i| i % k).collect()),
+        }
+    }
 }
 
 /// Outcome of a k-Shape run.
@@ -96,6 +121,69 @@ impl KShapeResult {
     }
 }
 
+/// Precomputed per-series state shared across k-Shape runs: the z-normalized
+/// copy of every input series and the cached FFT spectrum of each copy.
+///
+/// k selection fits the same series for every candidate `k`; building one
+/// cache and passing it to [`KShape::fit_cached`] for each `k` computes the
+/// n z-normalizations and n forward FFTs once instead of once per `k` — and
+/// within a fit, each assignment step computes one spectrum per *centroid*
+/// instead of re-running three FFTs per (series, centroid) pair.
+#[derive(Debug, Clone)]
+pub struct KShapeSeriesCache {
+    /// z-normalized copies of the input series.
+    data: Vec<Vec<f64>>,
+    /// Spectra of the z-normalized copies.
+    spectra: Vec<SeriesSpectrum>,
+}
+
+impl KShapeSeriesCache {
+    /// Builds the cache: z-normalizes every series and computes its
+    /// spectrum.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::NoData`] when `series` is empty or the series
+    ///   length is zero.
+    /// * [`ClusterError::InconsistentLengths`] when the series lengths
+    ///   differ.
+    pub fn new<S: AsRef<[f64]>>(series: &[S]) -> Result<Self> {
+        Self::new_parallel(series, 1)
+    }
+
+    /// Like [`KShapeSeriesCache::new`], but distributes the z-normalizations
+    /// and forward FFTs over up to `workers` threads (the cache is identical
+    /// for every worker count).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KShapeSeriesCache::new`].
+    pub fn new_parallel<S: AsRef<[f64]>>(series: &[S], workers: usize) -> Result<Self> {
+        if series.is_empty() || series[0].as_ref().is_empty() {
+            return Err(ClusterError::NoData);
+        }
+        let refs: Vec<&[f64]> = series.iter().map(|s| s.as_ref()).collect();
+        let data: Vec<Vec<f64>> = sieve_exec::par_map_chunks(workers, &refs, |s| z_normalize(s));
+        let spectra = compute_spectra(&data, workers)?;
+        Ok(Self { data, spectra })
+    }
+
+    /// Number of cached series.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the cache holds zero series.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Length of each (rectangular) series.
+    pub fn series_len(&self) -> usize {
+        self.data[0].len()
+    }
+}
+
 /// The k-Shape clustering algorithm.
 #[derive(Debug, Clone)]
 pub struct KShape {
@@ -120,6 +208,12 @@ impl KShape {
     /// not matter. The input is generic over anything slice-like
     /// (`Vec<f64>`, `&[f64]`, `Arc<[f64]>`, …) so callers holding shared
     /// buffers never have to copy them to cluster.
+    ///
+    /// This is the direct-SBD reference implementation: every distance
+    /// re-z-normalizes both operands and runs three fresh FFTs. Callers that
+    /// fit the same series repeatedly (the silhouette k sweep) should build
+    /// a [`KShapeSeriesCache`] once and call [`KShape::fit_cached`], which
+    /// produces bit-identical results from cached spectra.
     ///
     /// # Errors
     ///
@@ -157,22 +251,7 @@ impl KShape {
         // z-normalize all inputs once.
         let data: Vec<Vec<f64>> = series.iter().map(|s| z_normalize(s.as_ref())).collect();
 
-        let mut assignments = match &self.config.initial_assignment {
-            Some(init) => {
-                if init.len() != n {
-                    return Err(ClusterError::InvalidInitialAssignment {
-                        reason: format!("expected {} labels, got {}", n, init.len()),
-                    });
-                }
-                if let Some(&bad) = init.iter().find(|&&c| c >= k) {
-                    return Err(ClusterError::InvalidInitialAssignment {
-                        reason: format!("cluster index {bad} out of range for k={k}"),
-                    });
-                }
-                init.clone()
-            }
-            None => (0..n).map(|i| i % k).collect(),
-        };
+        let mut assignments = self.config.initial_labels(n)?;
 
         let mut centroids: Vec<Vec<f64>> = vec![vec![0.0; m]; k];
         let mut iterations = 0usize;
@@ -233,6 +312,108 @@ impl KShape {
             converged,
         })
     }
+
+    /// Clusters the cached series, reusing the z-normalized copies and the
+    /// per-series spectra in [`KShapeSeriesCache`].
+    ///
+    /// This is the cached-engine counterpart of [`KShape::fit`]: instead of
+    /// re-z-normalizing and re-FFT-ing both operands of every shape-based
+    /// distance, the assignment step computes one spectrum per centroid and
+    /// pairs it with the cached series spectra, and centroid refinement
+    /// aligns members through the cached spectra as well. The result is
+    /// **bit-identical** to [`KShape::fit`] on the same series (asserted by
+    /// tests): both paths run the exact same float operations, the cached
+    /// path just runs each of them once.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::InvalidClusterCount`] when `k` is zero or exceeds
+    ///   the number of cached series.
+    /// * [`ClusterError::InvalidInitialAssignment`] when a provided initial
+    ///   assignment has the wrong length or out-of-range cluster indices.
+    pub fn fit_cached(&self, cache: &KShapeSeriesCache) -> Result<KShapeResult> {
+        let n = cache.len();
+        let k = self.config.k;
+        if k == 0 || k > n {
+            return Err(ClusterError::InvalidClusterCount {
+                requested: k,
+                available: n,
+            });
+        }
+        let m = cache.series_len();
+
+        let mut assignments = self.config.initial_labels(n)?;
+
+        let mut centroids: Vec<Vec<f64>> = vec![vec![0.0; m]; k];
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        for iter in 0..self.config.max_iterations {
+            iterations = iter + 1;
+
+            // Refinement: extract the shape of every cluster.
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                let members: Vec<usize> = assignments
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &a)| a == c)
+                    .map(|(i, _)| i)
+                    .collect();
+                if members.is_empty() {
+                    continue; // keep the previous centroid
+                }
+                *centroid =
+                    extract_shape_cached(cache, &members, centroid, self.config.power_iterations)?;
+            }
+
+            // Assignment: nearest centroid under SBD. One spectrum per
+            // non-empty centroid serves all n series this iteration.
+            let centroid_spectra: Vec<Option<SeriesSpectrum>> = centroids
+                .iter()
+                .map(|centroid| {
+                    if centroid.iter().all(|&v| v == 0.0) {
+                        Ok(None)
+                    } else {
+                        SeriesSpectrum::compute(centroid).map(Some)
+                    }
+                })
+                .collect::<std::result::Result<_, _>>()?;
+            let mut changed = false;
+            for (i, spectrum) in cache.spectra.iter().enumerate() {
+                let mut best_cluster = assignments[i];
+                let mut best_dist = f64::INFINITY;
+                for (c, centroid_spectrum) in centroid_spectra.iter().enumerate() {
+                    let d = match centroid_spectrum {
+                        // Uninitialised/empty centroid: maximal distance so
+                        // it only attracts members when every other option
+                        // is worse.
+                        None => 2.0,
+                        Some(cs) => sbd_from_spectra(cs, spectrum)?.distance,
+                    };
+                    if d < best_dist {
+                        best_dist = d;
+                        best_cluster = c;
+                    }
+                }
+                if best_cluster != assignments[i] {
+                    assignments[i] = best_cluster;
+                    changed = true;
+                }
+            }
+
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+
+        Ok(KShapeResult {
+            assignments,
+            centroids,
+            iterations,
+            converged,
+        })
+    }
 }
 
 /// Shape extraction: computes the centroid of a cluster as the dominant
@@ -265,51 +446,14 @@ fn extract_shape(
         aligned.push(z_normalize(&a));
     }
 
-    // Power iteration on M = Q^T S Q with S = sum_i a_i a_i^T and
-    // Q = I - 1/m * ones. Matrix-vector products are computed implicitly:
-    //   M v = Q ( sum_i a_i (a_i . Qv) )   (Q is symmetric).
-    let center = |v: &[f64]| -> Vec<f64> {
-        let mean = v.iter().sum::<f64>() / v.len() as f64;
-        v.iter().map(|x| x - mean).collect()
+    let candidate = match power_iterate_shape(&aligned, m, power_iterations) {
+        ShapeCandidate::Degenerate(centroid) => return Ok(centroid),
+        ShapeCandidate::Candidate(candidate) => candidate,
     };
-
-    // Deterministic, non-degenerate start vector.
-    let mut v: Vec<f64> = (0..m)
-        .map(|i| ((i as f64) * 0.754877 + 0.1).sin() + 0.01)
-        .collect();
-    normalize_vec(&mut v);
-
-    for _ in 0..power_iterations.max(1) {
-        let qv = center(&v);
-        let mut sv = vec![0.0; m];
-        for a in &aligned {
-            let dot: f64 = a.iter().zip(qv.iter()).map(|(x, y)| x * y).sum();
-            for (s, &ai) in sv.iter_mut().zip(a.iter()) {
-                *s += ai * dot;
-            }
-        }
-        let mut new_v = center(&sv);
-        let norm = new_v.iter().map(|x| x * x).sum::<f64>().sqrt();
-        if norm < 1e-12 {
-            // Degenerate cluster (all members constant after normalization):
-            // fall back to the element-wise mean of aligned members.
-            let mut mean = vec![0.0; m];
-            for a in &aligned {
-                for (mu, &ai) in mean.iter_mut().zip(a.iter()) {
-                    *mu += ai / aligned.len() as f64;
-                }
-            }
-            return Ok(z_normalize(&mean));
-        }
-        for x in new_v.iter_mut() {
-            *x /= norm;
-        }
-        v = new_v;
-    }
 
     // The eigenvector's sign is arbitrary; pick the orientation closer to the
     // cluster members.
-    let centroid = z_normalize(&v);
+    let centroid = candidate;
     let flipped: Vec<f64> = centroid.iter().map(|x| -x).collect();
     let dist = |c: &[f64]| -> f64 {
         aligned
@@ -326,6 +470,123 @@ fn extract_shape(
     } else {
         Ok(centroid)
     }
+}
+
+/// Cached-spectrum counterpart of [`extract_shape`], bit-identical to it:
+/// members are aligned through their cached spectra (one reference spectrum
+/// serves the whole cluster) and the orientation check computes each aligned
+/// member's spectrum once instead of once per candidate orientation.
+///
+/// # Errors
+///
+/// Propagates time-series errors from the spectrum computations (only
+/// possible for empty inputs, which callers exclude).
+fn extract_shape_cached(
+    cache: &KShapeSeriesCache,
+    members: &[usize],
+    previous_centroid: &[f64],
+    power_iterations: usize,
+) -> Result<Vec<f64>> {
+    let m = cache.series_len();
+
+    // Reference for alignment: previous centroid, or the first member if the
+    // centroid is still the zero vector.
+    let reference: Vec<f64> = if previous_centroid.iter().all(|&v| v == 0.0) {
+        cache.data[members[0]].clone()
+    } else {
+        previous_centroid.to_vec()
+    };
+    let reference_spectrum = SeriesSpectrum::compute(&reference)?;
+
+    // Align every member to the reference and z-normalize.
+    let mut aligned: Vec<Vec<f64>> = Vec::with_capacity(members.len());
+    for &i in members {
+        let r = sbd_from_spectra(&reference_spectrum, &cache.spectra[i])?;
+        aligned.push(z_normalize(&apply_shift(&cache.data[i], r.shift)));
+    }
+
+    let candidate = match power_iterate_shape(&aligned, m, power_iterations) {
+        ShapeCandidate::Degenerate(centroid) => return Ok(centroid),
+        ShapeCandidate::Candidate(candidate) => candidate,
+    };
+
+    // The eigenvector's sign is arbitrary; pick the orientation closer to
+    // the cluster members. Each aligned member's spectrum is computed once
+    // and shared by both candidate orientations.
+    let centroid = candidate;
+    let flipped: Vec<f64> = centroid.iter().map(|x| -x).collect();
+    let aligned_spectra: Vec<SeriesSpectrum> = aligned
+        .iter()
+        .map(|a| SeriesSpectrum::compute(a))
+        .collect::<std::result::Result<_, _>>()?;
+    let dist = |c: &[f64]| -> Result<f64> {
+        let cs = SeriesSpectrum::compute(c)?;
+        Ok(aligned_spectra
+            .iter()
+            .map(|a| sbd_from_spectra(&cs, a).map(|r| r.distance).unwrap_or(2.0))
+            .sum())
+    };
+    if dist(&flipped)? < dist(&centroid)? {
+        Ok(flipped)
+    } else {
+        Ok(centroid)
+    }
+}
+
+/// Result of the power-iteration core shared by [`extract_shape`] and
+/// [`extract_shape_cached`].
+enum ShapeCandidate {
+    /// Degenerate cluster (all members constant after normalization): the
+    /// element-wise mean of the aligned members, already final.
+    Degenerate(Vec<f64>),
+    /// z-normalized dominant-eigenvector candidate; the caller still picks
+    /// the orientation (the eigenvector's sign is arbitrary).
+    Candidate(Vec<f64>),
+}
+
+/// Power iteration on M = Q^T S Q with S = sum_i a_i a_i^T and
+/// Q = I - 1/m * ones, over the aligned, z-normalized cluster members.
+/// Matrix-vector products are computed implicitly:
+///   `M v = Q ( sum_i a_i (a_i . Qv) )`   (Q is symmetric).
+fn power_iterate_shape(aligned: &[Vec<f64>], m: usize, power_iterations: usize) -> ShapeCandidate {
+    let center = |v: &[f64]| -> Vec<f64> {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        v.iter().map(|x| x - mean).collect()
+    };
+
+    // Deterministic, non-degenerate start vector.
+    let mut v: Vec<f64> = (0..m)
+        .map(|i| ((i as f64) * 0.754877 + 0.1).sin() + 0.01)
+        .collect();
+    normalize_vec(&mut v);
+
+    for _ in 0..power_iterations.max(1) {
+        let qv = center(&v);
+        let mut sv = vec![0.0; m];
+        for a in aligned {
+            let dot: f64 = a.iter().zip(qv.iter()).map(|(x, y)| x * y).sum();
+            for (s, &ai) in sv.iter_mut().zip(a.iter()) {
+                *s += ai * dot;
+            }
+        }
+        let mut new_v = center(&sv);
+        let norm = new_v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            // Fall back to the element-wise mean of aligned members.
+            let mut mean = vec![0.0; m];
+            for a in aligned {
+                for (mu, &ai) in mean.iter_mut().zip(a.iter()) {
+                    *mu += ai / aligned.len() as f64;
+                }
+            }
+            return ShapeCandidate::Degenerate(z_normalize(&mean));
+        }
+        for x in new_v.iter_mut() {
+            *x /= norm;
+        }
+        v = new_v;
+    }
+    ShapeCandidate::Candidate(z_normalize(&v))
 }
 
 fn normalize_vec(v: &mut [f64]) {
@@ -491,6 +752,80 @@ mod tests {
         let mut all: Vec<usize> = (0..3).flat_map(|c| result.members_of(c)).collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn fit_cached_is_bit_identical_to_fit() {
+        let len = 48;
+        let sines = noisy_family(&|i| ((i as f64) * 0.4).sin(), 5, len, 7);
+        let ramps = noisy_family(&|i| i as f64 / 10.0, 5, len, 13);
+        let spikes = noisy_family(&|i| if i % 12 == 0 { 4.0 } else { 0.0 }, 4, len, 29);
+        let mut series = sines;
+        series.extend(ramps);
+        series.extend(spikes);
+
+        let cache = KShapeSeriesCache::new(&series).unwrap();
+        assert_eq!(cache.len(), 14);
+        assert_eq!(cache.series_len(), len);
+        for k in 1..=4 {
+            let kshape = KShape::new(KShapeConfig::new(k));
+            let direct = kshape.fit(&series).unwrap();
+            let cached = kshape.fit_cached(&cache).unwrap();
+            // Full structural equality: assignments, iteration counts and
+            // every centroid value bit-for-bit.
+            assert_eq!(direct.assignments, cached.assignments, "k = {k}");
+            assert_eq!(direct.iterations, cached.iterations, "k = {k}");
+            assert_eq!(direct.converged, cached.converged, "k = {k}");
+            for (dc, cc) in direct.centroids.iter().zip(cached.centroids.iter()) {
+                for (a, b) in dc.iter().zip(cc.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "k = {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fit_cached_handles_constant_members_like_fit() {
+        let mut series: Vec<Vec<f64>> = vec![vec![5.0; 20], vec![0.0; 20]];
+        series.push((0..20).map(|i| i as f64).collect());
+        series.push((0..20).map(|i| (20 - i) as f64).collect());
+        let cache = KShapeSeriesCache::new(&series).unwrap();
+        let kshape = KShape::new(KShapeConfig::new(2));
+        let direct = kshape.fit(&series).unwrap();
+        let cached = kshape.fit_cached(&cache).unwrap();
+        assert_eq!(direct, cached);
+    }
+
+    #[test]
+    fn cache_validates_inputs_like_fit() {
+        assert!(matches!(
+            KShapeSeriesCache::new::<Vec<f64>>(&[]),
+            Err(ClusterError::NoData)
+        ));
+        assert!(matches!(
+            KShapeSeriesCache::new(&[Vec::<f64>::new()]),
+            Err(ClusterError::NoData)
+        ));
+        let ragged = vec![vec![1.0, 2.0], vec![1.0, 2.0, 3.0]];
+        assert!(matches!(
+            KShapeSeriesCache::new(&ragged),
+            Err(ClusterError::InconsistentLengths { .. })
+        ));
+        let cache = KShapeSeriesCache::new(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(!cache.is_empty());
+        assert!(matches!(
+            KShape::new(KShapeConfig::new(0)).fit_cached(&cache),
+            Err(ClusterError::InvalidClusterCount { .. })
+        ));
+        assert!(matches!(
+            KShape::new(KShapeConfig::new(3)).fit_cached(&cache),
+            Err(ClusterError::InvalidClusterCount { .. })
+        ));
+        let bad_init = KShapeConfig::new(2).with_initial_assignment(vec![0, 7]);
+        assert!(matches!(
+            KShape::new(bad_init).fit_cached(&cache),
+            Err(ClusterError::InvalidInitialAssignment { .. })
+        ));
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //! 3. the number of clusters is chosen by maximising the silhouette score
 //!    computed under the shape-based distance ([`silhouette`]).
 //!
+//! Because the k sweep re-evaluates the same pairwise distances for every
+//! candidate `k`, the hot path runs on a shared SBD engine: per-series
+//! spectra ([`sieve_timeseries::spectrum`]) cached in a
+//! [`kshape::KShapeSeriesCache`] and a pairwise [`distance::DistanceMatrix`]
+//! computed once and read by every silhouette evaluation — bit-identical to
+//! the direct path, just without the redundant FFTs.
+//!
 //! The robustness evaluation of the paper (Figure 3) compares cluster
 //! assignments across measurement runs with the Adjusted Mutual Information
 //! score, implemented in [`ami`].
@@ -37,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod ami;
+pub mod distance;
 pub mod jaro;
 pub mod kshape;
 pub mod silhouette;

@@ -12,35 +12,16 @@
 //! where `a(i)` is the mean distance to the other members of its own cluster
 //! and `b(i)` the smallest mean distance to any other cluster.
 
+use crate::distance::DistanceMatrix;
 use crate::{ClusterError, Result};
 use sieve_timeseries::sbd::sbd;
 
-/// Computes the mean silhouette score of a labeling of `data` under an
-/// arbitrary distance function.
-///
-/// Samples in singleton clusters contribute a silhouette of `0.0` (the
-/// scikit-learn convention referenced by the paper). Returns `0.0` when only
-/// one cluster is used.
-///
-/// # Errors
-///
-/// * [`ClusterError::NoData`] for empty input.
-/// * [`ClusterError::LabelLengthMismatch`] when `labels` and `data` differ in length.
-pub fn silhouette_score_with<S, D>(data: &[S], labels: &[usize], mut distance: D) -> Result<f64>
-where
-    S: AsRef<[f64]>,
-    D: FnMut(&[f64], &[f64]) -> f64,
-{
-    if data.is_empty() {
-        return Err(ClusterError::NoData);
-    }
-    if data.len() != labels.len() {
-        return Err(ClusterError::LabelLengthMismatch {
-            left: data.len(),
-            right: labels.len(),
-        });
-    }
-    let n = data.len();
+/// The scoring core shared by every silhouette entry point: mean silhouette
+/// of `labels` given any pairwise lookup `dist(i, j)`. Returns `0.0` when
+/// fewer than two clusters are used; singletons contribute `0.0` (the
+/// scikit-learn convention referenced by the paper).
+fn score_from_pairwise(labels: &[usize], dist: impl Fn(usize, usize) -> f64) -> f64 {
+    let n = labels.len();
     let clusters: Vec<usize> = {
         let mut c: Vec<usize> = labels.to_vec();
         c.sort_unstable();
@@ -48,19 +29,8 @@ where
         c
     };
     if clusters.len() < 2 {
-        return Ok(0.0);
+        return 0.0;
     }
-
-    // Precompute the symmetric distance matrix.
-    let mut dist = vec![vec![0.0; n]; n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = distance(data[i].as_ref(), data[j].as_ref());
-            dist[i][j] = d;
-            dist[j][i] = d;
-        }
-    }
-
     let mut total = 0.0;
     for i in 0..n {
         let own = labels[i];
@@ -70,7 +40,7 @@ where
         }
         let a: f64 = (0..n)
             .filter(|&j| j != i && labels[j] == own)
-            .map(|j| dist[i][j])
+            .map(|j| dist(i, j))
             .sum::<f64>()
             / (own_size - 1) as f64;
 
@@ -83,7 +53,7 @@ where
             if members.is_empty() {
                 continue;
             }
-            let mean: f64 = members.iter().map(|&j| dist[i][j]).sum::<f64>() / members.len() as f64;
+            let mean: f64 = members.iter().map(|&j| dist(i, j)).sum::<f64>() / members.len() as f64;
             if mean < b {
                 b = mean;
             }
@@ -95,18 +65,116 @@ where
             }
         }
     }
-    Ok(total / n as f64)
+    total / n as f64
+}
+
+/// Computes the mean silhouette score of a labeling of `data` under an
+/// arbitrary *fallible* distance function; a distance error aborts the
+/// computation instead of being folded into the score.
+///
+/// Samples in singleton clusters contribute a silhouette of `0.0` (the
+/// scikit-learn convention referenced by the paper). Returns `0.0` when only
+/// one cluster is used.
+///
+/// # Errors
+///
+/// * [`ClusterError::NoData`] for empty input.
+/// * [`ClusterError::LabelLengthMismatch`] when `labels` and `data` differ in length.
+/// * Any error returned by `distance`.
+pub fn try_silhouette_score_with<S, D>(data: &[S], labels: &[usize], mut distance: D) -> Result<f64>
+where
+    S: AsRef<[f64]>,
+    D: FnMut(&[f64], &[f64]) -> Result<f64>,
+{
+    if data.is_empty() {
+        return Err(ClusterError::NoData);
+    }
+    if data.len() != labels.len() {
+        return Err(ClusterError::LabelLengthMismatch {
+            left: data.len(),
+            right: labels.len(),
+        });
+    }
+    // Fewer than two clusters score 0.0 by definition — bail out before
+    // paying for any distance computation.
+    let distinct_clusters = {
+        let mut c: Vec<usize> = labels.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        c.len()
+    };
+    if distinct_clusters < 2 {
+        return Ok(0.0);
+    }
+    // Precompute the symmetric distance matrix.
+    let n = data.len();
+    let mut dist = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = distance(data[i].as_ref(), data[j].as_ref())?;
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+    Ok(score_from_pairwise(labels, |i, j| dist[i][j]))
+}
+
+/// Computes the mean silhouette score of a labeling of `data` under an
+/// arbitrary (infallible) distance function. See
+/// [`try_silhouette_score_with`] for the conventions.
+///
+/// # Errors
+///
+/// * [`ClusterError::NoData`] for empty input.
+/// * [`ClusterError::LabelLengthMismatch`] when `labels` and `data` differ in length.
+pub fn silhouette_score_with<S, D>(data: &[S], labels: &[usize], mut distance: D) -> Result<f64>
+where
+    S: AsRef<[f64]>,
+    D: FnMut(&[f64], &[f64]) -> f64,
+{
+    try_silhouette_score_with(data, labels, |a, b| Ok(distance(a, b)))
 }
 
 /// Silhouette score under the shape-based distance, the configuration Sieve
 /// uses ("We use the SBD as a distance measure in the silhouette
 /// computation", §3.2).
 ///
+/// SBD failures (only possible for empty member series) are propagated —
+/// they used to be silently mapped to the maximal distance `2.0`, which
+/// could quietly inflate distances for degenerate inputs. Note that
+/// *constant* series are not an error: their NCC is defined as all zeros,
+/// so they keep contributing the well-defined distance `1.0`.
+///
 /// # Errors
 ///
-/// Same as [`silhouette_score_with`].
+/// * Same as [`try_silhouette_score_with`], plus
+///   [`ClusterError::TimeSeries`] for empty member series.
 pub fn silhouette_score_sbd<S: AsRef<[f64]>>(data: &[S], labels: &[usize]) -> Result<f64> {
-    silhouette_score_with(data, labels, |a, b| sbd(a, b).unwrap_or(2.0))
+    try_silhouette_score_with(data, labels, |a, b| sbd(a, b).map_err(ClusterError::from))
+}
+
+/// Silhouette score read from a precomputed [`DistanceMatrix`] instead of
+/// recomputing the O(n²) pairwise distances — this is what the per-component
+/// k-sweep uses: the matrix does not depend on the labeling, so every k
+/// shares one matrix. Bit-identical to [`silhouette_score_sbd`] on the
+/// series the matrix was computed from.
+///
+/// # Errors
+///
+/// * [`ClusterError::NoData`] for an empty matrix.
+/// * [`ClusterError::LabelLengthMismatch`] when `labels` does not match the
+///   matrix dimension.
+pub fn silhouette_score_from_matrix(matrix: &DistanceMatrix, labels: &[usize]) -> Result<f64> {
+    if matrix.is_empty() {
+        return Err(ClusterError::NoData);
+    }
+    if matrix.len() != labels.len() {
+        return Err(ClusterError::LabelLengthMismatch {
+            left: matrix.len(),
+            right: labels.len(),
+        });
+    }
+    Ok(score_from_pairwise(labels, |i, j| matrix.get(i, j)))
 }
 
 /// Euclidean distance between equal-length vectors (extra elements of the
@@ -199,6 +267,53 @@ mod tests {
         let mixed = silhouette_score_sbd(&data, &[0, 1, 0, 1, 0, 1]).unwrap();
         assert!(by_shape > mixed);
         assert!(by_shape > 0.5);
+    }
+
+    #[test]
+    fn matrix_backed_score_is_bit_identical_to_direct_sbd() {
+        let data: Vec<Vec<f64>> = (0..10)
+            .map(|i| {
+                (0..40)
+                    .map(|j| ((j as f64) * (0.2 + 0.03 * (i % 3) as f64)).sin() + i as f64)
+                    .collect()
+            })
+            .collect();
+        let labels: Vec<usize> = (0..10).map(|i| i % 3).collect();
+        let direct = silhouette_score_sbd(&data, &labels).unwrap();
+        let matrix = crate::distance::DistanceMatrix::compute(&data, 1).unwrap();
+        let cached = silhouette_score_from_matrix(&matrix, &labels).unwrap();
+        assert_eq!(direct.to_bits(), cached.to_bits());
+    }
+
+    #[test]
+    fn matrix_backed_score_validates_inputs() {
+        let data = vec![vec![1.0, 2.0, 3.0], vec![3.0, 1.0, 2.0]];
+        let matrix = crate::distance::DistanceMatrix::compute(&data, 1).unwrap();
+        assert!(matches!(
+            silhouette_score_from_matrix(&matrix, &[0]),
+            Err(ClusterError::LabelLengthMismatch { .. })
+        ));
+        assert_eq!(silhouette_score_from_matrix(&matrix, &[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sbd_errors_propagate_instead_of_inflating_distances() {
+        // An empty member series used to be scored as distance 2.0; now the
+        // error surfaces.
+        let data: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![], vec![2.0, 1.0]];
+        assert!(matches!(
+            silhouette_score_sbd(&data, &[0, 1, 0]),
+            Err(ClusterError::TimeSeries(_))
+        ));
+        // Constant series stay well-defined (SBD = 1 by convention, not an
+        // error).
+        let with_constant: Vec<Vec<f64>> = vec![
+            vec![5.0; 8],
+            vec![5.0; 8],
+            (0..8).map(|i| i as f64).collect(),
+        ];
+        let s = silhouette_score_sbd(&with_constant, &[0, 0, 1]).unwrap();
+        assert!(s.is_finite());
     }
 
     #[test]

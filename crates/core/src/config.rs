@@ -27,6 +27,13 @@ pub struct SieveConfig {
     /// setting is honoured exactly by the executor; the default adapts to
     /// the hardware ([`sieve_exec::par::hardware_parallelism`]).
     pub parallelism: usize,
+    /// Whether the metric-reduction step runs on the shared SBD engine
+    /// (cached per-series spectra plus a per-component pairwise distance
+    /// matrix reused across the whole k sweep) instead of recomputing every
+    /// shape-based distance from scratch. Both paths produce bit-identical
+    /// models; the naive path exists as the reference oracle for tests and
+    /// benchmarks. Defaults to `true`.
+    pub use_sbd_cache: bool,
 }
 
 impl Default for SieveConfig {
@@ -39,6 +46,7 @@ impl Default for SieveConfig {
             kshape_max_iterations: 50,
             granger: GrangerConfig::default(),
             parallelism: sieve_exec::par::hardware_parallelism(),
+            use_sbd_cache: true,
         }
     }
 }
@@ -60,6 +68,13 @@ impl SieveConfig {
     /// Builder-style setter for the parallelism degree.
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Builder-style setter for the SBD-engine toggle (`false` selects the
+    /// naive direct-SBD reference path).
+    pub fn with_sbd_cache(mut self, use_sbd_cache: bool) -> Self {
+        self.use_sbd_cache = use_sbd_cache;
         self
     }
 
@@ -104,6 +119,7 @@ mod tests {
         assert_eq!(c.variance_threshold, 0.002);
         assert_eq!(c.max_clusters, 7);
         assert_eq!(c.granger.significance, 0.05);
+        assert!(c.use_sbd_cache, "cached distance engine is the default");
         assert!(c.validate().is_ok());
     }
 

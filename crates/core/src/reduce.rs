@@ -21,15 +21,23 @@
 //! Prepared series are `Arc`-shared slices: the reduction here and the
 //! dependency identification of step 3 read the *same* buffers, and the
 //! k-Shape/silhouette calls below borrow them without copying.
+//!
+//! The k sweep itself runs on the shared SBD engine by default
+//! (`SieveConfig::use_sbd_cache`): per-series spectra and the pairwise
+//! distance matrix are computed once per component and reused by every
+//! candidate `k`, with the direct-SBD path kept as the bit-identical
+//! reference oracle.
 
 use crate::config::SieveConfig;
 use crate::model::{ComponentClustering, MetricCluster};
 use crate::Result;
+use sieve_cluster::distance::{compute_spectra, DistanceMatrix};
 use sieve_cluster::jaro::pre_cluster_names;
-use sieve_cluster::kshape::{KShape, KShapeConfig};
-use sieve_cluster::silhouette::silhouette_score_sbd;
+use sieve_cluster::kshape::{KShape, KShapeConfig, KShapeResult, KShapeSeriesCache};
+use sieve_cluster::silhouette::{silhouette_score_from_matrix, silhouette_score_sbd};
 use sieve_exec::Name;
 use sieve_timeseries::sbd::shape_based_distance;
+use sieve_timeseries::spectrum::{sbd_from_spectra, SeriesSpectrum};
 use sieve_timeseries::stats::{mean, variance};
 use sieve_timeseries::{resample, TimeSeries};
 use std::sync::Arc;
@@ -153,17 +161,55 @@ pub fn reduce_component(
     let data: Vec<&[f64]> = kept.iter().map(|s| &*s.values).collect();
     let names: Vec<&str> = kept.iter().map(|s| s.name.as_str()).collect();
 
-    // 2. Try every k in the configured range and keep the best silhouette.
-    let max_k = config.max_clusters.min(kept.len().saturating_sub(1)).max(1);
+    // 2. Try every k in the configured range and keep the best silhouette,
+    // then 3. pick each cluster's representative. The cached path computes
+    // every per-series spectrum and the full pairwise distance matrix once
+    // and reuses them across the whole sweep; the naive path recomputes
+    // every distance from scratch. Both are bit-identical (asserted by
+    // tests and the benches).
+    let (silhouette, chosen_k, clusters) = if config.use_sbd_cache {
+        sweep_cached(&data, &names, &kept, config)?
+    } else {
+        sweep_naive(&data, &names, &kept, config)?
+    };
+
+    Ok(ComponentClustering {
+        component,
+        total_metrics,
+        filtered_metrics,
+        clusters,
+        silhouette,
+        chosen_k,
+    })
+}
+
+/// The k sweep and representative selection on the shared SBD engine: one
+/// spectrum per kept series, one [`DistanceMatrix`] per component (built
+/// through `sieve_exec::par_map_chunks`), one [`KShapeSeriesCache`] shared
+/// by every `k`.
+fn sweep_cached(
+    data: &[&[f64]],
+    names: &[&str],
+    kept: &[&NamedSeries],
+    config: &SieveConfig,
+) -> Result<(f64, usize, Vec<MetricCluster>)> {
+    // Spectra of the *raw* prepared series drive the silhouette matrix and
+    // the centroid-to-member representative distances; the k-Shape cache
+    // holds its own spectra of the z-normalized copies.
+    let spectra = compute_spectra(data, config.parallelism)?;
+    let matrix = DistanceMatrix::from_spectra(&spectra, config.parallelism)?;
+    let kshape_cache = KShapeSeriesCache::new_parallel(data, config.parallelism)?;
+
+    let max_k = config.max_clusters.min(data.len().saturating_sub(1)).max(1);
     let min_k = config.min_clusters.min(max_k);
-    let mut best: Option<(f64, sieve_cluster::kshape::KShapeResult, usize)> = None;
+    let mut best: Option<(f64, KShapeResult, usize)> = None;
     for k in min_k..=max_k {
-        let init = pre_cluster_names(&names, k);
+        let init = pre_cluster_names(names, k);
         let kshape_config = KShapeConfig::new(k)
             .with_max_iterations(config.kshape_max_iterations)
             .with_initial_assignment(init);
-        let result = KShape::new(kshape_config).fit(&data)?;
-        let score = silhouette_score_sbd(&data, &result.assignments)?;
+        let result = KShape::new(kshape_config).fit_cached(&kshape_cache)?;
+        let score = silhouette_score_from_matrix(&matrix, &result.assignments)?;
         let better = match &best {
             None => true,
             Some((best_score, _, _)) => score > *best_score,
@@ -174,7 +220,76 @@ pub fn reduce_component(
     }
     let (silhouette, result, chosen_k) = best.expect("at least one k was evaluated");
 
-    // 3. Build clusters with representative metrics.
+    let clusters = build_clusters(&result, chosen_k, kept, |centroid, members| {
+        // One centroid spectrum serves the whole cluster.
+        match SeriesSpectrum::compute(centroid) {
+            Ok(cs) => members
+                .iter()
+                .map(|&idx| {
+                    sbd_from_spectra(&cs, &spectra[idx])
+                        .map(|r| r.distance)
+                        .unwrap_or(2.0)
+                })
+                .collect(),
+            Err(_) => vec![2.0; members.len()],
+        }
+    });
+    Ok((silhouette, chosen_k, clusters))
+}
+
+/// The direct-SBD reference path: every distance re-z-normalizes and
+/// re-FFTs both operands. Kept as the oracle the cached path is benchmarked
+/// and equality-tested against.
+fn sweep_naive(
+    data: &[&[f64]],
+    names: &[&str],
+    kept: &[&NamedSeries],
+    config: &SieveConfig,
+) -> Result<(f64, usize, Vec<MetricCluster>)> {
+    let max_k = config.max_clusters.min(data.len().saturating_sub(1)).max(1);
+    let min_k = config.min_clusters.min(max_k);
+    let mut best: Option<(f64, KShapeResult, usize)> = None;
+    for k in min_k..=max_k {
+        let init = pre_cluster_names(names, k);
+        let kshape_config = KShapeConfig::new(k)
+            .with_max_iterations(config.kshape_max_iterations)
+            .with_initial_assignment(init);
+        let result = KShape::new(kshape_config).fit(data)?;
+        let score = silhouette_score_sbd(data, &result.assignments)?;
+        let better = match &best {
+            None => true,
+            Some((best_score, _, _)) => score > *best_score,
+        };
+        if better {
+            best = Some((score, result, k));
+        }
+    }
+    let (silhouette, result, chosen_k) = best.expect("at least one k was evaluated");
+
+    let clusters = build_clusters(&result, chosen_k, kept, |centroid, members| {
+        members
+            .iter()
+            .map(|&idx| {
+                shape_based_distance(centroid, data[idx])
+                    .map(|r| r.distance)
+                    .unwrap_or(2.0)
+            })
+            .collect()
+    });
+    Ok((silhouette, chosen_k, clusters))
+}
+
+/// Builds the final clusters, picking as each cluster's representative the
+/// member with the smallest centroid distance. `centroid_distances` is
+/// called once per non-zero centroid with the full member-index list so
+/// implementations can share per-centroid work (e.g. one spectrum per
+/// cluster) and must return one distance per member, in order.
+fn build_clusters(
+    result: &KShapeResult,
+    chosen_k: usize,
+    kept: &[&NamedSeries],
+    centroid_distances: impl Fn(&[f64], &[usize]) -> Vec<f64>,
+) -> Vec<MetricCluster> {
     let mut clusters = Vec::new();
     for c in 0..chosen_k {
         let member_indices = result.members_of(c);
@@ -182,16 +297,14 @@ pub fn reduce_component(
             continue;
         }
         let centroid = &result.centroids[c];
+        let distances = if centroid.iter().all(|&v| v == 0.0) {
+            vec![0.0; member_indices.len()]
+        } else {
+            centroid_distances(centroid, &member_indices)
+        };
         let mut representative = member_indices[0];
         let mut best_distance = f64::INFINITY;
-        for &idx in &member_indices {
-            let d = if centroid.iter().all(|&v| v == 0.0) {
-                0.0
-            } else {
-                shape_based_distance(centroid, data[idx])
-                    .map(|r| r.distance)
-                    .unwrap_or(2.0)
-            };
+        for (&idx, &d) in member_indices.iter().zip(distances.iter()) {
             if d < best_distance {
                 best_distance = d;
                 representative = idx;
@@ -210,15 +323,7 @@ pub fn reduce_component(
             },
         });
     }
-
-    Ok(ComponentClustering {
-        component,
-        total_metrics,
-        filtered_metrics,
-        clusters,
-        silhouette,
-        chosen_k,
-    })
+    clusters
 }
 
 #[cfg(test)]
@@ -361,6 +466,45 @@ mod tests {
         assert!(!cpu_cluster.contains("net_bytes_0"));
         // Reduction: 8 metrics -> at most 4 representatives.
         assert!(clustering.reduction_factor() >= 2.0);
+    }
+
+    #[test]
+    fn cached_and_naive_reduction_produce_identical_clusterings() {
+        let len = 64;
+        let mut series = Vec::new();
+        for i in 0..4 {
+            series.push(named(
+                &format!("cpu_usage_{i}"),
+                shapes(0, 1.0 + i as f64, len),
+            ));
+        }
+        for i in 0..4 {
+            series.push(named(
+                &format!("net_bytes_{i}"),
+                shapes(1, 2.0 + i as f64, len),
+            ));
+        }
+        for i in 0..3 {
+            series.push(named(
+                &format!("disk_iops_{i}"),
+                shapes(2, 1.5 + i as f64, len),
+            ));
+        }
+        series.push(named("flat", vec![9.0; len]));
+
+        let base = SieveConfig::default().with_cluster_range(2, 5);
+        let cached = reduce_component("web", &series, &base.clone().with_sbd_cache(true)).unwrap();
+        let naive = reduce_component("web", &series, &base.with_sbd_cache(false)).unwrap();
+        // Full structural equality including every representative distance
+        // and silhouette value — the engine must not change a single bit.
+        assert_eq!(cached, naive);
+        assert_eq!(cached.silhouette.to_bits(), naive.silhouette.to_bits());
+        for (c, n) in cached.clusters.iter().zip(naive.clusters.iter()) {
+            assert_eq!(
+                c.representative_distance.to_bits(),
+                n.representative_distance.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -181,6 +181,31 @@ pub fn cross_correlation(x: &[f64], y: &[f64]) -> Vec<f64> {
     let fft_len = next_power_of_two(out_len);
     let fx = fft_real(x, fft_len);
     let fy = fft_real(y, fft_len);
+    cross_correlation_from_ffts(&fx, &fy, x.len(), y.len())
+}
+
+/// The back half of [`cross_correlation`]: multiplies two precomputed
+/// forward spectra, inverts the product and rearranges the circular result
+/// into the linear shift layout.
+///
+/// Both spectra must have been produced by [`fft_real`] at the *same* padded
+/// length `next_power_of_two(n + m - 1)` — [`cross_correlation`] funnels
+/// through this function, so a caller holding cached spectra (see
+/// [`crate::spectrum::SeriesSpectrum`]) obtains bit-identical results to the
+/// direct path.
+///
+/// # Panics
+///
+/// Panics if the spectra have different lengths or are shorter than
+/// `n + m - 1`.
+pub fn cross_correlation_from_ffts(fx: &[Complex], fy: &[Complex], n: usize, m: usize) -> Vec<f64> {
+    let out_len = n + m - 1;
+    let fft_len = fx.len();
+    assert_eq!(fft_len, fy.len(), "spectra must share the padded length");
+    assert!(
+        fft_len >= out_len,
+        "spectra too short for the output length"
+    );
     let mut prod: Vec<Complex> = fx
         .iter()
         .zip(fy.iter())
@@ -190,7 +215,6 @@ pub fn cross_correlation(x: &[f64], y: &[f64]) -> Vec<f64> {
     // The circular correlation places non-negative shifts at the head and
     // negative shifts at the tail; rearrange so the output runs from shift
     // -(m-1) .. (n-1) like a linear correlation.
-    let m = y.len();
     let mut out = Vec::with_capacity(out_len);
     for k in 0..out_len {
         let shift = k as isize - (m as isize - 1);

@@ -13,8 +13,11 @@
 //! * first-differencing and lagging for the Granger causality tests
 //!   ([`diff`]),
 //! * a radix-2 FFT ([`fft`]) used to compute the normalized
-//!   cross-correlation, and
-//! * the shape-based distance (SBD) of the k-Shape algorithm ([`sbd`]).
+//!   cross-correlation,
+//! * the shape-based distance (SBD) of the k-Shape algorithm ([`sbd`]), and
+//! * cached per-series spectra ([`spectrum`]) that make repeated SBD
+//!   evaluations cheap (one product + inverse FFT per pair) while staying
+//!   bit-identical to the direct path.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod normalize;
 pub mod resample;
 pub mod sbd;
 pub mod series;
+pub mod spectrum;
 pub mod stats;
 
 mod error;

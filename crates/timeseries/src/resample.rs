@@ -16,8 +16,18 @@ pub const DEFAULT_INTERVAL_MS: u64 = 500;
 /// Resamples `series` onto a regular grid of `interval_ms` covering the
 /// original time span.
 ///
+/// The grid starts at the first observation and extends until it *covers*
+/// the last one (ceiling division of the span): when the span is not an
+/// exact multiple of `interval_ms`, the final grid point lies within one
+/// interval past the last observation rather than one interval before it —
+/// truncating the grid at the last multiple below `end` used to silently
+/// drop up to a full interval of data at the end of every series.
+///
 /// Grid points between observations are interpolated with a natural cubic
-/// spline when at least three observations exist, otherwise linearly.
+/// spline when at least three observations exist, otherwise linearly; the
+/// at-most-one overhang point past the last observation is extrapolated
+/// (linearly by the spline's boundary segment, as the boundary constant by
+/// the linear fallback).
 ///
 /// # Errors
 ///
@@ -38,7 +48,7 @@ pub fn resample(series: &TimeSeries, interval_ms: u64) -> Result<TimeSeries> {
     let xs: Vec<f64> = series.timestamps().iter().map(|&t| t as f64).collect();
     let ys = series.values();
 
-    let n_points = ((end - start) / interval_ms) as usize + 1;
+    let n_points = (end - start).div_ceil(interval_ms) as usize + 1;
     let grid: Vec<u64> = (0..n_points as u64)
         .map(|i| start + i * interval_ms)
         .collect();
@@ -169,6 +179,33 @@ mod tests {
         // The underlying signal is linear, so interior points are exact.
         assert!((r.values()[1] - 1.0).abs() < 1e-9);
         assert!((r.values()[6] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_grid_covers_the_final_observation() {
+        // Regression: span 0..1700 at 500 ms used to stop the grid at 1500,
+        // silently dropping the 1700 ms observation. The ceiling grid now
+        // ends at 2000 and the final value survives (by extrapolation of the
+        // boundary segment).
+        let ts =
+            TimeSeries::from_parts(vec![0, 600, 1200, 1700], vec![0.0, 6.0, 12.0, 17.0]).unwrap();
+        let r = resample(&ts, 500).unwrap();
+        assert_eq!(r.timestamps(), &[0, 500, 1000, 1500, 2000]);
+        assert!(r.end_ms().unwrap() >= ts.end_ms().unwrap());
+        // The signal is linear, so even the extrapolated tail is exact.
+        for (t, v) in r.iter() {
+            assert!((v - t as f64 / 100.0).abs() < 1e-9, "grid point {t}");
+        }
+    }
+
+    #[test]
+    fn resample_two_point_series_covers_end_with_boundary_value() {
+        // Linear fallback: the overhang point takes the boundary value
+        // (constant extrapolation of `linear_interpolate`).
+        let ts = TimeSeries::from_parts(vec![0, 700], vec![0.0, 7.0]).unwrap();
+        let r = resample(&ts, 500).unwrap();
+        assert_eq!(r.timestamps(), &[0, 500, 1000]);
+        assert!((r.values()[2] - 7.0).abs() < 1e-9);
     }
 
     #[test]

@@ -21,9 +21,16 @@ use crate::{Result, TimeSeriesError};
 pub struct SbdResult {
     /// The shape-based distance, in `[0, 2]`.
     pub distance: f64,
-    /// The optimal alignment lag in samples: positive when `y` is a delayed
-    /// copy of `x` (i.e. `y` lags `x` by `shift` samples), negative when `y`
-    /// leads `x`.
+    /// The optimal alignment lag in samples.
+    ///
+    /// Sign convention: **positive means `y` lags `x`** — `y` looks like a
+    /// copy of `x` delayed by `shift` samples, so aligning moves `y`
+    /// *earlier* in time. Negative means `y` *leads* `x` and alignment moves
+    /// `y` later. The value lies in `-(x.len() - 1) ..= y.len() - 1`; its
+    /// magnitude can therefore exceed `y.len()` when `x` is the longer
+    /// series. [`align_to`] (and [`apply_shift`]) clamp the copy ranges, so
+    /// any shift in that range yields a zero-padded vector of `y`'s length —
+    /// an extreme lead/lag degenerates to all zeros instead of panicking.
     pub shift: isize,
     /// The maximal normalized cross-correlation value, in `[-1, 1]`.
     pub ncc: f64,
@@ -76,7 +83,14 @@ pub fn ncc_sequence(x: &[f64], y: &[f64]) -> Result<Vec<f64>> {
 /// ```
 pub fn shape_based_distance(x: &[f64], y: &[f64]) -> Result<SbdResult> {
     let ncc = ncc_sequence(x, y)?;
-    let m = y.len();
+    Ok(peak_of_ncc(&ncc, y.len()))
+}
+
+/// Finds the NCC peak and converts it into an [`SbdResult`]; `m` is
+/// `y.len()`. Shared by the direct path above and the cached-spectrum path
+/// ([`crate::spectrum::sbd_from_spectra`]) so both produce bit-identical
+/// results.
+pub(crate) fn peak_of_ncc(ncc: &[f64], m: usize) -> SbdResult {
     let mut best_idx = 0usize;
     let mut best_val = f64::NEG_INFINITY;
     for (i, &v) in ncc.iter().enumerate() {
@@ -87,11 +101,11 @@ pub fn shape_based_distance(x: &[f64], y: &[f64]) -> Result<SbdResult> {
     }
     // Clamp tiny numerical overshoots.
     let best_val = best_val.clamp(-1.0, 1.0);
-    Ok(SbdResult {
+    SbdResult {
         distance: 1.0 - best_val,
         shift: (m as isize - 1) - best_idx as isize,
         ncc: best_val,
-    })
+    }
 }
 
 /// Convenience wrapper returning just the distance.
@@ -113,20 +127,29 @@ pub fn sbd(x: &[f64], y: &[f64]) -> Result<f64> {
 /// Same as [`shape_based_distance`].
 pub fn align_to(x: &[f64], y: &[f64]) -> Result<Vec<f64>> {
     let r = shape_based_distance(x, y)?;
-    let shift = r.shift;
+    Ok(apply_shift(y, r.shift))
+}
+
+/// Shifts `y` by `shift` samples (the [`SbdResult::shift`] sign convention:
+/// positive moves `y` earlier in time, negative later), zero-padding the
+/// vacated positions. Both copy ranges are clamped, so *any* shift — even one
+/// whose magnitude exceeds `y.len()`, which happens when the reference series
+/// is longer than `y` and leads it by more than `y.len()` samples — yields a
+/// well-formed (possibly all-zero) vector of `y`'s length instead of
+/// panicking with an out-of-bounds slice.
+pub fn apply_shift(y: &[f64], shift: isize) -> Vec<f64> {
     let n = y.len();
     let mut out = vec![0.0; n];
+    let s = shift.unsigned_abs().min(n);
+    let keep = n - s;
     if shift >= 0 {
         // `y` lags `x`: move `y` earlier in time.
-        let s = shift as usize;
-        let keep = n.saturating_sub(s);
-        out[..keep].copy_from_slice(&y[s..s + keep]);
+        out[..keep].copy_from_slice(&y[s..]);
     } else {
         // `y` leads `x`: move `y` later in time.
-        let s = (-shift) as usize;
-        out[s..n].copy_from_slice(&y[..n - s]);
+        out[s..].copy_from_slice(&y[..keep]);
     }
-    Ok(out)
+    out
 }
 
 #[cfg(test)]
@@ -225,6 +248,43 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(argmax, 10);
+    }
+
+    #[test]
+    fn align_to_survives_extreme_leads_and_lags() {
+        // Regression: `y` (8 points) leads `x` (64 points) by ~60 samples —
+        // the optimal shift's magnitude exceeds `y.len()`, which used to
+        // panic with an out-of-bounds slice in the negative-shift branch.
+        let x: Vec<f64> = (0..64).map(|i| if i == 60 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = (0..8).map(|i| if i == 0 { 1.0 } else { 0.0 }).collect();
+        let r = shape_based_distance(&x, &y).unwrap();
+        assert!(
+            r.shift < -(y.len() as isize),
+            "repro needs |shift| > y.len()"
+        );
+        let aligned = align_to(&x, &y).unwrap();
+        assert_eq!(aligned.len(), y.len());
+        assert!(aligned.iter().all(|&v| v == 0.0), "fully shifted out");
+        // Mirror case: `y` lags a reference that sits at the very start.
+        let x2: Vec<f64> = (0..8).map(|i| if i == 0 { 1.0 } else { 0.0 }).collect();
+        let y2: Vec<f64> = (0..64).map(|i| if i == 60 { 1.0 } else { 0.0 }).collect();
+        let aligned2 = align_to(&x2, &y2).unwrap();
+        assert_eq!(aligned2.len(), y2.len());
+        assert_eq!(aligned2[0], 1.0, "spike moved to the reference position");
+    }
+
+    #[test]
+    fn apply_shift_clamps_any_shift_magnitude() {
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(apply_shift(&y, 0), y);
+        assert_eq!(apply_shift(&y, 1), vec![2.0, 3.0, 4.0, 0.0]);
+        assert_eq!(apply_shift(&y, -1), vec![0.0, 1.0, 2.0, 3.0]);
+        // Shifts at and beyond the length collapse to all zeros in both
+        // directions instead of slicing out of bounds.
+        for s in [4isize, 5, 100, -4, -5, -100] {
+            assert_eq!(apply_shift(&y, s), vec![0.0; 4], "shift {s}");
+        }
+        assert!(apply_shift(&[], 3).is_empty());
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Cached series spectra: the shared SBD computation engine.
+//!
+//! Every shape-based distance evaluation needs the same three ingredients
+//! per series — its z-normalized values, their L2 norm, and the forward FFT
+//! of the z-normalized signal at the padded power-of-two length. The naive
+//! [`crate::sbd::shape_based_distance`] recomputes all three for *both*
+//! operands on every call; k-Shape fit, centroid refinement and
+//! silhouette-based k selection together issue O(n²·k·iterations) such
+//! calls per component. A [`SeriesSpectrum`] computes the ingredients once
+//! per series, after which each pairwise distance costs one spectrum
+//! product and one inverse FFT instead of two z-normalizations and three
+//! FFTs.
+//!
+//! The cached path is **bit-identical** to the naive one: it funnels
+//! through the same [`crate::fft::cross_correlation_from_ffts`] and NCC
+//! peak-scan code as [`crate::sbd::shape_based_distance`], and the cached
+//! forward FFT is produced by the same [`crate::fft::fft_real`] call the
+//! direct path performs internally. The pipeline's cached/naive model
+//! equality tests rely on this.
+
+use crate::fft::{cross_correlation_from_ffts, fft_real, next_power_of_two, Complex};
+use crate::normalize::z_normalize;
+use crate::sbd::{peak_of_ncc, SbdResult};
+use crate::{Result, TimeSeriesError};
+use std::sync::Arc;
+
+/// The per-series state of the SBD engine: z-normalized values, their L2
+/// norm and the forward FFT at the padded power-of-two length.
+///
+/// The buffers live behind `Arc`s, so cloning a spectrum (e.g. to share it
+/// between a distance matrix and a k-Shape run) is a refcount bump.
+#[derive(Debug, Clone)]
+pub struct SeriesSpectrum {
+    /// Original series length.
+    len: usize,
+    /// z-normalized copy of the input series.
+    z: Arc<[f64]>,
+    /// L2 norm of the z-normalized values.
+    norm: f64,
+    /// Forward FFT of the z-normalized values, zero-padded to `padded_len`.
+    fft: Arc<[Complex]>,
+    /// The power-of-two FFT length: `next_power_of_two(2 * len - 1)`.
+    padded_len: usize,
+}
+
+impl SeriesSpectrum {
+    /// Computes the spectrum of `values`: z-normalizes, takes the norm and
+    /// runs one forward FFT at `next_power_of_two(2 * len - 1)` — the padded
+    /// length a cross-correlation against any series of the *same* length
+    /// requires, which is the shape of every pairwise computation in the
+    /// pipeline (prepared series are truncated to a common length and
+    /// k-Shape centroids inherit it).
+    ///
+    /// # Errors
+    ///
+    /// * [`TimeSeriesError::Empty`] for an empty input.
+    pub fn compute(values: &[f64]) -> Result<Self> {
+        if values.is_empty() {
+            return Err(TimeSeriesError::Empty);
+        }
+        let len = values.len();
+        let z = z_normalize(values);
+        let norm: f64 = z.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let padded_len = next_power_of_two(2 * len - 1);
+        let fft = fft_real(&z, padded_len);
+        Ok(Self {
+            len,
+            z: z.into(),
+            norm,
+            fft: fft.into(),
+            padded_len,
+        })
+    }
+
+    /// Original series length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying series is empty (never true for a constructed
+    /// spectrum; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The z-normalized values the spectrum was computed from.
+    pub fn z_values(&self) -> &[f64] {
+        &self.z
+    }
+
+    /// L2 norm of the z-normalized values (0 for a constant series).
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// The padded FFT length.
+    pub fn padded_len(&self) -> usize {
+        self.padded_len
+    }
+}
+
+/// Computes the shape-based distance between two cached spectra,
+/// bit-identical to `shape_based_distance(x_values, y_values)` on the raw
+/// series the spectra were computed from.
+///
+/// # Errors
+///
+/// * [`TimeSeriesError::LengthMismatch`] when the spectra were padded to
+///   different lengths, or when the pair's required FFT length
+///   `next_power_of_two(x.len + y.len - 1)` differs from the cached one —
+///   both only possible for series of different lengths, which the pipeline
+///   never compares.
+pub fn sbd_from_spectra(x: &SeriesSpectrum, y: &SeriesSpectrum) -> Result<SbdResult> {
+    let required = next_power_of_two(x.len + y.len - 1);
+    if x.padded_len != y.padded_len || x.padded_len != required {
+        return Err(TimeSeriesError::LengthMismatch {
+            left: x.len,
+            right: y.len,
+        });
+    }
+    let cc = cross_correlation_from_ffts(&x.fft, &y.fft, x.len, y.len);
+    let denom = x.norm * y.norm;
+    let ncc: Vec<f64> = if denom == 0.0 {
+        // At least one series is constant: same convention as
+        // `ncc_sequence` — all-zero NCC, so SBD becomes 1.
+        vec![0.0; cc.len()]
+    } else {
+        cc.into_iter().map(|v| v / denom).collect()
+    };
+    Ok(peak_of_ncc(&ncc, y.len))
+}
+
+/// Convenience wrapper returning just the distance.
+///
+/// # Errors
+///
+/// Same as [`sbd_from_spectra`].
+pub fn sbd_distance_from_spectra(x: &SeriesSpectrum, y: &SeriesSpectrum) -> Result<f64> {
+    Ok(sbd_from_spectra(x, y)?.distance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sbd::shape_based_distance;
+
+    /// Deterministic splitmix64 generator (matching the repo's property-test
+    /// style).
+    fn splitmix(state: &mut u64) -> f64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        ((z >> 11) as f64) / (1u64 << 53) as f64 - 0.5
+    }
+
+    fn random_series(len: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed;
+        (0..len).map(|_| 100.0 * splitmix(&mut s)).collect()
+    }
+
+    #[test]
+    fn cached_path_is_bit_identical_to_direct_path() {
+        for len in [1usize, 2, 3, 7, 16, 33, 100, 256] {
+            for seed in 0..8u64 {
+                let x = random_series(len, seed * 2 + 1);
+                let y = random_series(len, seed * 2 + 2);
+                let direct = shape_based_distance(&x, &y).unwrap();
+                let sx = SeriesSpectrum::compute(&x).unwrap();
+                let sy = SeriesSpectrum::compute(&y).unwrap();
+                let cached = sbd_from_spectra(&sx, &sy).unwrap();
+                // Bitwise equality, not approximate: both paths must run the
+                // exact same float operations.
+                assert_eq!(
+                    direct.distance.to_bits(),
+                    cached.distance.to_bits(),
+                    "len {len} seed {seed}"
+                );
+                assert_eq!(direct.shift, cached.shift, "len {len} seed {seed}");
+                assert_eq!(
+                    direct.ncc.to_bits(),
+                    cached.ncc.to_bits(),
+                    "len {len} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_path_handles_constant_series_like_the_direct_path() {
+        let x = vec![5.0; 32];
+        let y = random_series(32, 9);
+        let sx = SeriesSpectrum::compute(&x).unwrap();
+        let sy = SeriesSpectrum::compute(&y).unwrap();
+        assert_eq!(sx.norm(), 0.0);
+        let direct = shape_based_distance(&x, &y).unwrap();
+        let cached = sbd_from_spectra(&sx, &sy).unwrap();
+        assert_eq!(direct.distance.to_bits(), cached.distance.to_bits());
+        assert_eq!(direct.shift, cached.shift);
+        assert!((cached.distance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectrum_rejects_empty_input() {
+        assert!(matches!(
+            SeriesSpectrum::compute(&[]),
+            Err(TimeSeriesError::Empty)
+        ));
+    }
+
+    #[test]
+    fn mismatched_lengths_are_rejected() {
+        // 5-point series pads to 16, 20-point series pads to 64: the pair
+        // cannot be combined from these caches.
+        let a = SeriesSpectrum::compute(&random_series(5, 1)).unwrap();
+        let b = SeriesSpectrum::compute(&random_series(20, 2)).unwrap();
+        assert!(matches!(
+            sbd_from_spectra(&a, &b),
+            Err(TimeSeriesError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors_expose_the_cached_state() {
+        let x = random_series(10, 3);
+        let s = SeriesSpectrum::compute(&x).unwrap();
+        assert_eq!(s.len(), 10);
+        assert!(!s.is_empty());
+        assert_eq!(s.padded_len(), 32);
+        assert_eq!(s.z_values().len(), 10);
+        assert!(s.norm() > 0.0);
+        // Clone shares the buffers.
+        let c = s.clone();
+        assert!(std::sync::Arc::ptr_eq(&c.z, &s.z));
+        assert!(std::sync::Arc::ptr_eq(&c.fft, &s.fft));
+    }
+
+    #[test]
+    fn pairwise_distance_wrapper_matches_full_result() {
+        let x = random_series(40, 5);
+        let y = random_series(40, 6);
+        let sx = SeriesSpectrum::compute(&x).unwrap();
+        let sy = SeriesSpectrum::compute(&y).unwrap();
+        let d = sbd_distance_from_spectra(&sx, &sy).unwrap();
+        assert_eq!(
+            d.to_bits(),
+            sbd_from_spectra(&sx, &sy).unwrap().distance.to_bits()
+        );
+    }
+}

@@ -5,7 +5,9 @@
 //! splitmix64 case generator — every run checks the identical set of
 //! pseudo-random inputs, which also makes failures trivially reproducible.
 
-use sieve_timeseries::{diff, fft, interpolate, normalize, resample, sbd, stats, TimeSeries};
+use sieve_timeseries::{
+    diff, fft, interpolate, normalize, resample, sbd, spectrum, stats, TimeSeries,
+};
 
 /// Deterministic splitmix64 generator for test data.
 struct Rng(u64);
@@ -153,6 +155,113 @@ fn sbd_is_symmetric() {
         let dxy = sbd::sbd(&x, &y).unwrap();
         let dyx = sbd::sbd(&y, &x).unwrap();
         assert!((dxy - dyx).abs() < 1e-6, "seed {seed}");
+    }
+}
+
+#[test]
+fn align_to_never_panics_and_preserves_length() {
+    // Random reference/series lengths, including the extreme where the
+    // reference is much longer than the series (the optimal shift's
+    // magnitude then exceeds the series length — the out-of-bounds
+    // regression this guards against).
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let x = rng.finite_vec(1, 120);
+        let y = rng.finite_vec(1, 120);
+        let aligned = sbd::align_to(&x, &y).unwrap();
+        assert_eq!(aligned.len(), y.len(), "seed {seed}");
+        assert!(aligned.iter().all(|v| v.is_finite()), "seed {seed}");
+    }
+    // Adversarial impulse pairs: spike far into a long reference vs a short
+    // series, both lead and lag directions, across every short length.
+    for len in 1..=12usize {
+        let x: Vec<f64> = (0..128).map(|i| if i == 120 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = (0..len).map(|i| if i == 0 { 1.0 } else { 0.0 }).collect();
+        assert_eq!(sbd::align_to(&x, &y).unwrap().len(), len);
+        assert_eq!(sbd::align_to(&y, &x).unwrap().len(), x.len());
+    }
+}
+
+#[test]
+fn apply_shift_is_total_over_the_full_shift_range() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let y = rng.finite_vec(0, 60);
+        let n = y.len() as isize;
+        for shift in [-3 * n - 7, -n, -1, 0, 1, n, 3 * n + 7] {
+            let out = sbd::apply_shift(&y, shift);
+            assert_eq!(out.len(), y.len(), "seed {seed} shift {shift}");
+            if shift.unsigned_abs() >= y.len() {
+                assert!(out.iter().all(|&v| v == 0.0), "seed {seed} shift {shift}");
+            }
+        }
+    }
+}
+
+#[test]
+fn resample_grid_always_covers_the_end() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let values = rng.finite_vec(2, 50);
+        // Random irregular-ish spacing via a random interval, so spans are
+        // usually not multiples of the resample interval.
+        let native = rng.usize_in(1, 3000) as u64;
+        let interval = rng.usize_in(1, 4999) as u64;
+        let ts = TimeSeries::from_values(0, native, values);
+        let r = resample::resample(&ts, interval).unwrap();
+        let end = ts.end_ms().unwrap();
+        let last = r.end_ms().unwrap();
+        assert!(last >= end, "seed {seed}: grid ends {last} before {end}");
+        assert!(
+            last - end < interval,
+            "seed {seed}: overhang {} not below one interval",
+            last - end
+        );
+        // Grid is exactly start + i * interval.
+        for (i, &t) in r.timestamps().iter().enumerate() {
+            assert_eq!(t, i as u64 * interval, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn resample_is_exact_at_grid_aligned_knots() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let values = rng.finite_vec(3, 40);
+        let interval = rng.usize_in(1, 2000) as u64;
+        // Knots on multiples of the interval: resampling must reproduce them
+        // exactly (the spline interpolates through its knots).
+        let ts = TimeSeries::from_values(0, interval * 3, values.clone());
+        let r = resample::resample(&ts, interval).unwrap();
+        let scale = 1.0 + values.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        for (i, v) in values.iter().enumerate() {
+            let at = r.values()[i * 3];
+            assert!(
+                (at - v).abs() / scale < 1e-6,
+                "seed {seed} knot {i}: {at} vs {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn spectrum_sbd_matches_direct_sbd_bitwise() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let len = rng.usize_in(1, 100);
+        let x: Vec<f64> = (0..len).map(|_| rng.range(-1.0e3, 1.0e3)).collect();
+        let y: Vec<f64> = (0..len).map(|_| rng.range(-1.0e3, 1.0e3)).collect();
+        let direct = sbd::shape_based_distance(&x, &y).unwrap();
+        let sx = spectrum::SeriesSpectrum::compute(&x).unwrap();
+        let sy = spectrum::SeriesSpectrum::compute(&y).unwrap();
+        let cached = spectrum::sbd_from_spectra(&sx, &sy).unwrap();
+        assert_eq!(
+            direct.distance.to_bits(),
+            cached.distance.to_bits(),
+            "seed {seed}"
+        );
+        assert_eq!(direct.shift, cached.shift, "seed {seed}");
     }
 }
 
