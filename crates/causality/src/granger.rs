@@ -12,11 +12,13 @@
 //! (detected with the ADF test), mirroring Sieve's handling of counters.
 
 use crate::adf::is_stationary;
+use crate::engine::PreparedGrangerSeries;
 use crate::ftest::{f_test, FTestResult};
-use crate::ols;
+use crate::ols::{self, Design};
 use crate::{CausalityError, Result};
 use sieve_timeseries::diff::first_difference;
 use sieve_timeseries::stats::variance;
+use std::borrow::Cow;
 
 /// Configuration of a Granger causality test.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,7 +80,7 @@ pub struct GrangerResult {
 
 impl GrangerResult {
     /// A "no evidence of causality" result.
-    fn not_causal(differenced: bool) -> Self {
+    pub(crate) fn not_causal(differenced: bool) -> Self {
         Self {
             causal: false,
             p_value: 1.0,
@@ -99,30 +101,7 @@ impl GrangerResult {
 /// * [`CausalityError::InvalidParameter`] when `max_lag` is zero or the
 ///   significance level is outside `(0, 1)`.
 pub fn granger_causes(x: &[f64], y: &[f64], config: &GrangerConfig) -> Result<GrangerResult> {
-    if x.len() != y.len() {
-        return Err(CausalityError::LengthMismatch {
-            left: x.len(),
-            right: y.len(),
-        });
-    }
-    if config.max_lag == 0 {
-        return Err(CausalityError::InvalidParameter {
-            name: "max_lag",
-            reason: "must be at least 1".to_string(),
-        });
-    }
-    if !(config.significance > 0.0 && config.significance < 1.0) {
-        return Err(CausalityError::InvalidParameter {
-            name: "significance",
-            reason: format!("must be in (0, 1), got {}", config.significance),
-        });
-    }
-    if x.len() < config.min_observations {
-        return Err(CausalityError::TooFewObservations {
-            required: config.min_observations,
-            actual: x.len(),
-        });
-    }
+    validate_inputs(x.len(), y.len(), config)?;
 
     // Constant series can never carry predictive information.
     if variance(x) < 1e-12 || variance(y) < 1e-12 {
@@ -130,15 +109,18 @@ pub fn granger_causes(x: &[f64], y: &[f64], config: &GrangerConfig) -> Result<Gr
     }
 
     // Difference when either series is non-stationary (as Sieve does for
-    // counters); both are differenced to keep them aligned.
-    let (xs, ys, differenced) =
-        if config.difference_non_stationary && (!is_stationary(x) || !is_stationary(y)) {
-            (first_difference(x), first_difference(y), true)
-        } else {
-            (x.to_vec(), y.to_vec(), false)
-        };
+    // counters); both are differenced to keep them aligned. Stationary
+    // inputs are tested in place — no copy is taken.
+    let differenced = config.difference_non_stationary && (!is_stationary(x) || !is_stationary(y));
+    let (xs, ys): (Cow<'_, [f64]>, Cow<'_, [f64]>) = if differenced {
+        (first_difference(x).into(), first_difference(y).into())
+    } else {
+        (x.into(), y.into())
+    };
 
-    if variance(&xs) < 1e-12 || variance(&ys) < 1e-12 {
+    // Only freshly differenced buffers need a variance re-check: in the
+    // stationary case `xs`/`ys` *are* `x`/`y`, which passed above.
+    if differenced && (variance(&xs) < 1e-12 || variance(&ys) < 1e-12) {
         return Ok(GrangerResult::not_causal(differenced));
     }
 
@@ -148,9 +130,10 @@ pub fn granger_causes(x: &[f64], y: &[f64], config: &GrangerConfig) -> Result<Gr
     // as a proxy for the missing own-lags, which would flip harmless
     // downstream metrics into apparent causes. If the sample is too short
     // (or the design collinear) the order is reduced until the test runs.
+    let mut scratch = Design::new();
     let mut order = config.max_lag;
     let test = loop {
-        match test_at_lag(&xs, &ys, order) {
+        match test_at_lag(&xs, &ys, order, &mut scratch) {
             Ok(result) => break Some(result),
             Err(CausalityError::SingularMatrix)
             | Err(CausalityError::TooFewObservations { .. })
@@ -184,19 +167,51 @@ pub fn granger_causes(x: &[f64], y: &[f64], config: &GrangerConfig) -> Result<Gr
     }
 }
 
+/// Shared input validation of [`granger_causes`] and the prepared-state
+/// engine path.
+pub(crate) fn validate_inputs(x_len: usize, y_len: usize, config: &GrangerConfig) -> Result<()> {
+    if x_len != y_len {
+        return Err(CausalityError::LengthMismatch {
+            left: x_len,
+            right: y_len,
+        });
+    }
+    if config.max_lag == 0 {
+        return Err(CausalityError::InvalidParameter {
+            name: "max_lag",
+            reason: "must be at least 1".to_string(),
+        });
+    }
+    if !(config.significance > 0.0 && config.significance < 1.0) {
+        return Err(CausalityError::InvalidParameter {
+            name: "significance",
+            reason: format!("must be in (0, 1), got {}", config.significance),
+        });
+    }
+    if x_len < config.min_observations {
+        return Err(CausalityError::TooFewObservations {
+            required: config.min_observations,
+            actual: x_len,
+        });
+    }
+    Ok(())
+}
+
 /// The lag in `1..=max_lag` at which the absolute lagged correlation between
 /// `x` and `y` (x leading) is largest.
-fn strongest_lag(x: &[f64], y: &[f64], max_lag: usize) -> usize {
-    use sieve_timeseries::diff::lag_pairs;
+///
+/// The lagged pair set at lag `l` is just the sub-slice pair
+/// `(x[..n-l], y[l..])`, so no per-lag buffers are materialized.
+pub(crate) fn strongest_lag(x: &[f64], y: &[f64], max_lag: usize) -> usize {
     use sieve_timeseries::stats::pearson;
+    let n = x.len().min(y.len());
     let mut best_lag = 1;
     let mut best_corr = f64::NEG_INFINITY;
     for lag in 1..=max_lag.max(1) {
-        let (xl, yl) = lag_pairs(x, y, lag);
-        if xl.len() < 3 {
+        if lag >= n || n - lag < 3 {
             continue;
         }
-        let corr = pearson(&xl, &yl).abs();
+        let corr = pearson(&x[..n - lag], &y[lag..n]).abs();
         if corr > best_corr {
             best_corr = corr;
             best_lag = lag;
@@ -211,6 +226,11 @@ fn strongest_lag(x: &[f64], y: &[f64], max_lag: usize) -> usize {
 /// metrics depending on a hidden third variable, §3.3); callers can use this
 /// helper to detect that situation.
 ///
+/// Both directions share one [`PreparedGrangerSeries`] per input, so the
+/// ADF stationarity tests and the first-differencing run once per series
+/// instead of once per direction. The results are bit-identical to two
+/// independent [`granger_causes`] calls.
+///
 /// # Errors
 ///
 /// Same as [`granger_causes`].
@@ -219,11 +239,54 @@ pub fn granger_bidirectional(
     y: &[f64],
     config: &GrangerConfig,
 ) -> Result<(GrangerResult, GrangerResult)> {
-    Ok((granger_causes(x, y, config)?, granger_causes(y, x, config)?))
+    let px = PreparedGrangerSeries::prepare(x);
+    let py = PreparedGrangerSeries::prepare(y);
+    Ok((
+        crate::engine::granger_causes_prepared(&px, &py, config)?,
+        crate::engine::granger_causes_prepared(&py, &px, config)?,
+    ))
 }
 
-/// Runs the restricted/unrestricted comparison at a fixed lag order.
-fn test_at_lag(x: &[f64], y: &[f64], lag: usize) -> Result<FTestResult> {
+/// Fits the restricted autoregressive model `y_t ~ const + y_{t-1..t-p}`
+/// into the reusable `design` scratch. The regressor columns are sub-slices
+/// of `y` itself — nothing is copied per row.
+///
+/// The caller must guarantee `y.len() > lag`.
+pub(crate) fn fit_restricted(design: &mut Design, y: &[f64], lag: usize) -> Result<ols::OlsFit> {
+    let n = y.len();
+    design.reset(n - lag);
+    design.push_intercept();
+    for k in 1..=lag {
+        design.push_column(&y[lag - k..n - k])?;
+    }
+    ols::fit_design(design, &y[lag..])
+}
+
+/// Fits the unrestricted model `y_t ~ const + y_{t-1..t-p} + x_{t-1..t-p}`
+/// into the reusable `design` scratch.
+///
+/// The caller must guarantee `x.len() == y.len() > lag`.
+pub(crate) fn fit_unrestricted(
+    design: &mut Design,
+    x: &[f64],
+    y: &[f64],
+    lag: usize,
+) -> Result<ols::OlsFit> {
+    let n = y.len();
+    design.reset(n - lag);
+    design.push_intercept();
+    for k in 1..=lag {
+        design.push_column(&y[lag - k..n - k])?;
+    }
+    for k in 1..=lag {
+        design.push_column(&x[lag - k..n - k])?;
+    }
+    ols::fit_design(design, &y[lag..])
+}
+
+/// Runs the restricted/unrestricted comparison at a fixed lag order,
+/// reusing `scratch` for both design matrices.
+fn test_at_lag(x: &[f64], y: &[f64], lag: usize, scratch: &mut Design) -> Result<FTestResult> {
     let n = y.len();
     if n <= lag * 2 + 2 {
         return Err(CausalityError::TooFewObservations {
@@ -231,25 +294,8 @@ fn test_at_lag(x: &[f64], y: &[f64], lag: usize) -> Result<FTestResult> {
             actual: n,
         });
     }
-    let mut restricted_rows = Vec::with_capacity(n - lag);
-    let mut unrestricted_rows = Vec::with_capacity(n - lag);
-    let mut targets = Vec::with_capacity(n - lag);
-    for t in lag..n {
-        let mut r_row = Vec::with_capacity(lag);
-        let mut u_row = Vec::with_capacity(lag * 2);
-        for k in 1..=lag {
-            r_row.push(y[t - k]);
-            u_row.push(y[t - k]);
-        }
-        for k in 1..=lag {
-            u_row.push(x[t - k]);
-        }
-        restricted_rows.push(r_row);
-        unrestricted_rows.push(u_row);
-        targets.push(y[t]);
-    }
-    let restricted = ols::fit(&restricted_rows, &targets, true)?;
-    let unrestricted = ols::fit(&unrestricted_rows, &targets, true)?;
+    let restricted = fit_restricted(scratch, y, lag)?;
+    let unrestricted = fit_unrestricted(scratch, x, y, lag)?;
     f_test(&restricted, &unrestricted)
 }
 

@@ -15,8 +15,12 @@
 //! * the gamma/beta special functions and the F and Student-t distributions
 //!   ([`dist`]),
 //! * the F-test for nested models ([`ftest`]),
-//! * the Augmented Dickey-Fuller unit-root test ([`adf`]), and
-//! * the Granger causality test itself ([`granger`]).
+//! * the Augmented Dickey-Fuller unit-root test ([`adf`]),
+//! * the Granger causality test itself ([`granger`]), and
+//! * the shared causality engine ([`engine`]): per-series prepared state
+//!   (cached ADF verdict, lazily differenced buffer, memoized restricted
+//!   fits) that lets a pipeline test one series against many others without
+//!   redoing the per-series work — bit-identical to the direct path.
 //!
 //! # Example
 //!
@@ -37,6 +41,7 @@
 
 pub mod adf;
 pub mod dist;
+pub mod engine;
 pub mod ftest;
 pub mod granger;
 pub mod linalg;

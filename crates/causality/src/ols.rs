@@ -4,6 +4,13 @@
 //! (§3.3) — the restricted and unrestricted models of the Granger test. This
 //! module fits such models by solving the normal equations
 //! `(X^T X) β = X^T y`.
+//!
+//! The fitting core works on a [`Design`]: one flat column-major buffer
+//! holding the full design matrix, built without any per-row allocation and
+//! reusable across fits (the Granger order-reduction loop resets the same
+//! buffer for every candidate lag). The row-oriented [`fit`] entry point is
+//! kept for callers that naturally produce observation rows (the ADF test)
+//! and funnels into the same [`fit_design`] numerics.
 
 use crate::linalg::{solve, Matrix};
 use crate::{CausalityError, Result};
@@ -55,16 +62,183 @@ impl OlsFit {
     }
 }
 
+/// A design matrix stored as one flat column-major buffer.
+///
+/// Columns are appended with [`Design::push_intercept`] /
+/// [`Design::push_column`]; no per-row `Vec` is ever allocated. The buffer
+/// survives [`Design::reset`], so a loop that fits many designs of similar
+/// size (the Granger order-reduction loop, the restricted/unrestricted pair
+/// of one lag order) reuses a single allocation.
+#[derive(Debug, Clone, Default)]
+pub struct Design {
+    n_rows: usize,
+    /// Column-major storage: column `c` occupies
+    /// `data[c * n_rows .. (c + 1) * n_rows]`.
+    data: Vec<f64>,
+}
+
+impl Design {
+    /// Creates an empty design with no backing allocation yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all columns and sets the observation count for the next fit,
+    /// keeping the backing buffer.
+    pub fn reset(&mut self, n_rows: usize) {
+        self.n_rows = n_rows;
+        self.data.clear();
+    }
+
+    /// Number of observations (rows).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns appended so far.
+    pub fn n_cols(&self) -> usize {
+        self.data.len().checked_div(self.n_rows).unwrap_or(0)
+    }
+
+    /// Appends a constant column of ones (the intercept).
+    pub fn push_intercept(&mut self) {
+        let len = self.data.len();
+        self.data.resize(len + self.n_rows, 1.0);
+    }
+
+    /// Appends a regressor column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CausalityError::DimensionMismatch`] when `column` does not
+    /// have exactly [`Design::n_rows`] entries.
+    pub fn push_column(&mut self, column: &[f64]) -> Result<()> {
+        if column.len() != self.n_rows {
+            return Err(CausalityError::DimensionMismatch {
+                context: format!(
+                    "column has {} entries, design has {} rows",
+                    column.len(),
+                    self.n_rows
+                ),
+            });
+        }
+        self.data.extend_from_slice(column);
+        Ok(())
+    }
+
+    /// Appends a column produced element-wise by `f(row_index)`.
+    pub fn push_column_with(&mut self, mut f: impl FnMut(usize) -> f64) {
+        for t in 0..self.n_rows {
+            self.data.push(f(t));
+        }
+    }
+
+    /// The contiguous storage of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` is out of bounds.
+    pub fn column(&self, c: usize) -> &[f64] {
+        &self.data[c * self.n_rows..(c + 1) * self.n_rows]
+    }
+}
+
+/// Fits `y ~ design` by ordinary least squares on a flat column-major
+/// design matrix. This is the single numeric core behind every OLS fit in
+/// the crate — the cached and naive Granger paths, the ADF regressions and
+/// [`fit_line`] all share it, so their float operations are identical.
+///
+/// # Errors
+///
+/// * [`CausalityError::LengthMismatch`] when `y` has a different length
+///   than the design has rows.
+/// * [`CausalityError::TooFewObservations`] when there are fewer
+///   observations than parameters (or none at all).
+/// * [`CausalityError::SingularMatrix`] when the design is collinear.
+pub fn fit_design(design: &Design, y: &[f64]) -> Result<OlsFit> {
+    let n = design.n_rows();
+    let k = design.n_cols();
+    if n != y.len() {
+        return Err(CausalityError::LengthMismatch {
+            left: n,
+            right: y.len(),
+        });
+    }
+    if n == 0 {
+        return Err(CausalityError::TooFewObservations {
+            required: 1,
+            actual: 0,
+        });
+    }
+    if n < k {
+        return Err(CausalityError::TooFewObservations {
+            required: k,
+            actual: n,
+        });
+    }
+
+    // Normal equations from column dot products: X^T X and X^T y fall out
+    // of pairwise column products, accumulated in observation order. X^T X
+    // is symmetric, so only the upper triangle is computed and mirrored.
+    let mut xtx = Matrix::zeros(k, k);
+    let mut xty = vec![0.0; k];
+    for (i, xty_slot) in xty.iter_mut().enumerate() {
+        let ci = design.column(i);
+        for j in i..k {
+            let cj = design.column(j);
+            let dot = ci
+                .iter()
+                .zip(cj.iter())
+                .fold(0.0, |acc, (a, b)| acc + a * b);
+            xtx.set(i, j, dot);
+            if i != j {
+                xtx.set(j, i, dot);
+            }
+        }
+        *xty_slot = ci.iter().zip(y.iter()).fold(0.0, |acc, (a, b)| acc + a * b);
+    }
+    let beta = if k == 0 {
+        Vec::new()
+    } else {
+        solve(&xtx, &xty)?
+    };
+
+    // Fitted values accumulate column contributions in column order — the
+    // same association as a row-major `X β` product.
+    let mut fitted = vec![0.0; n];
+    for (c, b) in beta.iter().enumerate() {
+        for (slot, v) in fitted.iter_mut().zip(design.column(c).iter()) {
+            *slot += v * b;
+        }
+    }
+    let residuals: Vec<f64> = y.iter().zip(fitted.iter()).map(|(a, b)| a - b).collect();
+    let rss: f64 = residuals.iter().map(|r| r * r).sum();
+    let mean_y: f64 = y.iter().sum::<f64>() / n as f64;
+    let tss: f64 = y.iter().map(|v| (v - mean_y).powi(2)).sum();
+
+    Ok(OlsFit {
+        coefficients: beta,
+        fitted,
+        residuals,
+        rss,
+        tss,
+        n_observations: n,
+        n_parameters: k,
+    })
+}
+
 /// Fits `y ~ X` by ordinary least squares.
 ///
 /// Each element of `rows` is one observation's regressor values; when
-/// `intercept` is true a constant column is prepended.
+/// `intercept` is true a constant column is prepended. Internally the rows
+/// are gathered into a flat [`Design`] and fitted by [`fit_design`].
 ///
 /// # Errors
 ///
 /// * [`CausalityError::LengthMismatch`] when `rows` and `y` differ in length.
 /// * [`CausalityError::TooFewObservations`] when there are fewer observations
 ///   than parameters.
+/// * [`CausalityError::DimensionMismatch`] when the rows are ragged.
 /// * [`CausalityError::SingularMatrix`] when the design matrix is collinear.
 pub fn fit(rows: &[Vec<f64>], y: &[f64], intercept: bool) -> Result<OlsFit> {
     if rows.len() != y.len() {
@@ -88,39 +262,21 @@ pub fn fit(rows: &[Vec<f64>], y: &[f64], intercept: bool) -> Result<OlsFit> {
             actual: n,
         });
     }
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != base_cols {
+            return Err(CausalityError::DimensionMismatch {
+                context: format!("row {i} has {} columns, expected {base_cols}", r.len()),
+            });
+        }
+    }
 
-    let design: Vec<Vec<f64>> = rows
-        .iter()
-        .map(|r| {
-            let mut row = Vec::with_capacity(k);
-            if intercept {
-                row.push(1.0);
-            }
-            row.extend_from_slice(r);
-            row
-        })
-        .collect();
-    let x = Matrix::from_rows(&design)?;
-    let xt = x.transpose();
-    let xtx = xt.matmul(&x)?;
-    let xty = xt.matvec(y)?;
-    let beta = solve(&xtx, &xty)?;
-
-    let fitted = x.matvec(&beta)?;
-    let residuals: Vec<f64> = y.iter().zip(fitted.iter()).map(|(a, b)| a - b).collect();
-    let rss: f64 = residuals.iter().map(|r| r * r).sum();
-    let mean_y: f64 = y.iter().sum::<f64>() / n as f64;
-    let tss: f64 = y.iter().map(|v| (v - mean_y).powi(2)).sum();
-
-    Ok(OlsFit {
-        coefficients: beta,
-        fitted,
-        residuals,
-        rss,
-        tss,
-        n_observations: n,
-        n_parameters: k,
-    })
+    let mut design = Design::new();
+    design.reset(n);
+    if intercept {
+        design.push_intercept();
+    }
+    (0..base_cols).for_each(|c| design.push_column_with(|t| rows[t][c]));
+    fit_design(&design, y)
 }
 
 /// Convenience helper: fits a univariate regression `y ~ a + b·x` and returns
@@ -213,6 +369,87 @@ mod tests {
             fit(&rows, &y, true).unwrap_err(),
             CausalityError::SingularMatrix
         );
+    }
+
+    #[test]
+    fn design_fit_matches_row_fit_bitwise() {
+        // The row-oriented entry point gathers into the same flat buffer,
+        // so a hand-built column-major design must agree bit for bit.
+        let n = 50;
+        let x1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+        let x2: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos() * 2.0).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 0.5 + 1.2 * x1[i] - 0.7 * x2[i] + (i as f64 * 0.9).sin() * 0.1)
+            .collect();
+        let rows: Vec<Vec<f64>> = x1
+            .iter()
+            .zip(x2.iter())
+            .map(|(&a, &b)| vec![a, b])
+            .collect();
+        let via_rows = fit(&rows, &y, true).unwrap();
+
+        let mut design = Design::new();
+        design.reset(n);
+        design.push_intercept();
+        design.push_column(&x1).unwrap();
+        design.push_column(&x2).unwrap();
+        assert_eq!(design.n_rows(), n);
+        assert_eq!(design.n_cols(), 3);
+        let via_design = fit_design(&design, &y).unwrap();
+
+        assert_eq!(via_rows.n_parameters, via_design.n_parameters);
+        for (a, b) in via_rows
+            .coefficients
+            .iter()
+            .zip(via_design.coefficients.iter())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(via_rows.rss.to_bits(), via_design.rss.to_bits());
+        assert_eq!(via_rows.tss.to_bits(), via_design.tss.to_bits());
+    }
+
+    #[test]
+    fn design_is_reusable_across_resets() {
+        let mut design = Design::new();
+        design.reset(3);
+        design.push_intercept();
+        design.push_column(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(design.n_cols(), 2);
+        assert_eq!(design.column(1), &[1.0, 2.0, 3.0]);
+        design.reset(2);
+        assert_eq!(design.n_cols(), 0);
+        design.push_column(&[5.0, 6.0]).unwrap();
+        assert_eq!(design.column(0), &[5.0, 6.0]);
+        // Wrong-length columns are rejected.
+        assert!(design.push_column(&[1.0, 2.0, 3.0]).is_err());
+        // Empty designs report zero columns.
+        assert_eq!(Design::new().n_cols(), 0);
+    }
+
+    #[test]
+    fn fit_design_rejects_bad_shapes() {
+        let mut design = Design::new();
+        design.reset(2);
+        design.push_intercept();
+        assert!(matches!(
+            fit_design(&design, &[1.0, 2.0, 3.0]),
+            Err(CausalityError::LengthMismatch { .. })
+        ));
+        design.reset(0);
+        assert!(matches!(
+            fit_design(&design, &[]),
+            Err(CausalityError::TooFewObservations { .. })
+        ));
+        // Two observations, three parameters.
+        design.reset(2);
+        design.push_intercept();
+        design.push_column(&[1.0, 2.0]).unwrap();
+        design.push_column(&[2.0, 5.0]).unwrap();
+        assert!(matches!(
+            fit_design(&design, &[1.0, 2.0]),
+            Err(CausalityError::TooFewObservations { .. })
+        ));
     }
 
     #[test]

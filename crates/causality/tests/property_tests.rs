@@ -6,7 +6,8 @@
 //! pseudo-random inputs, which also makes failures trivially reproducible.
 
 use sieve_causality::dist::{f_cdf, incomplete_beta, normal_cdf, t_cdf};
-use sieve_causality::granger::{granger_causes, GrangerConfig};
+use sieve_causality::engine::{granger_causes_prepared, PreparedGrangerSeries};
+use sieve_causality::granger::{granger_causes, GrangerConfig, GrangerResult};
 use sieve_causality::linalg::{solve, Matrix};
 use sieve_causality::ols;
 
@@ -146,6 +147,123 @@ fn ols_residuals_are_orthogonal_to_regressors() {
             assert!(fit.rss >= 0.0, "seed {seed}");
             assert!(fit.r_squared() <= 1.0 + 1e-9, "seed {seed}");
         }
+    }
+}
+
+/// A randomly shaped test series: a noisy sinusoid (stationary), a random
+/// walk (non-stationary) or a drifting counter, so both the in-place and
+/// the first-differenced Granger branches are exercised.
+fn random_series(rng: &mut Rng, n: usize) -> Vec<f64> {
+    match rng.next_u64() % 3 {
+        0 => {
+            let freq = rng.range(0.05, 0.9);
+            let amp = rng.range(0.5, 20.0);
+            (0..n)
+                .map(|i| amp * (i as f64 * freq).sin() + rng.range(-0.5, 0.5))
+                .collect()
+        }
+        1 => {
+            let mut acc = rng.range(-5.0, 5.0);
+            (0..n)
+                .map(|_| {
+                    acc += rng.range(-1.0, 1.0);
+                    acc
+                })
+                .collect()
+        }
+        _ => {
+            let mut acc = 0.0;
+            let slope = rng.range(0.1, 3.0);
+            (0..n)
+                .map(|_| {
+                    acc += slope + rng.range(0.0, 1.0);
+                    acc
+                })
+                .collect()
+        }
+    }
+}
+
+fn assert_bitwise_equal(a: &GrangerResult, b: &GrangerResult, context: &str) {
+    assert_eq!(a.causal, b.causal, "{context}");
+    assert_eq!(a.p_value.to_bits(), b.p_value.to_bits(), "{context}");
+    assert_eq!(
+        a.f_statistic.to_bits(),
+        b.f_statistic.to_bits(),
+        "{context}"
+    );
+    assert_eq!(a.best_lag, b.best_lag, "{context}");
+    assert_eq!(a.differenced, b.differenced, "{context}");
+}
+
+#[test]
+fn prepared_engine_is_bitwise_identical_to_naive_granger() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case.wrapping_mul(0xA5A5_1234));
+        let n = rng.usize_in(40, 220);
+        let max_lag = rng.usize_in(1, 5);
+        let x = random_series(&mut rng, n);
+        let y = random_series(&mut rng, n);
+        let config = GrangerConfig::default().with_max_lag(max_lag);
+
+        let px = PreparedGrangerSeries::prepare(x.as_slice());
+        let py = PreparedGrangerSeries::prepare(y.as_slice());
+        for (naive, cached, dir) in [
+            (
+                granger_causes(&x, &y, &config),
+                granger_causes_prepared(&px, &py, &config),
+                "x->y",
+            ),
+            (
+                granger_causes(&y, &x, &config),
+                granger_causes_prepared(&py, &px, &config),
+                "y->x",
+            ),
+        ] {
+            match (naive, cached) {
+                (Ok(a), Ok(b)) => {
+                    assert_bitwise_equal(&a, &b, &format!("case {case} {dir} max_lag {max_lag}"))
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "case {case} {dir}"),
+                (a, b) => panic!("case {case} {dir}: outcomes diverge: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn restricted_fit_memoization_is_hit_when_one_target_has_many_sources() {
+    for case in 0..8u64 {
+        let mut rng = Rng::new(case.wrapping_mul(0x517C_C1B7));
+        let n = rng.usize_in(120, 260);
+        let config = GrangerConfig::default();
+        // A smooth stationary target, so every pairing lands on the same
+        // (differenced = false, order) memo keys.
+        let freq = rng.range(0.1, 0.6);
+        let target: Vec<f64> = (0..n)
+            .map(|i| 10.0 * (i as f64 * freq).sin() + rng.range(-0.5, 0.5))
+            .collect();
+        let pt = PreparedGrangerSeries::prepare(target.as_slice());
+
+        let sources = 12;
+        for _ in 0..sources {
+            let sfreq = rng.range(0.05, 0.9);
+            let source: Vec<f64> = (0..n)
+                .map(|i| rng.range(0.5, 4.0) * (i as f64 * sfreq).cos() + rng.range(-0.5, 0.5))
+                .collect();
+            let ps = PreparedGrangerSeries::prepare(source.as_slice());
+            let naive = granger_causes(&source, &target, &config).unwrap();
+            let cached = granger_causes_prepared(&ps, &pt, &config).unwrap();
+            assert_bitwise_equal(&naive, &cached, &format!("case {case}"));
+        }
+        // The naive path refits the restricted model once per source; the
+        // engine computes at most one fit per distinct lag order.
+        let computes = pt.restricted_fit_computations();
+        assert!(computes >= 1, "case {case}: memo never filled");
+        assert!(
+            computes <= config.max_lag,
+            "case {case}: {computes} restricted fits for {sources} sources"
+        );
     }
 }
 

@@ -34,6 +34,14 @@ pub struct SieveConfig {
     /// models; the naive path exists as the reference oracle for tests and
     /// benchmarks. Defaults to `true`.
     pub use_sbd_cache: bool,
+    /// Whether the dependency-identification step runs on the shared
+    /// causality engine (one prepared state per representative series —
+    /// cached ADF verdict, lazily differenced buffer, memoized restricted
+    /// AR fits — shared by every edge the series participates in) instead
+    /// of redoing the per-series work for every pair and direction. Both
+    /// paths produce bit-identical models; the naive path is the reference
+    /// oracle for tests and benchmarks. Defaults to `true`.
+    pub use_granger_cache: bool,
 }
 
 impl Default for SieveConfig {
@@ -47,6 +55,7 @@ impl Default for SieveConfig {
             granger: GrangerConfig::default(),
             parallelism: sieve_exec::par::hardware_parallelism(),
             use_sbd_cache: true,
+            use_granger_cache: true,
         }
     }
 }
@@ -75,6 +84,13 @@ impl SieveConfig {
     /// naive direct-SBD reference path).
     pub fn with_sbd_cache(mut self, use_sbd_cache: bool) -> Self {
         self.use_sbd_cache = use_sbd_cache;
+        self
+    }
+
+    /// Builder-style setter for the causality-engine toggle (`false`
+    /// selects the naive per-pair Granger reference path).
+    pub fn with_granger_cache(mut self, use_granger_cache: bool) -> Self {
+        self.use_granger_cache = use_granger_cache;
         self
     }
 
@@ -120,6 +136,10 @@ mod tests {
         assert_eq!(c.max_clusters, 7);
         assert_eq!(c.granger.significance, 0.05);
         assert!(c.use_sbd_cache, "cached distance engine is the default");
+        assert!(
+            c.use_granger_cache,
+            "cached causality engine is the default"
+        );
         assert!(c.validate().is_ok());
     }
 
@@ -133,6 +153,11 @@ mod tests {
         assert_eq!(c.min_clusters, 3);
         assert_eq!(c.parallelism, 1);
         assert!(c.validate().is_ok());
+        let naive = SieveConfig::default()
+            .with_sbd_cache(false)
+            .with_granger_cache(false);
+        assert!(!naive.use_sbd_cache);
+        assert!(!naive.use_granger_cache);
 
         assert!(SieveConfig::default()
             .with_interval_ms(0)

@@ -15,15 +15,29 @@
 //! back in plan order, so the resulting graph is identical regardless of the
 //! parallelism degree. The series lookup borrows the `Arc`-shared prepared
 //! buffers; nothing on this path clones a string or a sample vector.
+//!
+//! By default (`SieveConfig::use_granger_cache`) the stage runs on the
+//! shared causality engine: every (component, metric) series referenced by
+//! the plan is turned into one [`PreparedGrangerSeries`] — ADF verdict and
+//! variance computed up front through the executor, differenced buffer and
+//! restricted AR fits cached on demand — and every edge test (both
+//! directions, including the pairs the bidirectional filter later drops)
+//! reuses that state instead of redoing the per-series work per pair. The
+//! naive per-pair path is kept as the bit-identical reference oracle.
 
 use crate::config::SieveConfig;
 use crate::model::ComponentClustering;
 use crate::reduce::NamedSeries;
 use crate::Result;
-use sieve_causality::granger::granger_causes;
+use sieve_causality::engine::{granger_causes_prepared, PreparedGrangerSeries};
+use sieve_causality::granger::{granger_causes, GrangerResult};
 use sieve_exec::{par_map_chunks, Name};
 use sieve_graph::{CallGraph, DependencyEdge, DependencyGraph};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// A `(component, metric)` key borrowing the interned names of the plan.
+type SeriesKey<'a> = (&'a str, &'a str);
 
 /// One Granger comparison that should be executed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,7 +123,7 @@ pub fn identify_dependencies(
 
     // Index the prepared series for O(1) lookup. Keys borrow the interned
     // names, values borrow the shared buffers — no clones on this path.
-    let mut lookup: HashMap<(&str, &str), &[f64]> = HashMap::new();
+    let mut lookup: HashMap<SeriesKey<'_>, &Arc<[f64]>> = HashMap::new();
     for (component, list) in series {
         for s in list {
             lookup.insert((component.as_str(), s.name.as_str()), &s.values);
@@ -118,55 +132,14 @@ pub fn identify_dependencies(
 
     // Each comparison is tested in both directions (the callee may drive the
     // caller, e.g. back-pressure); the per-edge work runs through the shared
-    // executor and the candidate edges are concatenated in plan order.
-    let per_comparison = |cmp: &Comparison| -> Vec<DependencyEdge> {
-        let mut edges = Vec::new();
-        let Some(&source) =
-            lookup.get(&(cmp.source_component.as_str(), cmp.source_metric.as_str()))
-        else {
-            return edges;
-        };
-        let Some(&target) =
-            lookup.get(&(cmp.target_component.as_str(), cmp.target_metric.as_str()))
-        else {
-            return edges;
-        };
-        // Forward direction: caller metric Granger-causes callee metric.
-        if let Ok(result) = granger_causes(source, target, &config.granger) {
-            if result.causal {
-                edges.push(DependencyEdge {
-                    source_component: cmp.source_component.clone(),
-                    source_metric: cmp.source_metric.clone(),
-                    target_component: cmp.target_component.clone(),
-                    target_metric: cmp.target_metric.clone(),
-                    p_value: result.p_value,
-                    f_statistic: result.f_statistic,
-                    lag_ms: result.best_lag as u64 * config.interval_ms,
-                });
-            }
-        }
-        // Reverse direction: the edge direction is whatever Granger says.
-        if let Ok(result) = granger_causes(target, source, &config.granger) {
-            if result.causal {
-                edges.push(DependencyEdge {
-                    source_component: cmp.target_component.clone(),
-                    source_metric: cmp.target_metric.clone(),
-                    target_component: cmp.source_component.clone(),
-                    target_metric: cmp.source_metric.clone(),
-                    p_value: result.p_value,
-                    f_statistic: result.f_statistic,
-                    lag_ms: result.best_lag as u64 * config.interval_ms,
-                });
-            }
-        }
-        edges
+    // executor and the candidate edges are concatenated in plan order. Both
+    // paths share the edge assembly, so the engine can only change *when*
+    // per-series work happens, never what an edge looks like.
+    let candidate_edges: Vec<DependencyEdge> = if config.use_granger_cache {
+        cached_candidate_edges(&plan, &lookup, config)
+    } else {
+        naive_candidate_edges(&plan, &lookup, config)
     };
-
-    let candidate_edges: Vec<DependencyEdge> =
-        par_map_chunks(config.parallelism, &plan, per_comparison)
-            .into_iter()
-            .flatten()
-            .collect();
 
     let mut graph = DependencyGraph::new();
     for component in clusterings.keys() {
@@ -180,6 +153,126 @@ pub fn identify_dependencies(
     }
     graph.filter_bidirectional();
     Ok(graph)
+}
+
+/// Turns the two directed test outcomes of one comparison into candidate
+/// edges. `forward` is "source metric Granger-causes target metric";
+/// individual tests that failed (too short, degenerate) arrive as `None`
+/// and simply produce no edge.
+fn edges_for_comparison(
+    cmp: &Comparison,
+    forward: Option<GrangerResult>,
+    reverse: Option<GrangerResult>,
+    interval_ms: u64,
+) -> Vec<DependencyEdge> {
+    let mut edges = Vec::new();
+    if let Some(result) = forward {
+        if result.causal {
+            edges.push(DependencyEdge {
+                source_component: cmp.source_component.clone(),
+                source_metric: cmp.source_metric.clone(),
+                target_component: cmp.target_component.clone(),
+                target_metric: cmp.target_metric.clone(),
+                p_value: result.p_value,
+                f_statistic: result.f_statistic,
+                lag_ms: result.best_lag as u64 * interval_ms,
+            });
+        }
+    }
+    if let Some(result) = reverse {
+        if result.causal {
+            edges.push(DependencyEdge {
+                source_component: cmp.target_component.clone(),
+                source_metric: cmp.target_metric.clone(),
+                target_component: cmp.source_component.clone(),
+                target_metric: cmp.source_metric.clone(),
+                p_value: result.p_value,
+                f_statistic: result.f_statistic,
+                lag_ms: result.best_lag as u64 * interval_ms,
+            });
+        }
+    }
+    edges
+}
+
+/// The reference path: every pair re-runs the full Granger test on the raw
+/// slices, recomputing ADF/differencing/restricted fits per pair and per
+/// direction. Kept as the oracle the cached engine is equality-tested and
+/// benchmarked against.
+fn naive_candidate_edges(
+    plan: &[Comparison],
+    lookup: &HashMap<SeriesKey<'_>, &Arc<[f64]>>,
+    config: &SieveConfig,
+) -> Vec<DependencyEdge> {
+    let per_comparison = |cmp: &Comparison| -> Vec<DependencyEdge> {
+        let Some(source) = lookup.get(&(cmp.source_component.as_str(), cmp.source_metric.as_str()))
+        else {
+            return Vec::new();
+        };
+        let Some(target) = lookup.get(&(cmp.target_component.as_str(), cmp.target_metric.as_str()))
+        else {
+            return Vec::new();
+        };
+        let forward = granger_causes(source, target, &config.granger).ok();
+        let reverse = granger_causes(target, source, &config.granger).ok();
+        edges_for_comparison(cmp, forward, reverse, config.interval_ms)
+    };
+    par_map_chunks(config.parallelism, plan, per_comparison)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// The engine path: one [`PreparedGrangerSeries`] per (component, metric)
+/// referenced by the plan, built up front through the shared executor
+/// (sharing the pipeline's `Arc` buffers — no sample is copied), then every
+/// per-edge test in both directions reuses it. The per-series ADF verdicts
+/// and variances are computed exactly once, the differenced buffers and
+/// restricted fits at most once per (differenced, order) key — instead of
+/// once per edge the series participates in.
+fn cached_candidate_edges(
+    plan: &[Comparison],
+    lookup: &HashMap<SeriesKey<'_>, &Arc<[f64]>>,
+    config: &SieveConfig,
+) -> Vec<DependencyEdge> {
+    let needed: BTreeSet<SeriesKey<'_>> = plan
+        .iter()
+        .flat_map(|cmp| {
+            [
+                (cmp.source_component.as_str(), cmp.source_metric.as_str()),
+                (cmp.target_component.as_str(), cmp.target_metric.as_str()),
+            ]
+        })
+        .collect();
+    let entries: Vec<(SeriesKey<'_>, &Arc<[f64]>)> = needed
+        .into_iter()
+        .filter_map(|key| lookup.get(&key).map(|values| (key, *values)))
+        .collect();
+    let states = par_map_chunks(config.parallelism, &entries, |(_, values)| {
+        PreparedGrangerSeries::prepare(Arc::clone(values))
+    });
+    let prepared: HashMap<SeriesKey<'_>, PreparedGrangerSeries> =
+        entries.iter().map(|(key, _)| *key).zip(states).collect();
+
+    let per_comparison = |cmp: &Comparison| -> Vec<DependencyEdge> {
+        let Some(source) =
+            prepared.get(&(cmp.source_component.as_str(), cmp.source_metric.as_str()))
+        else {
+            return Vec::new();
+        };
+        let Some(target) =
+            prepared.get(&(cmp.target_component.as_str(), cmp.target_metric.as_str()))
+        else {
+            return Vec::new();
+        };
+        let forward = granger_causes_prepared(source, target, &config.granger).ok();
+        let reverse = granger_causes_prepared(target, source, &config.granger).ok();
+        edges_for_comparison(cmp, forward, reverse, config.interval_ms)
+    };
+    par_map_chunks(config.parallelism, plan, per_comparison)
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]
@@ -311,6 +404,36 @@ mod tests {
         // Same edges in the same order, with identical statistics — the
         // executor guarantees plan-order results.
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn cached_and_naive_granger_paths_produce_identical_graphs() {
+        // The causality engine must be a pure caching policy: across every
+        // combination of engine toggle and executor degree the dependency
+        // graph is bit-identical (edges, order, p-values, F statistics,
+        // lags).
+        let (series, clusterings, call_graph) = scenario();
+        let mut graphs = Vec::new();
+        for parallelism in [1usize, 4, 8] {
+            for use_cache in [true, false] {
+                let config = SieveConfig::default()
+                    .with_parallelism(parallelism)
+                    .with_granger_cache(use_cache);
+                graphs.push(
+                    identify_dependencies(&series, &clusterings, &call_graph, &config).unwrap(),
+                );
+            }
+        }
+        let reference = &graphs[0];
+        assert!(reference.edge_count() > 0, "scenario must produce edges");
+        for g in &graphs[1..] {
+            assert_eq!(reference, g, "all six configurations must agree");
+        }
+        for (a, b) in reference.edges().iter().zip(graphs[1].edges().iter()) {
+            assert_eq!(a.p_value.to_bits(), b.p_value.to_bits());
+            assert_eq!(a.f_statistic.to_bits(), b.f_statistic.to_bits());
+            assert_eq!(a.lag_ms, b.lag_ms);
+        }
     }
 
     #[test]

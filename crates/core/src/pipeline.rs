@@ -328,6 +328,35 @@ mod tests {
     }
 
     #[test]
+    fn cached_and_naive_granger_paths_produce_identical_models() {
+        // The shared causality engine (prepared series + memoized
+        // restricted fits) must be a pure optimisation: across the serial
+        // and parallel executor configs, the cached and naive dependency
+        // paths must emit bit-identical models.
+        let app = small_app();
+        let (store, graph) =
+            load_application(&app, &Workload::randomized(60.0, 1), 9, 90_000, 500).unwrap();
+        let mut models = Vec::new();
+        for parallelism in [1usize, 4, 8] {
+            for use_cache in [true, false] {
+                let sieve = Sieve::new(
+                    fast_config()
+                        .with_parallelism(parallelism)
+                        .with_granger_cache(use_cache),
+                );
+                models.push(sieve.analyze("small", &store, &graph).unwrap());
+            }
+        }
+        assert!(
+            models[0].dependency_graph.edge_count() > 0,
+            "scenario must produce dependency edges"
+        );
+        for m in &models[1..] {
+            assert_eq!(&models[0], m, "all six configurations must agree");
+        }
+    }
+
+    #[test]
     fn serial_and_parallel_pipelines_produce_identical_models() {
         let app = small_app();
         let (store, graph) =

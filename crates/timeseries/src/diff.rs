@@ -42,21 +42,6 @@ pub fn difference_series(series: &TimeSeries) -> TimeSeries {
     TimeSeries::from_parts(ts, vals).expect("differenced series keeps ordering")
 }
 
-/// Returns `(x_lagged, y_aligned)` where `x_lagged[i] = x[i]` and
-/// `y_aligned[i] = y[i + lag]`: the value of `y` that happened `lag` steps
-/// *after* the corresponding `x` observation.
-///
-/// Both outputs have length `len - lag` (empty when `lag >= len`).
-pub fn lag_pairs(x: &[f64], y: &[f64], lag: usize) -> (Vec<f64>, Vec<f64>) {
-    let n = x.len().min(y.len());
-    if lag >= n {
-        return (Vec::new(), Vec::new());
-    }
-    let xl = x[..n - lag].to_vec();
-    let yl = y[lag..n].to_vec();
-    (xl, yl)
-}
-
 /// Shifts `data` forward by `lag` positions, filling the head with the first
 /// observed value (used to build the "time-lagged version" of a metric).
 pub fn shift_forward(data: &[f64], lag: usize) -> Vec<f64> {
@@ -138,21 +123,6 @@ mod tests {
     fn difference_of_single_point_series_is_empty() {
         let ts = TimeSeries::from_values(0, 500, vec![42.0]);
         assert!(difference_series(&ts).is_empty());
-    }
-
-    #[test]
-    fn lag_pairs_aligns_cause_before_effect() {
-        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
-        let y = [10.0, 20.0, 30.0, 40.0, 50.0];
-        let (xl, yl) = lag_pairs(&x, &y, 2);
-        assert_eq!(xl, vec![1.0, 2.0, 3.0]);
-        assert_eq!(yl, vec![30.0, 40.0, 50.0]);
-    }
-
-    #[test]
-    fn lag_pairs_with_excessive_lag_is_empty() {
-        let (a, b) = lag_pairs(&[1.0, 2.0], &[1.0, 2.0], 5);
-        assert!(a.is_empty() && b.is_empty());
     }
 
     #[test]

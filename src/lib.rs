@@ -71,6 +71,7 @@ pub use sieve_timeseries as timeseries;
 pub mod prelude {
     pub use sieve_apps::MetricRichness;
     pub use sieve_autoscale::{AutoscaleEngine, AutoscalingReport, ScalingRule, SlaCondition};
+    pub use sieve_causality::engine::{granger_causes_prepared, PreparedGrangerSeries};
     pub use sieve_causality::granger::{granger_causes, GrangerConfig, GrangerResult};
     pub use sieve_cluster::kshape::{KShape, KShapeConfig, KShapeResult};
     pub use sieve_core::config::SieveConfig;

@@ -181,6 +181,44 @@ fn distance_matrix_backed_clustering_equals_direct_sbd_on_a_full_model() {
 }
 
 #[test]
+fn cached_granger_engine_equals_direct_path_on_a_full_model() {
+    // Regression for the shared causality engine: the prepared-series path
+    // (cached ADF verdicts, differenced buffers, memoized restricted fits)
+    // and the direct per-pair Granger path must produce bit-identical
+    // SieveModels on a full application run, under the serial and both
+    // parallel executor degrees.
+    let app = sharelatex::app_spec(MetricRichness::Minimal);
+    let (store, call_graph) =
+        load_application(&app, &Workload::randomized(80.0, 6), 0x52, 120_000, 500).unwrap();
+    let mut models = Vec::new();
+    for parallelism in [1usize, 4, 8] {
+        for use_cache in [true, false] {
+            let config = fast_config()
+                .with_parallelism(parallelism)
+                .with_granger_cache(use_cache);
+            models.push(
+                Sieve::new(config)
+                    .analyze("sharelatex", &store, &call_graph)
+                    .unwrap(),
+            );
+        }
+    }
+    let reference = &models[0];
+    assert!(
+        reference.dependency_graph.edge_count() > 0,
+        "the run must infer dependency edges"
+    );
+    for m in &models[1..] {
+        assert_eq!(reference.clusterings, m.clusterings);
+        assert_eq!(
+            reference.dependency_graph.edges(),
+            m.dependency_graph.edges()
+        );
+        assert_eq!(reference, m);
+    }
+}
+
+#[test]
 fn monitoring_cost_drops_after_reduction() {
     // Table 3's mechanism: re-ingesting only the representative metrics
     // costs a fraction of ingesting everything.
