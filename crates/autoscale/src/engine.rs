@@ -218,14 +218,13 @@ pub fn run_without_scaling(
 fn mean_cpu_usage_per_component(sim: &Simulation) -> f64 {
     let store = sim.store();
     let mut component_means = Vec::new();
-    for component in store.components() {
-        let id = MetricId::new(component, "cpu_usage");
-        if let Some(series) = store.series(&id) {
-            if !series.is_empty() {
-                component_means.push(sieve_timeseries::stats::mean(series.values()));
-            }
+    // One pass over the store, no per-component id allocation and no
+    // series copies — the visitor borrows each series in place.
+    store.for_each_series_named("cpu_usage", |_, series| {
+        if !series.is_empty() {
+            component_means.push(sieve_timeseries::stats::mean(series.values()));
         }
-    }
+    });
     if component_means.is_empty() {
         return 0.0;
     }

@@ -75,11 +75,10 @@ pub fn sharelatex_clusterings(
     let config = experiment_config();
     let mut out = BTreeMap::new();
     for component in store.components() {
-        let raw: Vec<_> = store
-            .metric_ids_of(&component)
-            .into_iter()
-            .filter_map(|id| store.series(&id).map(|s| (id.metric, s)))
-            .collect();
+        let mut raw = Vec::new();
+        store.for_each_series_of(&component, |id, series| {
+            raw.push((id.metric.clone(), series.clone()));
+        });
         let prepared = prepare_series(&raw, config.interval_ms);
         let clustering =
             reduce_component(component.clone(), &prepared, &config).expect("clustering succeeds");

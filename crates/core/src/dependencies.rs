@@ -37,20 +37,20 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// A `(component, metric)` key borrowing the interned names of the plan.
-type SeriesKey<'a> = (&'a str, &'a str);
+pub(crate) type SeriesKey<'a> = (&'a str, &'a str);
 
 /// One Granger comparison that should be executed.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Comparison {
-    source_component: Name,
-    source_metric: Name,
-    target_component: Name,
-    target_metric: Name,
+pub(crate) struct Comparison {
+    pub(crate) source_component: Name,
+    pub(crate) source_metric: Name,
+    pub(crate) target_component: Name,
+    pub(crate) target_metric: Name,
 }
 
 /// Builds the list of metric pairs to test from the call graph and the
 /// per-component representative metrics.
-fn comparisons(
+pub(crate) fn comparison_plan(
     call_graph: &CallGraph,
     clusterings: &BTreeMap<Name, ComponentClustering>,
 ) -> Vec<Comparison> {
@@ -100,7 +100,59 @@ pub fn planned_comparison_count(
     call_graph: &CallGraph,
     clusterings: &BTreeMap<Name, ComponentClustering>,
 ) -> usize {
-    comparisons(call_graph, clusterings).len() * 2
+    comparison_plan(call_graph, clusterings).len() * 2
+}
+
+/// Indexes a prepared-series map for O(1) lookup. Keys borrow the interned
+/// names, values borrow the shared buffers — no clones on this path.
+pub(crate) fn series_lookup(
+    series: &BTreeMap<Name, Vec<NamedSeries>>,
+) -> HashMap<SeriesKey<'_>, &Arc<[f64]>> {
+    let mut lookup: HashMap<SeriesKey<'_>, &Arc<[f64]>> = HashMap::new();
+    for (component, list) in series {
+        for s in list {
+            lookup.insert((component.as_str(), s.name.as_str()), &s.values);
+        }
+    }
+    lookup
+}
+
+/// Runs every comparison of `plan` (both directions) and returns one
+/// candidate-edge list *per comparison*, in plan order — the unit the
+/// incremental session caches. [`identify_dependencies`] flattens this.
+pub(crate) fn candidate_edges_per_comparison(
+    plan: &[Comparison],
+    lookup: &HashMap<SeriesKey<'_>, &Arc<[f64]>>,
+    config: &SieveConfig,
+) -> Vec<Vec<DependencyEdge>> {
+    if config.use_granger_cache {
+        cached_candidate_edges(plan, lookup, config)
+    } else {
+        naive_candidate_edges(plan, lookup, config)
+    }
+}
+
+/// Assembles the final graph from the clusterings, the call graph and the
+/// candidate edges (in plan order), applying the bidirectional filter —
+/// shared verbatim by the batch and incremental paths so both produce
+/// structurally identical graphs.
+pub(crate) fn assemble_graph(
+    clusterings: &BTreeMap<Name, ComponentClustering>,
+    call_graph: &CallGraph,
+    candidate_edges: impl IntoIterator<Item = DependencyEdge>,
+) -> DependencyGraph {
+    let mut graph = DependencyGraph::new();
+    for component in clusterings.keys() {
+        graph.add_component(component.clone());
+    }
+    for component in call_graph.components() {
+        graph.add_component(component);
+    }
+    for edge in candidate_edges {
+        graph.add_edge(edge);
+    }
+    graph.filter_bidirectional();
+    graph
 }
 
 /// Runs the Granger comparisons and assembles the dependency graph.
@@ -119,40 +171,20 @@ pub fn identify_dependencies(
     call_graph: &CallGraph,
     config: &SieveConfig,
 ) -> Result<DependencyGraph> {
-    let plan = comparisons(call_graph, clusterings);
-
-    // Index the prepared series for O(1) lookup. Keys borrow the interned
-    // names, values borrow the shared buffers — no clones on this path.
-    let mut lookup: HashMap<SeriesKey<'_>, &Arc<[f64]>> = HashMap::new();
-    for (component, list) in series {
-        for s in list {
-            lookup.insert((component.as_str(), s.name.as_str()), &s.values);
-        }
-    }
+    let plan = comparison_plan(call_graph, clusterings);
+    let lookup = series_lookup(series);
 
     // Each comparison is tested in both directions (the callee may drive the
     // caller, e.g. back-pressure); the per-edge work runs through the shared
     // executor and the candidate edges are concatenated in plan order. Both
     // paths share the edge assembly, so the engine can only change *when*
     // per-series work happens, never what an edge looks like.
-    let candidate_edges: Vec<DependencyEdge> = if config.use_granger_cache {
-        cached_candidate_edges(&plan, &lookup, config)
-    } else {
-        naive_candidate_edges(&plan, &lookup, config)
-    };
-
-    let mut graph = DependencyGraph::new();
-    for component in clusterings.keys() {
-        graph.add_component(component.clone());
-    }
-    for component in call_graph.components() {
-        graph.add_component(component);
-    }
-    for edge in candidate_edges {
-        graph.add_edge(edge);
-    }
-    graph.filter_bidirectional();
-    Ok(graph)
+    let candidate_edges = candidate_edges_per_comparison(&plan, &lookup, config);
+    Ok(assemble_graph(
+        clusterings,
+        call_graph,
+        candidate_edges.into_iter().flatten(),
+    ))
 }
 
 /// Turns the two directed test outcomes of one comparison into candidate
@@ -203,7 +235,7 @@ fn naive_candidate_edges(
     plan: &[Comparison],
     lookup: &HashMap<SeriesKey<'_>, &Arc<[f64]>>,
     config: &SieveConfig,
-) -> Vec<DependencyEdge> {
+) -> Vec<Vec<DependencyEdge>> {
     let per_comparison = |cmp: &Comparison| -> Vec<DependencyEdge> {
         let Some(source) = lookup.get(&(cmp.source_component.as_str(), cmp.source_metric.as_str()))
         else {
@@ -218,9 +250,6 @@ fn naive_candidate_edges(
         edges_for_comparison(cmp, forward, reverse, config.interval_ms)
     };
     par_map_chunks(config.parallelism, plan, per_comparison)
-        .into_iter()
-        .flatten()
-        .collect()
 }
 
 /// The engine path: one [`PreparedGrangerSeries`] per (component, metric)
@@ -234,7 +263,7 @@ fn cached_candidate_edges(
     plan: &[Comparison],
     lookup: &HashMap<SeriesKey<'_>, &Arc<[f64]>>,
     config: &SieveConfig,
-) -> Vec<DependencyEdge> {
+) -> Vec<Vec<DependencyEdge>> {
     let needed: BTreeSet<SeriesKey<'_>> = plan
         .iter()
         .flat_map(|cmp| {
@@ -270,9 +299,6 @@ fn cached_candidate_edges(
         edges_for_comparison(cmp, forward, reverse, config.interval_ms)
     };
     par_map_chunks(config.parallelism, plan, per_comparison)
-        .into_iter()
-        .flatten()
-        .collect()
 }
 
 #[cfg(test)]

@@ -22,6 +22,13 @@
 //! metric dependency graph, which the autoscaling (`sieve-autoscale`) and
 //! RCA (`sieve-rca`) engines consume.
 //!
+//! Steps 2 and 3 run inside an epoch-based incremental engine, the
+//! [`session::AnalysisSession`]: long-lived per-series state absorbs store
+//! deltas and recomputes only what a delta dirties, while
+//! [`pipeline::Sieve::analyze`] is the batch special case (a fresh session
+//! with everything dirty) — so streaming and batch share one code path and
+//! emit bit-identical models.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -51,6 +58,7 @@ pub mod dependencies;
 pub mod model;
 pub mod pipeline;
 pub mod reduce;
+pub mod session;
 
 mod error;
 

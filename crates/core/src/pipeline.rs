@@ -12,16 +12,17 @@
 //! produce *identical* [`SieveModel`]s, not merely equivalent ones.
 
 use crate::config::SieveConfig;
-use crate::dependencies::identify_dependencies;
-use crate::model::{ComponentClustering, SieveModel};
-use crate::reduce::{prepare_series, reduce_component, NamedSeries};
+use crate::model::SieveModel;
+use crate::reduce::{prepare_series, NamedSeries};
+use crate::session::AnalysisSession;
 use crate::{Result, SieveError};
-use sieve_exec::{try_par_map_chunks, Name};
+use sieve_exec::{par_map_chunks, Name};
 use sieve_graph::CallGraph;
 use sieve_simulator::app::AppSpec;
 use sieve_simulator::engine::{SimConfig, Simulation};
 use sieve_simulator::store::MetricStore;
 use sieve_simulator::workload::Workload;
+use sieve_timeseries::TimeSeries;
 use std::collections::BTreeMap;
 
 /// Default duration of the offline loading phase (step 1), in milliseconds.
@@ -52,6 +53,25 @@ pub fn load_application(
     Ok(simulation.into_parts())
 }
 
+/// Prepares the series of the given components (in parallel through the
+/// shared executor, output index-aligned with `components`). Shared by
+/// [`Sieve::prepare`] (all components) and the incremental session (the
+/// dirty subset): preparation is per-component, so preparing a subset
+/// yields bit-identical series to preparing everything.
+pub(crate) fn prepare_components(
+    store: &MetricStore,
+    components: &[Name],
+    config: &SieveConfig,
+) -> Vec<Vec<NamedSeries>> {
+    par_map_chunks(config.parallelism, components, |component| {
+        let mut raw: Vec<(Name, TimeSeries)> = Vec::new();
+        store.for_each_series_of(component.as_str(), |id, series| {
+            raw.push((id.metric.clone(), series.clone()));
+        });
+        prepare_series(&raw, config.interval_ms)
+    })
+}
+
 /// The Sieve analysis pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct Sieve {
@@ -70,23 +90,19 @@ impl Sieve {
     }
 
     /// Prepares (resamples and truncates) the series of every component in
-    /// the store. The returned series are `Arc`-shared: steps 2 and 3 both
-    /// read these buffers without re-copying them.
+    /// the store, in parallel through the shared executor (component order
+    /// is preserved). The returned series are `Arc`-shared: steps 2 and 3
+    /// both read these buffers without re-copying them.
     pub fn prepare(&self, store: &MetricStore) -> BTreeMap<Name, Vec<NamedSeries>> {
-        let mut out: BTreeMap<Name, Vec<NamedSeries>> = BTreeMap::new();
-        for component in store.components() {
-            let raw: Vec<_> = store
-                .metric_ids_of(&component)
-                .into_iter()
-                .filter_map(|id| store.series(&id).map(|s| (id.metric, s)))
-                .collect();
-            let prepared = prepare_series(&raw, self.config.interval_ms);
-            out.insert(component, prepared);
-        }
-        out
+        let components = store.components();
+        let prepared = prepare_components(store, &components, &self.config);
+        components.into_iter().zip(prepared).collect()
     }
 
-    /// Steps 2 and 3 on already-recorded data.
+    /// Steps 2 and 3 on already-recorded data: a fresh
+    /// [`AnalysisSession`] with every component dirty, refreshed once —
+    /// the batch and incremental paths share this single code path, which
+    /// is what makes their models bit-identical by construction.
     ///
     /// # Errors
     ///
@@ -104,30 +120,13 @@ impl Sieve {
                 scope: format!("application {application}"),
             });
         }
-        let prepared = self.prepare(store);
-
-        // Step 2: per-component metric reduction through the shared
-        // executor; results come back in component order.
-        let components: Vec<(&Name, &Vec<NamedSeries>)> = prepared.iter().collect();
-        let reduced = try_par_map_chunks(
-            self.config.parallelism,
-            &components,
-            |(component, series)| {
-                reduce_component((*component).clone(), series, &self.config)
-                    .map(|clustering| ((*component).clone(), clustering))
-            },
+        let mut session = AnalysisSession::new(
+            application,
+            store.clone(),
+            call_graph.clone(),
+            self.config.clone(),
         )?;
-        let clusterings: BTreeMap<Name, ComponentClustering> = reduced.into_iter().collect();
-
-        // Step 3: dependency identification over the call graph.
-        let dependency_graph =
-            identify_dependencies(&prepared, &clusterings, call_graph, &self.config)?;
-
-        Ok(SieveModel {
-            application: application.to_string(),
-            clusterings,
-            dependency_graph,
-        })
+        session.refresh()
     }
 
     /// Runs all three steps: loads `spec` under `workload` (for

@@ -1,0 +1,637 @@
+//! Epoch-based incremental analysis: the [`AnalysisSession`].
+//!
+//! [`crate::pipeline::Sieve::analyze`] is a batch pass: prepare every
+//! series, cluster every component, Granger-test every call-graph edge.
+//! A live deployment does not change wholesale between observations — a
+//! delta touches a handful of metrics — so the session keeps the analysis
+//! state alive between epochs and recomputes only what a delta dirties:
+//!
+//! * **Prepared series** are cached per component and rebuilt only for
+//!   components with at least one touched series (preparation truncates a
+//!   component's series to a common length, so one new sample can shift
+//!   the whole component's prepared view — the component is the dirtiness
+//!   unit here).
+//! * **Clusterings** are cached per component, keyed by a content
+//!   fingerprint of the component's prepared series (names + values) mixed
+//!   with the statistical configuration. A re-prepared component whose
+//!   prepared content came out identical keeps its clustering without
+//!   re-running the k sweep.
+//! * **Granger verdicts** are cached per comparison (source/target
+//!   component + metric), keyed by the prepared-series fingerprints of
+//!   both endpoints and the configuration. An edge is re-tested only when
+//!   one of its endpoint series actually changed — not merely because some
+//!   unrelated component received samples.
+//!
+//! Every cache key is a *content* fingerprint, never a timestamp or an
+//! epoch number, and all recomputation funnels through the same
+//! [`crate::reduce`]/[`crate::dependencies`] code as the batch path. The
+//! result is the central guarantee of this module, asserted by tests,
+//! property tests and the `incremental` bench: a session that absorbed any
+//! sequence of deltas emits a [`SieveModel`] **bit-identical** to batch
+//! analysis of the final store — across parallelism degrees and with the
+//! SBD/Granger engines on or off.
+//!
+//! # Lifecycle
+//!
+//! ```no_run
+//! use sieve_core::config::SieveConfig;
+//! use sieve_core::session::AnalysisSession;
+//! use sieve_simulator::engine::{SimConfig, Simulation};
+//! use sieve_simulator::workload::Workload;
+//! # let spec = sieve_apps::sharelatex::app_spec(sieve_apps::MetricRichness::Minimal);
+//!
+//! let mut sim = Simulation::new(spec, Workload::constant(40.0), SimConfig::new(7)).unwrap();
+//! let mut session = AnalysisSession::new(
+//!     "sharelatex",
+//!     sim.store().clone(),
+//!     sim.call_graph(),
+//!     SieveConfig::default(),
+//! )
+//! .unwrap();
+//! loop {
+//!     let (delta, executed) = sim.step_epoch(60);
+//!     if executed == 0 {
+//!         break;
+//!     }
+//!     session.set_call_graph(sim.call_graph());
+//!     let model = session.update(&delta).unwrap();
+//!     println!("epoch {}: {} edges", delta.epoch, model.dependency_graph.edge_count());
+//! }
+//! ```
+
+use crate::config::SieveConfig;
+use crate::dependencies::{
+    assemble_graph, candidate_edges_per_comparison, comparison_plan, Comparison, SeriesKey,
+};
+use crate::model::{ComponentClustering, SieveModel};
+use crate::pipeline::prepare_components;
+use crate::reduce::{reduce_component, NamedSeries};
+use crate::Result;
+use sieve_exec::hash::{fingerprint_f64s, mix, mix_f64, mix_str, FINGERPRINT_SEED};
+use sieve_exec::{try_par_map_chunks, Name};
+use sieve_graph::{CallGraph, DependencyEdge};
+use sieve_simulator::store::{MetricStore, StoreDelta};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// What one [`AnalysisSession::refresh`] actually recomputed — the
+/// observable behind the "only dirty work is redone" guarantee, asserted
+/// by the incremental tests and reported by the bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Epoch watermark of the last delta applied (0 before the first).
+    pub epoch: u64,
+    /// Components known to the session after the refresh.
+    pub components_total: usize,
+    /// Components whose series were re-prepared in this refresh.
+    pub components_prepared: usize,
+    /// Components whose k-Shape sweep was re-run in this refresh.
+    pub components_reclustered: usize,
+    /// Size of the comparison plan (pairs, not directions) of this refresh.
+    pub comparisons_planned: usize,
+    /// Comparisons actually Granger-tested (cache misses) in this refresh.
+    pub comparisons_tested: usize,
+}
+
+/// Cached per-component preparation state.
+#[derive(Debug, Clone)]
+struct PreparedComponent {
+    /// The prepared (resampled, truncated, `Arc`-shared) series.
+    series: Vec<NamedSeries>,
+    /// Content fingerprint of each prepared series, index-aligned.
+    series_fps: Vec<u64>,
+    /// Combined fingerprint of the whole prepared set (names + values +
+    /// configuration) — the clustering cache key.
+    clustering_key: u64,
+}
+
+/// Cache key of one comparison's candidate edges: the comparison identity,
+/// the content fingerprints of both endpoint series, and the statistical
+/// configuration fingerprint — so a verdict can never outlive the exact
+/// inputs and settings that produced it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct EdgeKey {
+    source_component: Name,
+    source_metric: Name,
+    target_component: Name,
+    target_metric: Name,
+    source_fp: u64,
+    target_fp: u64,
+    config_fp: u64,
+}
+
+impl EdgeKey {
+    fn new(cmp: &Comparison, source_fp: u64, target_fp: u64, config_fp: u64) -> Self {
+        Self {
+            source_component: cmp.source_component.clone(),
+            source_metric: cmp.source_metric.clone(),
+            target_component: cmp.target_component.clone(),
+            target_metric: cmp.target_metric.clone(),
+            source_fp,
+            target_fp,
+            config_fp,
+        }
+    }
+}
+
+/// Fingerprint of the statistical configuration: every field that can
+/// change an analysis result. Parallelism and the SBD/Granger engine
+/// toggles are deliberately excluded — they are proven result-invariant.
+fn config_fingerprint(config: &SieveConfig) -> u64 {
+    let mut fp = mix(FINGERPRINT_SEED, config.interval_ms);
+    fp = mix_f64(fp, config.variance_threshold);
+    fp = mix(fp, config.min_clusters as u64);
+    fp = mix(fp, config.max_clusters as u64);
+    fp = mix(fp, config.kshape_max_iterations as u64);
+    fp = mix(fp, config.granger.max_lag as u64);
+    fp = mix_f64(fp, config.granger.significance);
+    fp = mix(fp, u64::from(config.granger.difference_non_stationary));
+    mix(fp, config.granger.min_observations as u64)
+}
+
+/// A long-lived, dirty-tracking analysis of one application.
+///
+/// The session holds a handle to the (shared, append-only) [`MetricStore`]
+/// and absorbs [`StoreDelta`]s: [`AnalysisSession::update`] re-prepares
+/// only touched components, re-clusters only components whose prepared
+/// content changed, re-tests only comparisons with a changed endpoint, and
+/// assembles a full [`SieveModel`] from cached plus fresh state. See the
+/// [module docs](self) for the cache keys and the equality guarantee.
+#[derive(Debug)]
+pub struct AnalysisSession {
+    config: SieveConfig,
+    config_fp: u64,
+    application: String,
+    store: MetricStore,
+    call_graph: CallGraph,
+    /// Prepared series + fingerprints per component.
+    prepared: BTreeMap<Name, PreparedComponent>,
+    /// Cached clustering per component, valid for `clustering_keys[name]`.
+    clusterings: BTreeMap<Name, ComponentClustering>,
+    clustering_keys: BTreeMap<Name, u64>,
+    /// Candidate edges per comparison, stamped with the refresh generation
+    /// that last used them (stale entries are pruned each refresh, so the
+    /// cache stays bounded by the plan size).
+    edge_cache: HashMap<EdgeKey, (u64, Vec<DependencyEdge>)>,
+    generation: u64,
+    /// Components that must be re-prepared at the next refresh.
+    dirty: BTreeSet<Name>,
+    last_epoch: u64,
+    stats: SessionStats,
+}
+
+impl AnalysisSession {
+    /// Creates a session over the given store handle and call graph. All
+    /// components already in the store are marked dirty, so the first
+    /// [`AnalysisSession::refresh`] (or [`AnalysisSession::update`])
+    /// performs a full analysis — which is exactly what
+    /// [`crate::pipeline::Sieve::analyze`] does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SieveError::InvalidConfig`] for invalid
+    /// configurations.
+    pub fn new(
+        application: impl Into<String>,
+        store: MetricStore,
+        call_graph: CallGraph,
+        config: SieveConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let mut session = Self {
+            config_fp: config_fingerprint(&config),
+            config,
+            application: application.into(),
+            store,
+            call_graph,
+            prepared: BTreeMap::new(),
+            clusterings: BTreeMap::new(),
+            clustering_keys: BTreeMap::new(),
+            edge_cache: HashMap::new(),
+            generation: 0,
+            dirty: BTreeSet::new(),
+            last_epoch: 0,
+            stats: SessionStats::default(),
+        };
+        session.mark_all_dirty();
+        Ok(session)
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SieveConfig {
+        &self.config
+    }
+
+    /// The analysed application's name.
+    pub fn application(&self) -> &str {
+        &self.application
+    }
+
+    /// The store handle this session analyses.
+    pub fn store(&self) -> &MetricStore {
+        &self.store
+    }
+
+    /// What the last [`AnalysisSession::refresh`] recomputed.
+    pub fn last_stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Replaces the call graph (it grows while a simulation streams).
+    /// Topology changes alter the comparison *plan*, never a cached
+    /// verdict, so nothing is dirtied.
+    pub fn set_call_graph(&mut self, call_graph: CallGraph) {
+        self.call_graph = call_graph;
+    }
+
+    /// Marks the components with touched series in `delta` as dirty
+    /// without recomputing anything; several deltas may be absorbed before
+    /// one [`AnalysisSession::refresh`].
+    pub fn apply_delta(&mut self, delta: &StoreDelta) {
+        for id in &delta.touched {
+            self.dirty.insert(id.component.clone());
+        }
+        self.last_epoch = self.last_epoch.max(delta.epoch);
+    }
+
+    /// Marks every component of the store dirty (full recomputation at the
+    /// next refresh). Cached clusterings and edge verdicts still short-cut
+    /// work whose content fingerprints did not change.
+    pub fn mark_all_dirty(&mut self) {
+        let dirty = &mut self.dirty;
+        self.store.for_each_component(|c| {
+            dirty.insert(c.clone());
+        });
+    }
+
+    /// Absorbs one delta and recomputes the model: the streaming
+    /// counterpart of one full `Sieve::analyze` pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering and causality errors, like the batch path.
+    pub fn update(&mut self, delta: &StoreDelta) -> Result<SieveModel> {
+        self.apply_delta(delta);
+        self.refresh()
+    }
+
+    /// Recomputes everything currently dirty and assembles the model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering and causality errors, like the batch path.
+    pub fn refresh(&mut self) -> Result<SieveModel> {
+        // Components that appeared in the store without a delta being
+        // applied (e.g. a session created over a pre-loaded store) are
+        // picked up here, so a refresh never analyses a stale world.
+        let (prepared, dirty) = (&self.prepared, &mut self.dirty);
+        self.store.for_each_component(|c| {
+            if !prepared.contains_key(c) {
+                dirty.insert(c.clone());
+            }
+        });
+
+        let mut stats = SessionStats {
+            epoch: self.last_epoch,
+            ..SessionStats::default()
+        };
+
+        // 1. Re-prepare the dirty components (in parallel, component order
+        //    preserved by the executor).
+        let dirty_components: Vec<Name> = std::mem::take(&mut self.dirty).into_iter().collect();
+        stats.components_prepared = dirty_components.len();
+        let freshly_prepared = prepare_components(&self.store, &dirty_components, &self.config);
+        for (component, series) in dirty_components.iter().zip(freshly_prepared) {
+            let series_fps: Vec<u64> = series.iter().map(|s| fingerprint_f64s(&s.values)).collect();
+            let clustering_key = series
+                .iter()
+                .zip(&series_fps)
+                .fold(mix(self.config_fp, series.len() as u64), |acc, (s, &fp)| {
+                    mix(mix_str(acc, s.name.as_str()), fp)
+                });
+            self.prepared.insert(
+                component.clone(),
+                PreparedComponent {
+                    series,
+                    series_fps,
+                    clustering_key,
+                },
+            );
+        }
+        stats.components_total = self.prepared.len();
+
+        // 2. Re-cluster every component whose cached clustering no longer
+        //    matches its prepared content (again in parallel, order
+        //    preserved). Scanning all prepared components instead of just
+        //    the dirty list costs one key comparison per component and
+        //    makes the step self-healing: if a previous refresh failed
+        //    after re-preparing, the key mismatch is still visible here.
+        let to_recluster: Vec<(&Name, &PreparedComponent)> = self
+            .prepared
+            .iter()
+            .filter(|(component, pc)| {
+                self.clustering_keys.get(*component) != Some(&pc.clustering_key)
+            })
+            .collect();
+        stats.components_reclustered = to_recluster.len();
+        let reclustered =
+            try_par_map_chunks(self.config.parallelism, &to_recluster, |(component, pc)| {
+                reduce_component((*component).clone(), &pc.series, &self.config)
+                    .map(|clustering| ((*component).clone(), pc.clustering_key, clustering))
+            })?;
+        for (component, key, clustering) in reclustered {
+            self.clusterings.insert(component.clone(), clustering);
+            self.clustering_keys.insert(component, key);
+        }
+
+        // 3. Re-test the comparisons with a changed endpoint; everything
+        //    else is served from the edge cache.
+        self.generation += 1;
+        let generation = self.generation;
+        let plan = comparison_plan(&self.call_graph, &self.clusterings);
+        stats.comparisons_planned = plan.len();
+
+        // (fingerprint, values) per prepared series, borrowed from the
+        // caches — nothing on this path copies a sample.
+        let mut lookup: HashMap<SeriesKey<'_>, (u64, &Arc<[f64]>)> = HashMap::new();
+        for (component, pc) in &self.prepared {
+            for (s, &fp) in pc.series.iter().zip(&pc.series_fps) {
+                lookup.insert((component.as_str(), s.name.as_str()), (fp, &s.values));
+            }
+        }
+
+        let mut per_comparison: Vec<Option<Vec<DependencyEdge>>> = vec![None; plan.len()];
+        let mut keys: Vec<Option<EdgeKey>> = Vec::with_capacity(plan.len());
+        let mut miss_indices: Vec<usize> = Vec::new();
+        for (i, cmp) in plan.iter().enumerate() {
+            let source = lookup.get(&(cmp.source_component.as_str(), cmp.source_metric.as_str()));
+            let target = lookup.get(&(cmp.target_component.as_str(), cmp.target_metric.as_str()));
+            match (source, target) {
+                (Some(&(source_fp, _)), Some(&(target_fp, _))) => {
+                    let key = EdgeKey::new(cmp, source_fp, target_fp, self.config_fp);
+                    if let Some((stamp, edges)) = self.edge_cache.get_mut(&key) {
+                        *stamp = generation;
+                        per_comparison[i] = Some(edges.clone());
+                        keys.push(None);
+                    } else {
+                        miss_indices.push(i);
+                        keys.push(Some(key));
+                    }
+                }
+                // A representative without a prepared series produces no
+                // edges on the batch path either; nothing worth caching.
+                _ => {
+                    per_comparison[i] = Some(Vec::new());
+                    keys.push(None);
+                }
+            }
+        }
+
+        stats.comparisons_tested = miss_indices.len();
+        if !miss_indices.is_empty() {
+            let miss_plan: Vec<Comparison> =
+                miss_indices.iter().map(|&i| plan[i].clone()).collect();
+            let values_lookup: HashMap<SeriesKey<'_>, &Arc<[f64]>> = lookup
+                .iter()
+                .map(|(key, &(_, values))| (*key, values))
+                .collect();
+            let computed = candidate_edges_per_comparison(&miss_plan, &values_lookup, &self.config);
+            for (&i, edges) in miss_indices.iter().zip(computed) {
+                let key = keys[i].take().expect("miss indices carry their key");
+                self.edge_cache.insert(key, (generation, edges.clone()));
+                per_comparison[i] = Some(edges);
+            }
+        }
+
+        let dependency_graph = assemble_graph(
+            &self.clusterings,
+            &self.call_graph,
+            per_comparison.into_iter().flatten().flatten(),
+        );
+
+        // Prune cache entries no longer reachable from the plan so the
+        // cache stays bounded even under churning representative sets.
+        self.edge_cache.retain(|_, (stamp, _)| *stamp == generation);
+
+        self.stats = stats;
+        Ok(SieveModel {
+            application: self.application.clone(),
+            clusterings: self.clusterings.clone(),
+            dependency_graph,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{load_application, Sieve};
+    use sieve_simulator::app::{AppSpec, CallSpec, ComponentSpec};
+    use sieve_simulator::engine::{SimConfig, Simulation};
+    use sieve_simulator::metrics::{MetricBehavior, MetricSpec};
+    use sieve_simulator::workload::Workload;
+
+    /// Six components in a chain, three metrics each — enough structure
+    /// for real clusters and Granger edges while staying fast.
+    fn chain_app(components: usize) -> AppSpec {
+        let name = |i: usize| format!("svc{i}");
+        let mut app = AppSpec::new("chain", name(0));
+        for i in 0..components {
+            app.add_component(
+                ComponentSpec::new(name(i))
+                    .with_capacity(150.0 + 30.0 * i as f64)
+                    .with_metric(MetricSpec::gauge(
+                        format!("svc{i}_requests_per_second"),
+                        MetricBehavior::load_proportional(1.0 + 0.2 * i as f64),
+                    ))
+                    .with_metric(MetricSpec::gauge(
+                        format!("svc{i}_latency_ms"),
+                        MetricBehavior::latency(10.0 + i as f64, 120.0),
+                    ))
+                    .with_metric(MetricSpec::gauge(
+                        format!("svc{i}_threads_max"),
+                        MetricBehavior::constant(64.0),
+                    )),
+            );
+        }
+        for i in 1..components {
+            app.add_call(CallSpec::new(name(i - 1), name(i)).with_lag_ms(500));
+        }
+        app
+    }
+
+    fn fast_config() -> SieveConfig {
+        SieveConfig::default()
+            .with_cluster_range(2, 3)
+            .with_parallelism(2)
+    }
+
+    #[test]
+    fn streamed_session_matches_batch_analysis_bit_for_bit() {
+        let app = chain_app(4);
+        let config = SimConfig::new(31).with_duration_ms(90_000);
+        let mut sim = Simulation::new(app, Workload::randomized(60.0, 3), config).unwrap();
+        let mut session = AnalysisSession::new(
+            "chain",
+            sim.store().clone(),
+            sim.call_graph(),
+            fast_config(),
+        )
+        .unwrap();
+
+        let mut streamed = None;
+        loop {
+            let (delta, executed) = sim.step_epoch(45);
+            if executed == 0 {
+                break;
+            }
+            session.set_call_graph(sim.call_graph());
+            streamed = Some(session.update(&delta).unwrap());
+        }
+        let streamed = streamed.expect("at least one epoch ran");
+
+        let batch = Sieve::new(fast_config())
+            .analyze("chain", sim.store(), &sim.call_graph())
+            .unwrap();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn update_recomputes_only_the_dirty_component() {
+        let app = chain_app(6);
+        let (store, graph) =
+            load_application(&app, &Workload::randomized(70.0, 5), 13, 90_000, 500).unwrap();
+        let mut session =
+            AnalysisSession::new("chain", store.clone(), graph.clone(), fast_config()).unwrap();
+        store.drain_delta();
+        let full = session.refresh().unwrap();
+        let full_stats = session.last_stats();
+        assert_eq!(full_stats.components_prepared, 6);
+        assert_eq!(full_stats.components_reclustered, 6);
+        assert!(full_stats.comparisons_tested > 0);
+
+        // Touch exactly one mid-chain component: one more tick for every
+        // svc3 metric, so its prepared (truncated-to-common-length) view
+        // really grows.
+        for metric in [
+            "svc3_requests_per_second",
+            "svc3_latency_ms",
+            "svc3_threads_max",
+        ] {
+            let id = sieve_simulator::store::MetricId::new("svc3", metric);
+            let last = store.series(&id).unwrap().end_ms().unwrap();
+            store.record(&id, last + 500, 42.0);
+        }
+        let delta = store.drain_delta();
+        assert_eq!(delta.touched_components(), vec!["svc3"]);
+
+        let updated = session.update(&delta).unwrap();
+        let stats = session.last_stats();
+        assert_eq!(stats.components_prepared, 1, "only svc3 is re-prepared");
+        assert_eq!(stats.components_reclustered, 1, "only svc3 is re-clustered");
+        assert!(
+            stats.comparisons_tested < full_stats.comparisons_tested,
+            "only comparisons touching svc3 are re-tested ({} of {})",
+            stats.comparisons_tested,
+            full_stats.comparisons_tested
+        );
+        assert_eq!(stats.epoch, delta.epoch);
+
+        // And the shortcut changed nothing: batch analysis of the updated
+        // store agrees bit for bit.
+        let batch = Sieve::new(fast_config())
+            .analyze("chain", &store, &graph)
+            .unwrap();
+        assert_eq!(updated, batch);
+
+        // An empty delta re-tests nothing and returns the same model.
+        let noop = session.update(&store.drain_delta()).unwrap();
+        let noop_stats = session.last_stats();
+        assert_eq!(noop_stats.components_prepared, 0);
+        assert_eq!(noop_stats.comparisons_tested, 0);
+        assert_eq!(noop, updated);
+        assert_eq!(full.application, "chain");
+    }
+
+    #[test]
+    fn appending_content_identical_epochs_skips_reclustering() {
+        // Preparation truncates to the shortest series; if a touched
+        // component's prepared content comes out unchanged, the clustering
+        // key matches and the k sweep is skipped.
+        let store = MetricStore::new();
+        let graph = CallGraph::new();
+        for m in ["a", "b"] {
+            let id = sieve_simulator::store::MetricId::new("web", m);
+            for t in 0..100u64 {
+                store.record(
+                    &id,
+                    t * 500,
+                    (t as f64 * 0.3).sin() * (m.len() as f64 + 1.0),
+                );
+            }
+        }
+        // A deliberately short third series pins the common length.
+        let short = sieve_simulator::store::MetricId::new("web", "short");
+        for t in 0..50u64 {
+            store.record(&short, t * 500, t as f64);
+        }
+        let mut session = AnalysisSession::new("app", store.clone(), graph, fast_config()).unwrap();
+        store.drain_delta();
+        session.refresh().unwrap();
+        assert_eq!(session.last_stats().components_reclustered, 1);
+
+        // Extending only the already-longer series does not change the
+        // truncated prepared content.
+        let id = sieve_simulator::store::MetricId::new("web", "a");
+        store.record(&id, 100 * 500, 1.0);
+        let delta = store.drain_delta();
+        session.update(&delta).unwrap();
+        let stats = session.last_stats();
+        assert_eq!(stats.components_prepared, 1, "web is re-prepared");
+        assert_eq!(
+            stats.components_reclustered, 0,
+            "identical prepared content keeps the cached clustering"
+        );
+    }
+
+    #[test]
+    fn session_rejects_invalid_configuration() {
+        let result = AnalysisSession::new(
+            "x",
+            MetricStore::new(),
+            CallGraph::new(),
+            SieveConfig::default().with_interval_ms(0),
+        );
+        assert!(matches!(
+            result,
+            Err(crate::SieveError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_result_affecting_fields_only() {
+        let base = config_fingerprint(&SieveConfig::default());
+        assert_eq!(base, config_fingerprint(&SieveConfig::default()));
+        assert_ne!(
+            base,
+            config_fingerprint(&SieveConfig::default().with_interval_ms(250))
+        );
+        assert_ne!(
+            base,
+            config_fingerprint(&SieveConfig::default().with_cluster_range(2, 5))
+        );
+        // Parallelism and engine toggles are result-invariant.
+        assert_eq!(
+            base,
+            config_fingerprint(&SieveConfig::default().with_parallelism(8))
+        );
+        assert_eq!(
+            base,
+            config_fingerprint(
+                &SieveConfig::default()
+                    .with_sbd_cache(false)
+                    .with_granger_cache(false)
+            )
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Deterministic 64-bit content hashing shared across the workspace.
+//!
+//! The incremental-analysis layer keys its caches by *content
+//! fingerprints*: the metric store maintains a running fingerprint per
+//! recorded series, and the analysis session fingerprints prepared series,
+//! component series sets and the statistical configuration. All of them
+//! funnel through the splitmix64 finalizer below, so a fingerprint computed
+//! on any host, at any parallelism degree, is bit-identical — which is what
+//! lets "same fingerprint" stand in for "same content" in the
+//! incremental==batch equality guarantees.
+//!
+//! These are content hashes, not cryptographic digests: collisions are
+//! possible in principle (2⁻⁶⁴ per comparison) but irrelevant in practice
+//! for cache keying.
+
+/// The canonical seed every fingerprint chain starts from. A fixed non-zero
+/// constant so that an empty series and a missing series hash differently
+/// from zero.
+pub const FINGERPRINT_SEED: u64 = 0x5349_4556_4501_7C15;
+
+/// The splitmix64 finalizer: a fast, well-mixing 64-bit permutation.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds one 64-bit word into an accumulator. Order-sensitive: the rotate
+/// makes `mix(mix(a, x), y)` differ from `mix(mix(a, y), x)`, so fingerprints
+/// distinguish permuted content.
+pub fn mix(acc: u64, word: u64) -> u64 {
+    splitmix64(acc.rotate_left(13) ^ splitmix64(word))
+}
+
+/// Folds an `f64` into an accumulator by its raw bit pattern, so `0.0` and
+/// `-0.0` (and every NaN payload) fingerprint as the distinct values they
+/// are.
+pub fn mix_f64(acc: u64, value: f64) -> u64 {
+    mix(acc, value.to_bits())
+}
+
+/// Folds a string into an accumulator (FNV-1a over the bytes, then mixed),
+/// order- and length-sensitive.
+pub fn mix_str(acc: u64, s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in s.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix(acc, h)
+}
+
+/// Fingerprints a whole `f64` slice (length-prefixed, order-sensitive),
+/// starting from [`FINGERPRINT_SEED`].
+pub fn fingerprint_f64s(values: &[f64]) -> u64 {
+    values
+        .iter()
+        .fold(mix(FINGERPRINT_SEED, values.len() as u64), |acc, &v| {
+            mix_f64(acc, v)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn mix_is_order_sensitive() {
+        let a = mix(mix(FINGERPRINT_SEED, 1), 2);
+        let b = mix(mix(FINGERPRINT_SEED, 2), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mix_f64_distinguishes_signed_zero() {
+        assert_ne!(mix_f64(0, 0.0), mix_f64(0, -0.0));
+    }
+
+    #[test]
+    fn mix_str_distinguishes_contents_and_matches_itself() {
+        assert_eq!(mix_str(7, "cpu"), mix_str(7, "cpu"));
+        assert_ne!(mix_str(7, "cpu"), mix_str(7, "mem"));
+        assert_ne!(mix_str(7, "ab"), mix_str(7, "a"));
+    }
+
+    #[test]
+    fn slice_fingerprint_is_length_prefixed() {
+        assert_ne!(fingerprint_f64s(&[]), fingerprint_f64s(&[0.0]));
+        assert_ne!(fingerprint_f64s(&[1.0, 2.0]), fingerprint_f64s(&[2.0, 1.0]));
+        assert_eq!(fingerprint_f64s(&[1.0, 2.0]), fingerprint_f64s(&[1.0, 2.0]));
+    }
+}

@@ -13,10 +13,14 @@
 //!   Results always come back in input order, which is what makes
 //!   `parallelism = 1` and `parallelism = N` runs produce identical
 //!   models.
+//! * [`hash`] — the deterministic splitmix64-based content-fingerprint
+//!   helpers behind the store's per-series fingerprints and the analysis
+//!   session's dirty-tracking cache keys.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hash;
 pub mod intern;
 pub mod par;
 

@@ -377,6 +377,27 @@ impl Simulation {
         }
         executed
     }
+
+    /// Snapshots the series touched since the last drain and advances the
+    /// store's epoch watermark — the streaming counterpart of
+    /// [`Simulation::run_to_completion`]: a driver alternates
+    /// [`Simulation::step`] calls with `drain_delta` and feeds each delta
+    /// to an incremental analysis session.
+    pub fn drain_delta(&self) -> crate::store::StoreDelta {
+        self.store.drain_delta()
+    }
+
+    /// Advances the simulation by up to `ticks` ticks and drains the
+    /// resulting delta in one call — one "observation epoch" of a
+    /// streaming monitoring loop. Returns the delta and the number of
+    /// ticks actually executed (less than `ticks` at the end of the run).
+    pub fn step_epoch(&mut self, ticks: usize) -> (crate::store::StoreDelta, usize) {
+        let mut executed = 0;
+        while executed < ticks && self.step().is_some() {
+            executed += 1;
+        }
+        (self.drain_delta(), executed)
+    }
 }
 
 /// Components reachable from `start` along call edges (including `start`).
@@ -561,6 +582,41 @@ mod tests {
         assert_eq!(count, 10);
         assert!(sim.is_finished());
         assert!(sim.step().is_none());
+    }
+
+    #[test]
+    fn step_epoch_streams_deltas_matching_a_batch_run() {
+        // Streaming mode: alternating step/drain must record exactly the
+        // same store content as one uninterrupted run.
+        let config = SimConfig::new(21).with_duration_ms(20_000);
+        let mut streamed =
+            Simulation::new(three_tier_app(), Workload::randomized(30.0, 2), config).unwrap();
+        let mut epochs = 0;
+        loop {
+            let (delta, executed) = streamed.step_epoch(7);
+            if executed == 0 {
+                assert!(delta.is_empty());
+                break;
+            }
+            epochs += 1;
+            assert_eq!(delta.epoch, epochs);
+            // Every tick touches every metric, so each non-final epoch
+            // reports all seven series.
+            assert_eq!(delta.touched.len(), 7);
+            assert_eq!(delta.touched_components().len(), 3);
+        }
+        assert_eq!(epochs, 6, "40 ticks in epochs of 7");
+
+        let batch = run_sim(Workload::randomized(30.0, 2), 20_000, 21);
+        let id = MetricId::new("db", "queries_per_s");
+        assert_eq!(
+            streamed.store().series(&id).unwrap(),
+            batch.store().series(&id).unwrap()
+        );
+        assert_eq!(
+            streamed.store().fingerprint(&id),
+            batch.store().fingerprint(&id)
+        );
     }
 
     #[test]

@@ -77,13 +77,14 @@ pub mod prelude {
     pub use sieve_core::config::SieveConfig;
     pub use sieve_core::model::{ComponentClustering, MetricCluster, SieveModel};
     pub use sieve_core::pipeline::{load_application, Sieve};
+    pub use sieve_core::session::{AnalysisSession, SessionStats};
     pub use sieve_exec::{par_map_chunks, Name};
     pub use sieve_graph::{CallGraph, DependencyEdge, DependencyGraph};
     pub use sieve_rca::{RcaConfig, RcaEngine, RcaReport};
     pub use sieve_simulator::app::{AppSpec, CallSpec, ComponentSpec};
     pub use sieve_simulator::engine::{SimConfig, Simulation};
     pub use sieve_simulator::metrics::{MetricBehavior, MetricSpec};
-    pub use sieve_simulator::store::{MetricId, MetricStore};
+    pub use sieve_simulator::store::{MetricId, MetricStore, StoreDelta};
     pub use sieve_simulator::workload::Workload;
     pub use sieve_timeseries::TimeSeries;
 }
