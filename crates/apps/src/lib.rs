@@ -20,6 +20,10 @@
 //! Each model comes in two sizes via [`MetricRichness`]: `Minimal` keeps a
 //! handful of metrics per component so unit tests stay fast, `Full`
 //! approximates the paper's metric counts for the benchmark harness.
+//!
+//! The [`tenants`] module additionally generates deterministic
+//! *multi-tenant fleets* (many small applications vs few large ones) for
+//! the serving-layer benchmarks and examples.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,5 +31,7 @@
 pub mod openstack;
 pub mod profiles;
 pub mod sharelatex;
+pub mod tenants;
 
 pub use profiles::MetricRichness;
+pub use tenants::{tenant_fleet, TenantMix, TenantWorkload};

@@ -59,9 +59,9 @@ fn stream_model(
             break;
         }
         session.set_call_graph(sim.call_graph());
-        model = Some(session.update(&delta).unwrap());
+        model = Some(session.update_shared(&delta).unwrap());
     }
-    model.expect("at least one epoch ran")
+    (*model.expect("at least one epoch ran")).clone()
 }
 
 fn main() {
@@ -150,7 +150,7 @@ fn main() {
         round += 1;
         touch_component(&store, dirty_component, round);
         let delta = store.drain_delta();
-        black_box(session.update(black_box(&delta)).unwrap())
+        black_box(session.update_shared(black_box(&delta)).unwrap())
     });
     let stats = session.last_stats();
     println!(
@@ -174,9 +174,9 @@ fn main() {
 
     // The incremental model keeps matching a from-scratch analysis of the
     // store including every appended point.
-    let final_model = session.update(&store.drain_delta()).unwrap();
+    let final_model = session.update_shared(&store.drain_delta()).unwrap();
     let batch_model = sieve.analyze("sharelatex", &store, &call_graph).unwrap();
-    assert_eq!(final_model, batch_model, "incremental state never drifts");
+    assert_eq!(*final_model, batch_model, "incremental state never drifts");
     assert_eq!(full.application, "sharelatex");
 
     let update = runner

@@ -1,7 +1,7 @@
 //! Silhouette scoring for cluster-quality assessment.
 //!
 //! Sieve does not know the right number of clusters per component up front;
-//! it "iteratively var[ies] the number of clusters used by k-Shape and pick[s]
+//! it "iteratively var\[ies\] the number of clusters used by k-Shape and pick\[s\]
 //! the number that gives the best silhouette value" using SBD as the distance
 //! (§3.2). The silhouette value of a sample is
 //!

@@ -10,7 +10,8 @@ pub struct SieveConfig {
     pub interval_ms: u64,
     /// Variance threshold below which a metric is considered unvarying and
     /// dropped before clustering (0.002 in §3.2). Applied to the
-    /// z-scale-free *relative* variance, see [`crate::reduce`].
+    /// scale-free *relative* variance `var / (mean² + var)`, not the raw
+    /// variance — see [`crate::reduce`] for why.
     pub variance_threshold: f64,
     /// Smallest number of clusters tried per component.
     pub min_clusters: usize,
@@ -22,10 +23,18 @@ pub struct SieveConfig {
     /// Granger-causality test configuration (0.05 significance, ADF-based
     /// differencing).
     pub granger: GrangerConfig,
-    /// Number of worker threads used for per-component clustering and
-    /// per-edge causality testing (1 disables parallelism). An explicit
-    /// setting is honoured exactly by the executor; the default adapts to
-    /// the hardware ([`sieve_exec::par::hardware_parallelism`]).
+    /// Number of worker threads used by every parallel stage of one
+    /// analysis: per-component series preparation, per-component
+    /// clustering and per-comparison causality testing (1 runs them all
+    /// serially). An explicit setting is honoured exactly by the executor;
+    /// the default adapts to the hardware
+    /// ([`sieve_exec::par::hardware_parallelism`], cgroup-quota aware, so
+    /// a single-core container defaults to serial). Never affects results:
+    /// all stages run through the input-order-preserving
+    /// [`sieve_exec::par_map_chunks`], so `parallelism = 1` and
+    /// `parallelism = N` emit bit-identical models. (The multi-tenant
+    /// serving layer's *cross-tenant* sweep fan-out is a separate knob,
+    /// `ServeConfig::sweep_parallelism` in `sieve-serve`.)
     pub parallelism: usize,
     /// Whether the metric-reduction step runs on the shared SBD engine
     /// (cached per-series spectra plus a per-component pairwise distance

@@ -24,6 +24,7 @@ use sieve_simulator::store::MetricStore;
 use sieve_simulator::workload::Workload;
 use sieve_timeseries::TimeSeries;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Default duration of the offline loading phase (step 1), in milliseconds.
 pub const DEFAULT_LOAD_DURATION_MS: u64 = 150_000;
@@ -108,6 +109,38 @@ impl Sieve {
     ///
     /// * [`SieveError::NoMetrics`] when the store is empty.
     /// * Propagates configuration, clustering and causality errors.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sieve_core::config::SieveConfig;
+    /// use sieve_core::pipeline::Sieve;
+    /// use sieve_graph::CallGraph;
+    /// use sieve_simulator::store::{MetricId, MetricStore};
+    ///
+    /// // Two components, each exporting a varying and a constant metric;
+    /// // the frontend calls the backend.
+    /// let store = MetricStore::new();
+    /// for t in 0..80u64 {
+    ///     let x = t as f64 * 0.2;
+    ///     store.record(&MetricId::new("frontend", "requests"), t * 500, 30.0 + 10.0 * x.sin());
+    ///     store.record(&MetricId::new("frontend", "threads_max"), t * 500, 64.0);
+    ///     store.record(&MetricId::new("backend", "queries"), t * 500, 55.0 + 20.0 * (x - 0.4).sin());
+    ///     store.record(&MetricId::new("backend", "pool_size"), t * 500, 16.0);
+    /// }
+    /// let mut call_graph = CallGraph::new();
+    /// call_graph.record_calls("frontend", "backend", 100);
+    ///
+    /// let sieve = Sieve::new(SieveConfig::default().with_cluster_range(2, 2).with_parallelism(1));
+    /// let model = sieve.analyze("shop", &store, &call_graph)?;
+    ///
+    /// // The constant metrics are filtered before clustering...
+    /// assert!(model.clustering_of("frontend").unwrap().filtered_metrics.contains(&"threads_max".into()));
+    /// // ...and the metric space shrinks to the representatives.
+    /// assert!(model.total_representative_count() <= model.total_metric_count());
+    /// assert_eq!(model.clusterings.len(), 2);
+    /// # Ok::<(), sieve_core::SieveError>(())
+    /// ```
     pub fn analyze(
         &self,
         application: &str,
@@ -126,7 +159,12 @@ impl Sieve {
             call_graph.clone(),
             self.config.clone(),
         )?;
-        session.refresh()
+        let model = session.refresh_shared()?;
+        // Dropping the throwaway session releases its snapshot reference,
+        // so the batch path takes ownership of the model without paying
+        // for a deep clone.
+        drop(session);
+        Ok(Arc::try_unwrap(model).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Runs all three steps: loads `spec` under `workload` (for

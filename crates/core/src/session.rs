@@ -178,6 +178,9 @@ pub struct AnalysisSession {
     dirty: BTreeSet<Name>,
     last_epoch: u64,
     stats: SessionStats,
+    /// The model produced by the last successful refresh, shared so a
+    /// serving layer can hand out read-only snapshots without cloning.
+    last_model: Option<Arc<SieveModel>>,
 }
 
 impl AnalysisSession {
@@ -212,6 +215,7 @@ impl AnalysisSession {
             dirty: BTreeSet::new(),
             last_epoch: 0,
             stats: SessionStats::default(),
+            last_model: None,
         };
         session.mark_all_dirty();
         Ok(session)
@@ -237,6 +241,16 @@ impl AnalysisSession {
         self.stats
     }
 
+    /// The model produced by the last successful refresh, as a shared
+    /// snapshot — `None` before the first refresh. Cloning the returned
+    /// `Arc` is a reference-count bump, so a serving layer can publish the
+    /// snapshot to concurrent readers while the session keeps absorbing
+    /// deltas: a later refresh swaps in a *new* `Arc` and never mutates a
+    /// model that was already handed out.
+    pub fn snapshot(&self) -> Option<Arc<SieveModel>> {
+        self.last_model.clone()
+    }
+
     /// Replaces the call graph (it grows while a simulation streams).
     /// Topology changes alter the comparison *plan*, never a cached
     /// verdict, so nothing is dirtied.
@@ -254,6 +268,16 @@ impl AnalysisSession {
         self.last_epoch = self.last_epoch.max(delta.epoch);
     }
 
+    /// Whether absorbed-but-not-yet-refreshed dirt is pending: `true`
+    /// after [`AnalysisSession::apply_delta`] of a non-empty delta (or
+    /// [`AnalysisSession::mark_all_dirty`]) until the next *successful*
+    /// refresh — a failed refresh keeps its dirty set, so a caller polling
+    /// this flag retries exactly the outstanding work. The serving layer's
+    /// dirty sweep uses this to decide which tenants need a refresh.
+    pub fn has_pending_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
     /// Marks every component of the store dirty (full recomputation at the
     /// next refresh). Cached clusterings and edge verdicts still short-cut
     /// work whose content fingerprints did not change.
@@ -265,14 +289,67 @@ impl AnalysisSession {
     }
 
     /// Absorbs one delta and recomputes the model: the streaming
-    /// counterpart of one full `Sieve::analyze` pass.
+    /// counterpart of one full `Sieve::analyze` pass. The result is
+    /// bit-identical to batch-analysing the store's current content,
+    /// whatever sequence of deltas led here.
+    ///
+    /// The returned model is an owned deep copy (on top of the snapshot
+    /// the session retains for [`AnalysisSession::snapshot`]); callers on
+    /// a streaming hot path should prefer
+    /// [`AnalysisSession::update_shared`], which hands out the retained
+    /// `Arc` without cloning the model.
     ///
     /// # Errors
     ///
     /// Propagates clustering and causality errors, like the batch path.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sieve_core::config::SieveConfig;
+    /// use sieve_core::pipeline::Sieve;
+    /// use sieve_core::session::AnalysisSession;
+    /// use sieve_graph::CallGraph;
+    /// use sieve_simulator::store::{MetricId, MetricStore};
+    ///
+    /// let store = MetricStore::new();
+    /// for metric in ["requests", "latency"] {
+    ///     let id = MetricId::new("web", metric);
+    ///     for t in 0..60u64 {
+    ///         store.record(&id, t * 500, ((t as f64) * 0.2).sin() * metric.len() as f64);
+    ///     }
+    /// }
+    /// let config = SieveConfig::default().with_cluster_range(2, 2).with_parallelism(1);
+    /// let mut session =
+    ///     AnalysisSession::new("shop", store.clone(), CallGraph::new(), config.clone())?;
+    /// store.drain_delta(); // the initial load; everything is already dirty
+    /// session.refresh()?;
+    ///
+    /// // Stream one more epoch: touch a series, drain the delta, update.
+    /// store.record(&MetricId::new("web", "requests"), 60 * 500, 1.0);
+    /// let model = session.update(&store.drain_delta())?;
+    ///
+    /// // The incremental model matches a from-scratch batch analysis.
+    /// let batch = Sieve::new(config).analyze("shop", &store, &CallGraph::new())?;
+    /// assert_eq!(model, batch);
+    /// assert_eq!(session.last_stats().components_prepared, 1);
+    /// # Ok::<(), sieve_core::SieveError>(())
+    /// ```
     pub fn update(&mut self, delta: &StoreDelta) -> Result<SieveModel> {
+        self.update_shared(delta).map(|model| (*model).clone())
+    }
+
+    /// Like [`AnalysisSession::update`], but returns the model as a shared
+    /// [`Arc`] snapshot (also retrievable later via
+    /// [`AnalysisSession::snapshot`]) instead of a fresh clone — the form
+    /// the multi-tenant serving layer publishes to readers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering and causality errors, like the batch path.
+    pub fn update_shared(&mut self, delta: &StoreDelta) -> Result<Arc<SieveModel>> {
         self.apply_delta(delta);
-        self.refresh()
+        self.refresh_shared()
     }
 
     /// Recomputes everything currently dirty and assembles the model.
@@ -281,6 +358,18 @@ impl AnalysisSession {
     ///
     /// Propagates clustering and causality errors, like the batch path.
     pub fn refresh(&mut self) -> Result<SieveModel> {
+        self.refresh_shared().map(|model| (*model).clone())
+    }
+
+    /// Like [`AnalysisSession::refresh`], but returns the model as a shared
+    /// [`Arc`] snapshot. On success the same snapshot becomes available via
+    /// [`AnalysisSession::snapshot`]; on error the previous snapshot is left
+    /// in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering and causality errors, like the batch path.
+    pub fn refresh_shared(&mut self) -> Result<Arc<SieveModel>> {
         // Components that appeared in the store without a delta being
         // applied (e.g. a session created over a pre-loaded store) are
         // picked up here, so a refresh never analyses a stale world.
@@ -335,10 +424,22 @@ impl AnalysisSession {
             .collect();
         stats.components_reclustered = to_recluster.len();
         let reclustered =
-            try_par_map_chunks(self.config.parallelism, &to_recluster, |(component, pc)| {
+            match try_par_map_chunks(self.config.parallelism, &to_recluster, |(component, pc)| {
                 reduce_component((*component).clone(), &pc.series, &self.config)
                     .map(|clustering| ((*component).clone(), pc.clustering_key, clustering))
-            })?;
+            }) {
+                Ok(reclustered) => reclustered,
+                Err(e) => {
+                    // Put the taken dirty set back so a failed refresh
+                    // leaves the outstanding work observable
+                    // ([`AnalysisSession::has_pending_dirty`]) and a retry
+                    // redoes it. (Re-preparation is idempotent, and the
+                    // re-cluster scan above is keyed by content, so the
+                    // retry converges to the same state.)
+                    self.dirty.extend(dirty_components);
+                    return Err(e);
+                }
+            };
         for (component, key, clustering) in reclustered {
             self.clusterings.insert(component.clone(), clustering);
             self.clustering_keys.insert(component, key);
@@ -414,11 +515,13 @@ impl AnalysisSession {
         self.edge_cache.retain(|_, (stamp, _)| *stamp == generation);
 
         self.stats = stats;
-        Ok(SieveModel {
+        let model = Arc::new(SieveModel {
             application: self.application.clone(),
             clusterings: self.clusterings.clone(),
             dependency_graph,
-        })
+        });
+        self.last_model = Some(Arc::clone(&model));
+        Ok(model)
     }
 }
 
@@ -592,6 +695,32 @@ mod tests {
             stats.components_reclustered, 0,
             "identical prepared content keeps the cached clustering"
         );
+    }
+
+    #[test]
+    fn snapshot_tracks_the_last_refreshed_model() {
+        let app = chain_app(3);
+        let (store, graph) =
+            load_application(&app, &Workload::randomized(50.0, 2), 7, 60_000, 500).unwrap();
+        let mut session =
+            AnalysisSession::new("chain", store.clone(), graph, fast_config()).unwrap();
+        assert!(session.snapshot().is_none(), "no model before a refresh");
+
+        let first = session.refresh_shared().unwrap();
+        let snap = session.snapshot().unwrap();
+        assert!(Arc::ptr_eq(&first, &snap), "snapshot is the same Arc");
+
+        // A refresh swaps in a new Arc; the old snapshot stays readable and
+        // unchanged (readers never observe mutation).
+        for metric in ["svc1_requests_per_second", "svc1_latency_ms"] {
+            let id = sieve_simulator::store::MetricId::new("svc1", metric);
+            let last = store.series(&id).unwrap().end_ms().unwrap();
+            store.record(&id, last + 500, 7.0);
+        }
+        let second = session.update_shared(&store.drain_delta()).unwrap();
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert!(Arc::ptr_eq(&second, &session.snapshot().unwrap()));
+        assert_eq!(*first, *snap);
     }
 
     #[test]

@@ -52,6 +52,34 @@ pub fn mix_str(acc: u64, s: &str) -> u64 {
     mix(acc, h)
 }
 
+/// Deterministic 64-bit hash of a string key, starting from
+/// [`FINGERPRINT_SEED`]. This is the routing hash behind
+/// [`shard_index`]: it depends only on the key's bytes, so a key maps to
+/// the same shard in every process, on every host, forever — which keeps
+/// shard assignments stable across service restarts.
+pub fn hash_str(s: &str) -> u64 {
+    mix_str(FINGERPRINT_SEED, s)
+}
+
+/// Maps a string key onto one of `shard_count` shards via [`hash_str`].
+///
+/// `shard_count` must be a power of two (so the mapping is a mask, not a
+/// modulo, and every one of splitmix64's well-mixed low bits contributes);
+/// the sharded tenant registry in `sieve-serve` enforces this at
+/// construction. The returned index is always `< shard_count`, and the
+/// mapping is deterministic across processes and hosts.
+///
+/// # Panics
+///
+/// Panics if `shard_count` is zero or not a power of two.
+pub fn shard_index(key: &str, shard_count: usize) -> usize {
+    assert!(
+        shard_count.is_power_of_two(),
+        "shard_count must be a power of two, got {shard_count}"
+    );
+    (hash_str(key) & (shard_count as u64 - 1)) as usize
+}
+
 /// Fingerprints a whole `f64` slice (length-prefixed, order-sensitive),
 /// starting from [`FINGERPRINT_SEED`].
 pub fn fingerprint_f64s(values: &[f64]) -> u64 {
@@ -90,6 +118,30 @@ mod tests {
         assert_eq!(mix_str(7, "cpu"), mix_str(7, "cpu"));
         assert_ne!(mix_str(7, "cpu"), mix_str(7, "mem"));
         assert_ne!(mix_str(7, "ab"), mix_str(7, "a"));
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        for count in [1usize, 2, 8, 16, 64] {
+            for key in ["tenant-a", "tenant-b", "web", ""] {
+                let shard = shard_index(key, count);
+                assert!(shard < count, "{key} -> {shard} of {count}");
+                assert_eq!(shard, shard_index(key, count), "routing is stable");
+            }
+        }
+        // With enough keys the shards all get used (the hash actually
+        // spreads, it is not constant).
+        let mut seen = [false; 8];
+        for i in 0..64 {
+            seen[shard_index(&format!("tenant-{i}"), 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 shards receive keys");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn shard_index_rejects_non_power_of_two_counts() {
+        shard_index("tenant", 6);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Serving-layer configuration.
+
+use sieve_core::config::SieveConfig;
+
+/// Default number of registry shards (a power of two, see
+/// [`ServeConfig::shard_count`]).
+pub const DEFAULT_SHARD_COUNT: usize = 16;
+
+/// Configuration of a [`crate::service::SieveService`].
+///
+/// Two layers of parallelism exist in the service and they are deliberately
+/// separate knobs: `sweep_parallelism` fans the *cross-tenant* refresh
+/// sweep out over worker threads (one tenant is one work item), while
+/// `analysis.parallelism` is the degree each tenant's own
+/// [`sieve_core::session::AnalysisSession`] uses *inside* its refresh.
+/// Neither affects results: the sweep runs through the deterministic
+/// [`sieve_exec::par_map_chunks`] executor in sorted-tenant order, and the
+/// per-tenant session is serial==parallel bit-identical by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Number of shards of the tenant registry. Must be a power of two:
+    /// tenant names route to shards by masking the low bits of the
+    /// deterministic [`sieve_exec::hash::hash_str`] routing hash, so a
+    /// tenant lands on the same shard in every process and across
+    /// restarts. More shards mean less lock contention between tenants
+    /// that happen to hash together; 16 is plenty below a few thousand
+    /// tenants.
+    pub shard_count: usize,
+    /// Worker threads of the cross-tenant [`refresh_dirty`] sweep (one
+    /// dirty tenant is one work item). Defaults to the hardware degree
+    /// ([`sieve_exec::par::hardware_parallelism`], cgroup-quota aware); an
+    /// explicit setting is honoured exactly by the executor.
+    ///
+    /// [`refresh_dirty`]: crate::service::SieveService::refresh_dirty
+    pub sweep_parallelism: usize,
+    /// The analysis configuration handed to every tenant created without
+    /// an explicit one ([`crate::service::SieveService::create_tenant`]).
+    /// Note the default `analysis.parallelism` also adapts to the
+    /// hardware; services hosting many small tenants usually want
+    /// per-tenant parallelism 1 and let the sweep provide the fan-out.
+    pub analysis: SieveConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shard_count: DEFAULT_SHARD_COUNT,
+            sweep_parallelism: sieve_exec::par::hardware_parallelism(),
+            analysis: SieveConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Builder-style setter for the registry shard count (must be a power
+    /// of two; validated by [`ServeConfig::validate`]).
+    pub fn with_shard_count(mut self, shard_count: usize) -> Self {
+        self.shard_count = shard_count;
+        self
+    }
+
+    /// Builder-style setter for the cross-tenant sweep parallelism
+    /// (clamped to at least 1).
+    pub fn with_sweep_parallelism(mut self, sweep_parallelism: usize) -> Self {
+        self.sweep_parallelism = sweep_parallelism.max(1);
+        self
+    }
+
+    /// Builder-style setter for the default per-tenant analysis
+    /// configuration.
+    pub fn with_analysis(mut self, analysis: SieveConfig) -> Self {
+        self.analysis = analysis;
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ServeError::InvalidConfig`] when the shard count is
+    /// zero or not a power of two, or when the default analysis
+    /// configuration is itself invalid.
+    pub fn validate(&self) -> crate::Result<()> {
+        if !self.shard_count.is_power_of_two() {
+            return Err(crate::ServeError::InvalidConfig {
+                reason: format!(
+                    "shard_count must be a power of two, got {}",
+                    self.shard_count
+                ),
+            });
+        }
+        self.analysis
+            .validate()
+            .map_err(|e| crate::ServeError::InvalidConfig {
+                reason: format!("default analysis config: {e}"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_power_of_two() {
+        let c = ServeConfig::default();
+        assert!(c.shard_count.is_power_of_two());
+        assert!(c.sweep_parallelism >= 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_and_validation() {
+        let c = ServeConfig::default()
+            .with_shard_count(4)
+            .with_sweep_parallelism(0);
+        assert_eq!(c.shard_count, 4);
+        assert_eq!(c.sweep_parallelism, 1);
+        assert!(c.validate().is_ok());
+
+        assert!(ServeConfig::default()
+            .with_shard_count(0)
+            .validate()
+            .is_err());
+        assert!(ServeConfig::default()
+            .with_shard_count(12)
+            .validate()
+            .is_err());
+        let bad_analysis =
+            ServeConfig::default().with_analysis(SieveConfig::default().with_interval_ms(0));
+        assert!(bad_analysis.validate().is_err());
+    }
+}

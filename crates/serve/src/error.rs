@@ -1,0 +1,79 @@
+//! Error type of the serving layer.
+
+use sieve_core::SieveError;
+use sieve_exec::Name;
+
+/// Errors produced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A tenant name was not found in the registry.
+    UnknownTenant {
+        /// The name that failed to resolve.
+        tenant: String,
+    },
+    /// A tenant with the same name already exists.
+    DuplicateTenant {
+        /// The name that collided.
+        tenant: String,
+    },
+    /// The service configuration is internally inconsistent.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A tenant's analysis failed; the error carries which tenant so a
+    /// multi-tenant sweep failure is attributable.
+    Analysis {
+        /// The tenant whose refresh failed.
+        tenant: Name,
+        /// The underlying pipeline error.
+        source: SieveError,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownTenant { tenant } => write!(f, "unknown tenant `{tenant}`"),
+            Self::DuplicateTenant { tenant } => {
+                write!(f, "tenant `{tenant}` already exists")
+            }
+            Self::InvalidConfig { reason } => {
+                write!(f, "invalid service configuration: {reason}")
+            }
+            Self::Analysis { tenant, source } => {
+                write!(f, "analysis of tenant `{tenant}` failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Analysis { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_tenant() {
+        let e = ServeError::UnknownTenant {
+            tenant: "acme".into(),
+        };
+        assert!(e.to_string().contains("acme"));
+        let e = ServeError::Analysis {
+            tenant: Name::from("acme"),
+            source: SieveError::NoMetrics {
+                scope: "tenant acme".into(),
+            },
+        };
+        assert!(e.to_string().contains("acme"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,75 @@
+//! Multi-tenant sharded serving layer for Sieve analysis.
+//!
+//! The paper's two case studies consume the Sieve model *as a service*:
+//! ShareLatex autoscaling polls it for the guiding metric, OpenStack RCA
+//! asks it for dependency graphs of two deployments. This crate is the
+//! layer that serves many such consumers at once: a
+//! [`service::SieveService`] owns N tenants — each an isolated
+//! `(MetricStore, AnalysisSession)` pair — behind a sharded registry, and
+//! multiplexes their refreshes over the shared deterministic executor.
+//!
+//! # Architecture
+//!
+//! * **Sharded registry** (internal): tenant name → shard
+//!   via the deterministic [`sieve_exec::hash::shard_index`] routing hash
+//!   over a fixed power-of-two shard count, one `RwLock`-protected map per
+//!   shard. Shard locks guard only the name→tenant lookup; all per-tenant
+//!   state carries finer locks, so ingest on tenant A never contends with
+//!   analysis on tenant B.
+//! * **Batched ingestion** ([`service::SieveService::ingest`]): appends
+//!   [`MetricPoint`]s through the store's append/delta API — every
+//!   accepted point advances a content fingerprint and marks its series
+//!   touched.
+//! * **Dirty sweep** ([`service::SieveService::refresh_dirty`]): drains
+//!   every tenant's [`sieve_simulator::store::StoreDelta`] and refreshes
+//!   exactly the dirty tenants through one
+//!   [`sieve_exec::par_map_chunks`] fan-out in sorted tenant order —
+//!   deterministic across sweep parallelism degrees, and bit-identical to
+//!   per-tenant batch analysis (the incremental-session guarantee,
+//!   asserted by the `serve` bench and property tests).
+//! * **Model snapshots** ([`service::SieveService::model`]): each refresh
+//!   publishes an `Arc<SieveModel>` swap; readers clone the `Arc` under a
+//!   momentary read lock and never block (or get blocked by) writers.
+//! * **Aggregated stats** ([`stats::ServiceStats`]): per-tenant
+//!   [`sieve_core::session::SessionStats`] summed across the fleet, so
+//!   "only dirty work was redone" stays observable at service scale.
+//!
+//! # Example
+//!
+//! ```
+//! use sieve_core::config::SieveConfig;
+//! use sieve_graph::CallGraph;
+//! use sieve_serve::{MetricPoint, ServeConfig, SieveService};
+//!
+//! let config = ServeConfig::default()
+//!     .with_analysis(SieveConfig::default().with_cluster_range(2, 2).with_parallelism(1));
+//! let service = SieveService::new(config)?;
+//! service.create_tenant("tenant-a", CallGraph::new())?;
+//! let points: Vec<MetricPoint> = (0..60)
+//!     .map(|t| MetricPoint::new("web", "load", t * 500, (t as f64 * 0.3).sin()))
+//!     .collect();
+//! service.ingest("tenant-a", &points)?;
+//! service.refresh_dirty()?;
+//! assert!(service.model("tenant-a")?.is_some());
+//! # Ok::<(), sieve_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod service;
+pub mod stats;
+
+mod error;
+mod registry;
+mod tenant;
+
+pub use config::ServeConfig;
+pub use error::ServeError;
+pub use service::SieveService;
+pub use stats::ServiceStats;
+pub use tenant::MetricPoint;
+
+/// Convenient result alias for serving-layer operations.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,106 @@
+//! The sharded tenant registry.
+
+use crate::tenant::Tenant;
+use crate::{Result, ServeError};
+use sieve_exec::hash::shard_index;
+use sieve_exec::Name;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// A fixed-shard-count, hash-routed map from tenant name to tenant state.
+///
+/// Every tenant name routes to one of `shard_count` (a power of two)
+/// shards via the deterministic [`shard_index`] hash, and each shard is an
+/// independently locked `HashMap` — so operations on tenants in different
+/// shards (an ingest for tenant A, a lookup for tenant B) never touch the
+/// same lock. Shard locks are held only for map operations, never while a
+/// tenant's store or session is being worked on: the maps hand out
+/// `Arc<Tenant>` handles and the per-tenant state carries its own, finer
+/// locks.
+#[derive(Debug)]
+pub(crate) struct ShardedRegistry {
+    shards: Box<[Shard]>,
+}
+
+/// One independently locked slice of the registry.
+type Shard = RwLock<HashMap<Name, Arc<Tenant>>>;
+
+impl ShardedRegistry {
+    /// Creates a registry with `shard_count` shards (must be a power of
+    /// two, validated by the service configuration before this runs).
+    pub(crate) fn new(shard_count: usize) -> Self {
+        let shards = (0..shard_count)
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self { shards }
+    }
+
+    fn shard(&self, name: &str) -> &Shard {
+        &self.shards[shard_index(name, self.shards.len())]
+    }
+
+    /// Inserts a new tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DuplicateTenant`] when the name is already registered.
+    pub(crate) fn insert(&self, tenant: Arc<Tenant>) -> Result<()> {
+        let mut shard = self
+            .shard(tenant.name.as_str())
+            .write()
+            .expect("registry shard poisoned");
+        if shard.contains_key(&tenant.name) {
+            return Err(ServeError::DuplicateTenant {
+                tenant: tenant.name.to_string(),
+            });
+        }
+        shard.insert(tenant.name.clone(), tenant);
+        Ok(())
+    }
+
+    /// Looks a tenant up by name.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when the name is not registered.
+    pub(crate) fn get(&self, name: &str) -> Result<Arc<Tenant>> {
+        self.shard(name)
+            .read()
+            .expect("registry shard poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownTenant {
+                tenant: name.to_string(),
+            })
+    }
+
+    /// Number of registered tenants (sum over shards; each shard lock is
+    /// taken briefly in turn, so the count is a consistent snapshot only
+    /// when no tenant is being created concurrently).
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("registry shard poisoned").len())
+            .sum()
+    }
+
+    /// All tenants, sorted by name. This is the deterministic input order
+    /// of the refresh sweep: shard-internal iteration order is arbitrary
+    /// (a `HashMap`), so the sweep sorts to make `parallelism = 1` and
+    /// `parallelism = N` process identical work lists.
+    pub(crate) fn all_sorted(&self) -> Vec<Arc<Tenant>> {
+        let mut tenants: Vec<Arc<Tenant>> = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            tenants.extend(
+                shard
+                    .read()
+                    .expect("registry shard poisoned")
+                    .values()
+                    .cloned(),
+            );
+        }
+        tenants.sort_by(|a, b| a.name.cmp(&b.name));
+        tenants
+    }
+}

@@ -1,0 +1,650 @@
+//! The multi-tenant analysis service.
+
+use crate::config::ServeConfig;
+use crate::registry::ShardedRegistry;
+use crate::stats::ServiceStats;
+use crate::tenant::{MetricPoint, Tenant};
+use crate::{Result, ServeError};
+use sieve_core::config::SieveConfig;
+use sieve_core::model::SieveModel;
+use sieve_core::session::{AnalysisSession, SessionStats};
+use sieve_exec::{try_par_map_chunks, Name};
+use sieve_graph::CallGraph;
+use sieve_simulator::store::MetricStore;
+use std::sync::Arc;
+
+/// A multi-tenant Sieve analysis service.
+///
+/// The service owns N tenants, each a `(MetricStore, AnalysisSession)`
+/// pair, behind a sharded registry (tenant name → shard via the
+/// deterministic [`sieve_exec::hash::shard_index`] routing hash, one
+/// `RwLock` per shard) — so ingest for tenant A never contends with a
+/// model read for tenant B or an ongoing refresh of tenant C.
+///
+/// The serving loop is:
+///
+/// 1. [`SieveService::ingest`] appends batches of points to a tenant's
+///    store; every accepted point advances the series' content fingerprint
+///    and marks it touched (the PR-4 delta API).
+/// 2. [`SieveService::refresh_dirty`] drains every tenant's
+///    [`StoreDelta`](sieve_simulator::store::StoreDelta) and runs
+///    `session.update` for all dirty tenants
+///    through one [`sieve_exec::par_map_chunks`] fan-out, in sorted tenant
+///    order — deterministic: a serial sweep and an 8-way sweep publish
+///    bit-identical models.
+/// 3. [`SieveService::model`] returns the tenant's last published
+///    [`Arc<SieveModel>`] snapshot. Publication swaps an `Arc` under a
+///    short write lock, so readers never block an ongoing refresh and
+///    never observe a half-updated model.
+///
+/// Every published model is bit-identical to a from-scratch
+/// [`sieve_core::pipeline::Sieve::analyze`] of the same tenant's store —
+/// the incremental-session guarantee, asserted across sweep parallelism
+/// degrees by the `serve` bench and property tests.
+#[derive(Debug)]
+pub struct SieveService {
+    config: ServeConfig,
+    registry: ShardedRegistry,
+}
+
+impl SieveService {
+    /// Creates a service with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for invalid configurations
+    /// (shard count not a power of two, invalid default analysis config).
+    pub fn new(config: ServeConfig) -> Result<Self> {
+        config.validate()?;
+        let registry = ShardedRegistry::new(config.shard_count);
+        Ok(Self { config, registry })
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Registers a new tenant with an empty store, the given call graph
+    /// and the service's default analysis configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::DuplicateTenant`] when the name is taken.
+    /// * [`ServeError::Analysis`] when the analysis configuration is
+    ///   rejected by the session.
+    pub fn create_tenant(&self, name: impl Into<Name>, call_graph: CallGraph) -> Result<()> {
+        let name = name.into();
+        let config = self.config.analysis.clone();
+        self.adopt_tenant_with_config(name, MetricStore::new(), call_graph, config)
+    }
+
+    /// Registers a new tenant over an existing store handle (for example
+    /// one recorded by a `sieve_simulator::engine::Simulation`).
+    ///
+    /// The service takes over the store's single-consumer delta stream:
+    /// after adoption, nothing else may call
+    /// [`MetricStore::drain_delta`] on this store (or on clones of it) —
+    /// points drained elsewhere would be invisible to
+    /// [`SieveService::refresh_dirty`]. Pre-existing, never-drained
+    /// content is picked up by the first sweep.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SieveService::create_tenant`].
+    pub fn adopt_tenant(
+        &self,
+        name: impl Into<Name>,
+        store: MetricStore,
+        call_graph: CallGraph,
+    ) -> Result<()> {
+        let config = self.config.analysis.clone();
+        self.adopt_tenant_with_config(name, store, call_graph, config)
+    }
+
+    /// Like [`SieveService::adopt_tenant`] with a per-tenant analysis
+    /// configuration overriding the service default.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SieveService::create_tenant`].
+    pub fn adopt_tenant_with_config(
+        &self,
+        name: impl Into<Name>,
+        store: MetricStore,
+        call_graph: CallGraph,
+        config: SieveConfig,
+    ) -> Result<()> {
+        let name = name.into();
+        let session = AnalysisSession::new(name.as_str(), store.clone(), call_graph, config)
+            .map_err(|source| ServeError::Analysis {
+                tenant: name.clone(),
+                source,
+            })?;
+        self.registry
+            .insert(Arc::new(Tenant::new(name, store, session)))
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// The names of all registered tenants, sorted.
+    pub fn tenants(&self) -> Vec<Name> {
+        self.registry
+            .all_sorted()
+            .into_iter()
+            .map(|t| t.name.clone())
+            .collect()
+    }
+
+    /// Appends a batch of observations to a tenant's store and returns how
+    /// many points the store accepted (out-of-order points are dropped,
+    /// see [`MetricPoint::timestamp_ms`]).
+    ///
+    /// This is the hot path: it takes the tenant's shard lock only to look
+    /// the tenant up, then appends the whole batch under a single
+    /// acquisition of the store's own lock
+    /// ([`MetricStore::record_batch`]) — ingest for two tenants never
+    /// serialises, whatever the analysis threads do.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when `tenant` is not registered.
+    pub fn ingest(&self, tenant: &str, points: &[MetricPoint]) -> Result<usize> {
+        let tenant = self.registry.get(tenant)?;
+        Ok(tenant.store.record_batch(
+            points
+                .iter()
+                .map(|point| (&point.id, point.timestamp_ms, point.value)),
+        ))
+    }
+
+    /// Replaces a tenant's call graph (topologies grow while an
+    /// application streams). Like on the underlying session, this alters
+    /// the comparison *plan* of the next refresh but never invalidates a
+    /// cached verdict — and it marks the tenant for refresh at the next
+    /// sweep even if no series changes, so the published model catches up
+    /// with the new topology without waiting for unrelated ingest.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when `tenant` is not registered.
+    pub fn set_call_graph(&self, tenant: &str, call_graph: CallGraph) -> Result<()> {
+        let tenant = self.registry.get(tenant)?;
+        tenant
+            .session
+            .lock()
+            .expect("tenant session poisoned")
+            .set_call_graph(call_graph);
+        tenant.request_refresh();
+        Ok(())
+    }
+
+    /// A handle to a tenant's store (for read-side consumers such as
+    /// dashboards; remember the delta stream belongs to the service).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when `tenant` is not registered.
+    pub fn store(&self, tenant: &str) -> Result<MetricStore> {
+        Ok(self.registry.get(tenant)?.store.clone())
+    }
+
+    /// The tenant's last published model snapshot (`None` until the first
+    /// sweep that saw the tenant). The returned `Arc` stays valid and
+    /// immutable forever; later refreshes publish new `Arc`s instead of
+    /// mutating this one.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when `tenant` is not registered.
+    pub fn model(&self, tenant: &str) -> Result<Option<Arc<SieveModel>>> {
+        Ok(self.registry.get(tenant)?.model())
+    }
+
+    /// Statistics of the tenant's last refresh (zeroed until the first
+    /// sweep that saw the tenant).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when `tenant` is not registered.
+    pub fn last_stats(&self, tenant: &str) -> Result<SessionStats> {
+        Ok(self.registry.get(tenant)?.last_stats())
+    }
+
+    /// Aggregates the last published per-tenant statistics over all
+    /// tenants (without refreshing anything). Tenants that have never been
+    /// refreshed contribute nothing.
+    pub fn stats(&self) -> ServiceStats {
+        let tenants = self.registry.all_sorted();
+        let mut stats = ServiceStats {
+            tenants_total: tenants.len(),
+            ..ServiceStats::default()
+        };
+        for tenant in &tenants {
+            if tenant.model().is_some() {
+                stats.absorb(&tenant.last_stats());
+            }
+        }
+        stats
+    }
+
+    /// Drains every tenant's delta and refreshes all dirty tenants through
+    /// one parallel fan-out; returns what the sweep recomputed.
+    ///
+    /// A tenant is dirty when its drained
+    /// [`StoreDelta`](sieve_simulator::store::StoreDelta) is non-empty,
+    /// when its session has absorbed dirt that a (failed) earlier sweep
+    /// did not refresh, when its call graph was replaced since the last
+    /// sweep, or when it has data but never published a model (so adopted
+    /// pre-loaded stores are analysed on the first sweep). Tenants with
+    /// *empty* stores are never refreshed — they stay unpublished
+    /// ([`SieveService::model`] returns `None`) until their first accepted
+    /// point, which keeps the published-model guarantee unconditional:
+    /// batch analysis of an empty store is an error, not an empty model.
+    /// Clean tenants only absorb the epoch watermark — their sessions,
+    /// clusterings and Granger verdicts are untouched, which is what makes
+    /// a sweep with one dirty tenant of N nearly N times cheaper than
+    /// batch-analysing the fleet.
+    ///
+    /// The dirty tenants are processed in sorted-name order through
+    /// [`sieve_exec::par_map_chunks`] with
+    /// [`ServeConfig::sweep_parallelism`] workers; each tenant's refresh is
+    /// itself deterministic, so sweep parallelism 1 and N publish
+    /// bit-identical models (asserted by the `serve` bench and the
+    /// property tests).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Analysis`] naming the failing tenant — the earliest
+    /// one in sorted order, regardless of thread timing. Tenant refreshes
+    /// are isolated: every tenant whose own refresh succeeded in the same
+    /// sweep has still published its new model (only the returned
+    /// aggregate statistics are lost). A failing tenant keeps its previous
+    /// snapshot, and its absorbed dirt stays pending in its session, so
+    /// the next sweep retries exactly the outstanding work.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sieve_core::config::SieveConfig;
+    /// use sieve_graph::CallGraph;
+    /// use sieve_serve::{MetricPoint, ServeConfig, SieveService};
+    ///
+    /// let config = ServeConfig::default()
+    ///     .with_analysis(SieveConfig::default().with_cluster_range(2, 2).with_parallelism(1));
+    /// let service = SieveService::new(config)?;
+    /// service.create_tenant("acme", CallGraph::new())?;
+    ///
+    /// // Ingest two series worth of observations for tenant `acme`.
+    /// let points: Vec<MetricPoint> = (0..60)
+    ///     .flat_map(|t| {
+    ///         let time = t as f64;
+    ///         [
+    ///             MetricPoint::new("web", "requests", t * 500, (time * 0.2).sin()),
+    ///             MetricPoint::new("web", "latency", t * 500, (time * 0.2).cos() * 3.0),
+    ///         ]
+    ///     })
+    ///     .collect();
+    /// assert_eq!(service.ingest("acme", &points)?, points.len());
+    ///
+    /// // One sweep refreshes the dirty tenant and publishes its model.
+    /// let stats = service.refresh_dirty()?;
+    /// assert_eq!(stats.tenants_refreshed, 1);
+    /// let model = service.model("acme")?.expect("model published");
+    /// assert_eq!(model.total_metric_count(), 2);
+    ///
+    /// // Nothing changed, so the next sweep refreshes nothing.
+    /// assert_eq!(service.refresh_dirty()?.tenants_refreshed, 0);
+    /// # Ok::<(), sieve_serve::ServeError>(())
+    /// ```
+    pub fn refresh_dirty(&self) -> Result<ServiceStats> {
+        let tenants = self.registry.all_sorted();
+
+        // Drain every tenant's delta (cheap: one store lock each), absorb
+        // it into the session — so the epoch watermark stays current even
+        // for clean tenants — and decide who needs work. The session's own
+        // pending-dirt flag is the source of truth: it covers this delta,
+        // deltas absorbed by a previously *failed* refresh, and nothing
+        // else; a replaced call graph is tracked separately because it
+        // changes the comparison plan without dirtying any series.
+        let mut work: Vec<Arc<Tenant>> = Vec::new();
+        for tenant in &tenants {
+            let delta = tenant.store.drain_delta();
+            let replanned = tenant.take_refresh_request();
+            let never_published = tenant.model().is_none();
+            let pending = {
+                let mut session = tenant.session.lock().expect("tenant session poisoned");
+                session.apply_delta(&delta);
+                session.has_pending_dirty()
+            };
+            // An empty store has nothing to analyse: the tenant stays
+            // unpublished until its first accepted point arrives.
+            if tenant.store.series_count() == 0 {
+                continue;
+            }
+            if pending || replanned || never_published {
+                work.push(Arc::clone(tenant));
+            }
+        }
+        self.run_sweep(tenants.len(), &work)
+    }
+
+    /// Marks every component of every tenant dirty and refreshes the whole
+    /// fleet — the batch special case of [`SieveService::refresh_dirty`],
+    /// used as the reference sweep in benchmarks. Content-keyed session
+    /// caches still apply (unchanged prepared content keeps its clustering
+    /// and verdicts), so this is *not* equivalent to re-analysing from
+    /// scratch in cost — only in result.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SieveService::refresh_dirty`].
+    pub fn refresh_all(&self) -> Result<ServiceStats> {
+        let tenants = self.registry.all_sorted();
+        let mut work: Vec<Arc<Tenant>> = Vec::new();
+        for tenant in &tenants {
+            tenant.take_refresh_request();
+            let delta = tenant.store.drain_delta();
+            {
+                let mut session = tenant.session.lock().expect("tenant session poisoned");
+                session.apply_delta(&delta);
+                session.mark_all_dirty();
+            }
+            // Same empty-store rule as `refresh_dirty`.
+            if tenant.store.series_count() > 0 {
+                work.push(Arc::clone(tenant));
+            }
+        }
+        self.run_sweep(tenants.len(), &work)
+    }
+
+    /// The shared fan-out of both sweeps: refreshes every tenant in `work`
+    /// (deltas already absorbed into the sessions) through the executor
+    /// and aggregates the statistics. Each work item locks only its own
+    /// tenant's session, so workers never contend; the executor returns
+    /// results in input (sorted-tenant) order, and the earliest failing
+    /// tenant wins error reporting deterministically.
+    fn run_sweep(&self, tenants_total: usize, work: &[Arc<Tenant>]) -> Result<ServiceStats> {
+        let mut stats = ServiceStats {
+            tenants_total,
+            ..ServiceStats::default()
+        };
+        let refreshed: Vec<SessionStats> =
+            try_par_map_chunks(self.config.sweep_parallelism, work, |tenant| {
+                let mut session = tenant.session.lock().expect("tenant session poisoned");
+                let model = session
+                    .refresh_shared()
+                    .map_err(|source| ServeError::Analysis {
+                        tenant: tenant.name.clone(),
+                        source,
+                    })?;
+                let session_stats = session.last_stats();
+                // Publish while still holding the session lock: if two
+                // sweeps ever race on one tenant, the lock serialises
+                // refresh+publish as a unit, so the newest refresh is
+                // always the last publish and a stale model can never win.
+                tenant.publish(model, session_stats);
+                Ok(session_stats)
+            })?;
+        for session_stats in &refreshed {
+            stats.absorb(session_stats);
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sieve_core::pipeline::Sieve;
+
+    fn tiny_config() -> ServeConfig {
+        ServeConfig::default()
+            .with_shard_count(4)
+            .with_sweep_parallelism(2)
+            .with_analysis(
+                SieveConfig::default()
+                    .with_cluster_range(2, 2)
+                    .with_parallelism(1),
+            )
+    }
+
+    fn ingest_wave(service: &SieveService, tenant: &str, ticks: std::ops::Range<u64>, bias: f64) {
+        let points: Vec<MetricPoint> = ticks
+            .flat_map(|t| {
+                let x = t as f64 * 0.17 + bias;
+                [
+                    MetricPoint::new("web", "requests", t * 500, x.sin() * 4.0),
+                    MetricPoint::new("web", "latency", t * 500, x.cos() * 9.0),
+                    MetricPoint::new("db", "queries", t * 500, (x * 0.5).sin() * 2.0),
+                    MetricPoint::new("db", "io_wait", t * 500, (x * 0.5).cos()),
+                ]
+            })
+            .collect();
+        service.ingest(tenant, &points).unwrap();
+    }
+
+    fn web_db_graph() -> CallGraph {
+        let mut graph = CallGraph::new();
+        graph.record_calls("web", "db", 100);
+        graph
+    }
+
+    #[test]
+    fn tenants_are_isolated_and_models_match_batch_analysis() {
+        let service = SieveService::new(tiny_config()).unwrap();
+        service.create_tenant("alpha", web_db_graph()).unwrap();
+        service.create_tenant("beta", web_db_graph()).unwrap();
+        assert_eq!(service.tenant_count(), 2);
+        assert_eq!(service.tenants(), vec!["alpha", "beta"]);
+
+        ingest_wave(&service, "alpha", 0..80, 0.0);
+        ingest_wave(&service, "beta", 0..80, 1.3);
+        let stats = service.refresh_dirty().unwrap();
+        assert_eq!(stats.tenants_total, 2);
+        assert_eq!(stats.tenants_refreshed, 2);
+
+        // Each tenant's published model equals a from-scratch batch
+        // analysis of its own store — and the two differ from each other
+        // (different data, no cross-tenant bleed).
+        let sieve = Sieve::new(service.config().analysis.clone());
+        let alpha = service.model("alpha").unwrap().unwrap();
+        let beta = service.model("beta").unwrap().unwrap();
+        let alpha_batch = sieve
+            .analyze("alpha", &service.store("alpha").unwrap(), &web_db_graph())
+            .unwrap();
+        let beta_batch = sieve
+            .analyze("beta", &service.store("beta").unwrap(), &web_db_graph())
+            .unwrap();
+        assert_eq!(*alpha, alpha_batch);
+        assert_eq!(*beta, beta_batch);
+        assert_ne!(alpha.clusterings, beta.clusterings);
+    }
+
+    #[test]
+    fn refresh_dirty_touches_only_dirty_tenants() {
+        let service = SieveService::new(tiny_config()).unwrap();
+        for tenant in ["a", "b", "c"] {
+            service.create_tenant(tenant, web_db_graph()).unwrap();
+            ingest_wave(&service, tenant, 0..80, 0.0);
+        }
+        assert_eq!(service.refresh_dirty().unwrap().tenants_refreshed, 3);
+
+        // Only `b` receives new points.
+        ingest_wave(&service, "b", 80..90, 0.0);
+        let stats = service.refresh_dirty().unwrap();
+        assert_eq!(stats.tenants_refreshed, 1);
+        assert!(stats.components_prepared >= 1);
+        assert_eq!(service.last_stats("a").unwrap().epoch, 1);
+        assert_eq!(service.last_stats("b").unwrap().epoch, 2);
+
+        // Aggregate stats cover all tenants' last refreshes.
+        let agg = service.stats();
+        assert_eq!(agg.tenants_total, 3);
+        assert_eq!(agg.tenants_refreshed, 3);
+        assert_eq!(agg.epoch_high_watermark, 2);
+    }
+
+    #[test]
+    fn model_snapshots_survive_later_refreshes() {
+        let service = SieveService::new(tiny_config()).unwrap();
+        service.create_tenant("acme", web_db_graph()).unwrap();
+        ingest_wave(&service, "acme", 0..80, 0.0);
+        service.refresh_dirty().unwrap();
+        let first = service.model("acme").unwrap().unwrap();
+        let first_copy = (*first).clone();
+
+        ingest_wave(&service, "acme", 80..120, 0.4);
+        service.refresh_dirty().unwrap();
+        let second = service.model("acme").unwrap().unwrap();
+        assert!(!Arc::ptr_eq(&first, &second), "a refresh swaps the Arc");
+        assert_eq!(*first, first_copy, "old snapshots are never mutated");
+    }
+
+    #[test]
+    fn adopt_tenant_analyses_preloaded_stores_on_the_first_sweep() {
+        let service = SieveService::new(tiny_config()).unwrap();
+        let store = MetricStore::new();
+        for t in 0..80u64 {
+            let x = t as f64 * 0.2;
+            store.record(
+                &sieve_simulator::store::MetricId::new("web", "requests"),
+                t * 500,
+                x.sin(),
+            );
+            store.record(
+                &sieve_simulator::store::MetricId::new("web", "latency"),
+                t * 500,
+                x.cos(),
+            );
+        }
+        service
+            .adopt_tenant("legacy", store.clone(), CallGraph::new())
+            .unwrap();
+        let stats = service.refresh_dirty().unwrap();
+        assert_eq!(stats.tenants_refreshed, 1);
+        let model = service.model("legacy").unwrap().unwrap();
+        assert_eq!(model.total_metric_count(), 2);
+    }
+
+    #[test]
+    fn empty_tenants_stay_unpublished_until_data_arrives() {
+        let service = SieveService::new(tiny_config()).unwrap();
+        service.create_tenant("acme", web_db_graph()).unwrap();
+        // No data yet: a sweep publishes nothing (batch analysis of an
+        // empty store is an error, so an empty model would break the
+        // served==batch guarantee).
+        let stats = service.refresh_dirty().unwrap();
+        assert_eq!(stats.tenants_refreshed, 0);
+        assert!(service.model("acme").unwrap().is_none());
+
+        ingest_wave(&service, "acme", 0..80, 0.0);
+        assert_eq!(service.refresh_dirty().unwrap().tenants_refreshed, 1);
+        assert!(service.model("acme").unwrap().is_some());
+    }
+
+    #[test]
+    fn replacing_the_call_graph_refreshes_the_tenant_without_new_ingest() {
+        let service = SieveService::new(tiny_config()).unwrap();
+        // Start with no topology: the first model has no comparison plan.
+        service.create_tenant("acme", CallGraph::new()).unwrap();
+        ingest_wave(&service, "acme", 0..80, 0.0);
+        service.refresh_dirty().unwrap();
+        assert_eq!(service.last_stats("acme").unwrap().comparisons_planned, 0);
+
+        // Replace the topology; no series changes, but the next sweep must
+        // still re-plan so the published model catches up.
+        service.set_call_graph("acme", web_db_graph()).unwrap();
+        let stats = service.refresh_dirty().unwrap();
+        assert_eq!(stats.tenants_refreshed, 1, "replanned tenant is swept");
+        assert!(
+            service.last_stats("acme").unwrap().comparisons_planned > 0,
+            "the new topology produced a comparison plan"
+        );
+        // And the request is consumed: the next sweep is a no-op again.
+        assert_eq!(service.refresh_dirty().unwrap().tenants_refreshed, 0);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_tenants_error() {
+        let service = SieveService::new(tiny_config()).unwrap();
+        service.create_tenant("acme", CallGraph::new()).unwrap();
+        assert!(matches!(
+            service.create_tenant("acme", CallGraph::new()),
+            Err(ServeError::DuplicateTenant { .. })
+        ));
+        assert!(matches!(
+            service.ingest("ghost", &[]),
+            Err(ServeError::UnknownTenant { .. })
+        ));
+        assert!(matches!(
+            service.model("ghost"),
+            Err(ServeError::UnknownTenant { .. })
+        ));
+        assert!(matches!(
+            service.set_call_graph("ghost", CallGraph::new()),
+            Err(ServeError::UnknownTenant { .. })
+        ));
+    }
+
+    #[test]
+    fn ingest_reports_accepted_points_only() {
+        let service = SieveService::new(tiny_config()).unwrap();
+        service.create_tenant("acme", CallGraph::new()).unwrap();
+        let accepted = service
+            .ingest(
+                "acme",
+                &[
+                    MetricPoint::new("web", "cpu", 1000, 1.0),
+                    // Out of order: dropped by the store.
+                    MetricPoint::new("web", "cpu", 500, 2.0),
+                    MetricPoint::new("web", "cpu", 1500, 3.0),
+                ],
+            )
+            .unwrap();
+        assert_eq!(accepted, 2);
+    }
+
+    #[test]
+    fn sweep_parallelism_does_not_change_published_models() {
+        let build = |sweep_parallelism: usize| {
+            let service =
+                SieveService::new(tiny_config().with_sweep_parallelism(sweep_parallelism)).unwrap();
+            for (i, tenant) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+                service.create_tenant(*tenant, web_db_graph()).unwrap();
+                ingest_wave(&service, tenant, 0..80, i as f64 * 0.7);
+            }
+            service.refresh_dirty().unwrap();
+            // A second, interleaved wave exercises the incremental path.
+            for (i, tenant) in ["b", "d"].iter().enumerate() {
+                ingest_wave(&service, tenant, 80..100, i as f64 * 0.3);
+            }
+            service.refresh_dirty().unwrap();
+            service
+        };
+        let serial = build(1);
+        let parallel = build(8);
+        for tenant in ["a", "b", "c", "d", "e"] {
+            let s = serial.model(tenant).unwrap().unwrap();
+            let p = parallel.model(tenant).unwrap().unwrap();
+            assert_eq!(*s, *p, "tenant {tenant} differs across sweep degrees");
+        }
+    }
+
+    #[test]
+    fn refresh_all_matches_refresh_dirty_results() {
+        let service = SieveService::new(tiny_config()).unwrap();
+        service.create_tenant("acme", web_db_graph()).unwrap();
+        ingest_wave(&service, "acme", 0..80, 0.0);
+        service.refresh_dirty().unwrap();
+        let dirty_model = service.model("acme").unwrap().unwrap();
+
+        let stats = service.refresh_all().unwrap();
+        assert_eq!(stats.tenants_refreshed, 1);
+        let all_model = service.model("acme").unwrap().unwrap();
+        assert_eq!(*dirty_model, *all_model);
+    }
+}

@@ -1,0 +1,103 @@
+//! Aggregated service statistics.
+
+use sieve_core::session::SessionStats;
+
+/// What one cross-tenant sweep (or the tenants' last refreshes, via
+/// [`crate::service::SieveService::stats`]) recomputed, aggregated over
+/// tenants.
+///
+/// The per-tenant fields are plain sums of the underlying
+/// [`SessionStats`], so the "only dirty work is redone" observable of the
+/// incremental engine survives aggregation: a sweep where one of sixteen
+/// tenants was dirty reports that tenant's preparation/clustering/Granger
+/// counts and nothing else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Tenants registered in the service at sweep time.
+    pub tenants_total: usize,
+    /// Tenants whose session was refreshed (dirty tenants, plus tenants
+    /// that had never been analysed).
+    pub tenants_refreshed: usize,
+    /// Highest epoch watermark across all refreshed tenants' deltas.
+    pub epoch_high_watermark: u64,
+    /// Sum of [`SessionStats::components_total`] over refreshed tenants.
+    pub components_total: usize,
+    /// Sum of [`SessionStats::components_prepared`] over refreshed tenants.
+    pub components_prepared: usize,
+    /// Sum of [`SessionStats::components_reclustered`] over refreshed
+    /// tenants.
+    pub components_reclustered: usize,
+    /// Sum of [`SessionStats::comparisons_planned`] over refreshed tenants.
+    pub comparisons_planned: usize,
+    /// Sum of [`SessionStats::comparisons_tested`] over refreshed tenants.
+    pub comparisons_tested: usize,
+}
+
+impl ServiceStats {
+    /// Folds one tenant's refresh statistics into the aggregate (counts the
+    /// tenant as refreshed).
+    pub fn absorb(&mut self, stats: &SessionStats) {
+        self.tenants_refreshed += 1;
+        self.epoch_high_watermark = self.epoch_high_watermark.max(stats.epoch);
+        self.components_total += stats.components_total;
+        self.components_prepared += stats.components_prepared;
+        self.components_reclustered += stats.components_reclustered;
+        self.comparisons_planned += stats.comparisons_planned;
+        self.comparisons_tested += stats.comparisons_tested;
+    }
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} of {} tenants refreshed (epoch {}): prepared {} components, \
+             re-clustered {}, re-tested {}/{} comparisons",
+            self.tenants_refreshed,
+            self.tenants_total,
+            self.epoch_high_watermark,
+            self.components_prepared,
+            self.components_reclustered,
+            self.comparisons_tested,
+            self.comparisons_planned
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields_and_maxes_the_epoch() {
+        let mut agg = ServiceStats {
+            tenants_total: 3,
+            ..ServiceStats::default()
+        };
+        agg.absorb(&SessionStats {
+            epoch: 4,
+            components_total: 5,
+            components_prepared: 2,
+            components_reclustered: 1,
+            comparisons_planned: 10,
+            comparisons_tested: 3,
+        });
+        agg.absorb(&SessionStats {
+            epoch: 2,
+            components_total: 4,
+            components_prepared: 4,
+            components_reclustered: 4,
+            comparisons_planned: 6,
+            comparisons_tested: 6,
+        });
+        assert_eq!(agg.tenants_refreshed, 2);
+        assert_eq!(agg.epoch_high_watermark, 4);
+        assert_eq!(agg.components_total, 9);
+        assert_eq!(agg.components_prepared, 6);
+        assert_eq!(agg.components_reclustered, 5);
+        assert_eq!(agg.comparisons_planned, 16);
+        assert_eq!(agg.comparisons_tested, 9);
+        let text = agg.to_string();
+        assert!(text.contains("2 of 3 tenants"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-tenant state: a metric store, an analysis session and the published
+//! model snapshot.
+
+use sieve_core::model::SieveModel;
+use sieve_core::session::{AnalysisSession, SessionStats};
+use sieve_exec::Name;
+use sieve_simulator::store::{MetricId, MetricStore};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One observation to ingest for a tenant: which series, when, what value.
+///
+/// Batches of points go through
+/// [`crate::service::SieveService::ingest`], which appends them to the
+/// tenant's [`MetricStore`] — every accepted point advances the series'
+/// content fingerprint and marks it touched, so the next
+/// [`refresh_dirty`](crate::service::SieveService::refresh_dirty) sweep
+/// knows exactly which tenants and components to recompute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricPoint {
+    /// The series the observation belongs to.
+    pub id: MetricId,
+    /// Observation timestamp in milliseconds. Points that do not advance
+    /// the series' time (out-of-order or duplicate timestamps) are dropped
+    /// by the store, like monitoring agents drop duplicate reports.
+    pub timestamp_ms: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
+impl MetricPoint {
+    /// Creates a point (interning the component and metric names).
+    pub fn new(
+        component: impl Into<Name>,
+        metric: impl Into<Name>,
+        timestamp_ms: u64,
+        value: f64,
+    ) -> Self {
+        Self {
+            id: MetricId::new(component, metric),
+            timestamp_ms,
+            value,
+        }
+    }
+}
+
+/// What a tenant last published: the model snapshot and the statistics of
+/// the refresh that produced it. Swapped atomically (under a short write
+/// lock) at the end of a refresh, so readers either see the previous
+/// complete model or the new complete model, never a half-updated one.
+#[derive(Debug, Default)]
+pub(crate) struct Published {
+    /// The latest analysis model, `None` until the first refresh.
+    pub(crate) model: Option<Arc<SieveModel>>,
+    /// Statistics of the refresh that produced `model`.
+    pub(crate) stats: SessionStats,
+}
+
+/// The complete state of one tenant.
+///
+/// Concurrency layout: the store is internally synchronised (ingest takes
+/// the store's own lock), the session is behind a `Mutex` that only the
+/// refresh sweep takes, and the published snapshot is behind a `RwLock`
+/// that writers hold just long enough to swap an `Arc` — so ingest for
+/// tenant A, a model read for tenant B and a refresh of tenant C never
+/// contend on shared state.
+#[derive(Debug)]
+pub(crate) struct Tenant {
+    /// The tenant's name (also its registry key).
+    pub(crate) name: Name,
+    /// The tenant's metric store. The service owns this store's delta
+    /// stream: nothing else may call `drain_delta` on it.
+    pub(crate) store: MetricStore,
+    /// The tenant's long-lived incremental analysis session.
+    pub(crate) session: Mutex<AnalysisSession>,
+    /// The last published model + stats, swapped at the end of a refresh.
+    pub(crate) published: RwLock<Published>,
+    /// Set when something outside the store's delta stream invalidated
+    /// the published model — today: a call-graph replacement, which
+    /// changes the comparison plan without touching any series. Consumed
+    /// (reset) by the next sweep.
+    force_refresh: AtomicBool,
+}
+
+impl Tenant {
+    pub(crate) fn new(name: Name, store: MetricStore, session: AnalysisSession) -> Self {
+        Self {
+            name,
+            store,
+            session: Mutex::new(session),
+            published: RwLock::new(Published::default()),
+            force_refresh: AtomicBool::new(false),
+        }
+    }
+
+    /// Requests a refresh at the next sweep even if no series changes.
+    pub(crate) fn request_refresh(&self) {
+        self.force_refresh.store(true, Ordering::Release);
+    }
+
+    /// Consumes the pending force-refresh request, if any.
+    pub(crate) fn take_refresh_request(&self) -> bool {
+        self.force_refresh.swap(false, Ordering::AcqRel)
+    }
+
+    /// The tenant's published model snapshot, if any refresh has completed.
+    pub(crate) fn model(&self) -> Option<Arc<SieveModel>> {
+        self.published
+            .read()
+            .expect("tenant snapshot lock poisoned")
+            .model
+            .clone()
+    }
+
+    /// Statistics of the tenant's last completed refresh.
+    pub(crate) fn last_stats(&self) -> SessionStats {
+        self.published
+            .read()
+            .expect("tenant snapshot lock poisoned")
+            .stats
+    }
+
+    /// Publishes a freshly refreshed model + stats (one short write lock).
+    pub(crate) fn publish(&self, model: Arc<SieveModel>, stats: SessionStats) {
+        let mut published = self
+            .published
+            .write()
+            .expect("tenant snapshot lock poisoned");
+        published.model = Some(model);
+        published.stats = stats;
+    }
+}

@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("Streaming ShareLatex under load, one analysis epoch per 15 s of traffic:\n");
-    let mut previous: Option<SieveModel> = None;
+    let mut previous: Option<std::sync::Arc<SieveModel>> = None;
     loop {
         // 30 ticks x 500 ms = one 15-second observation epoch.
         let (delta, executed) = sim.step_epoch(30);
@@ -43,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             break;
         }
         session.set_call_graph(sim.call_graph());
-        let model = session.update(&delta)?;
+        // `update_shared` returns the session's retained snapshot without
+        // cloning the model — the right call on a per-epoch hot path.
+        let model = session.update_shared(&delta)?;
         let stats = session.last_stats();
 
         let drift = match &previous {
@@ -87,7 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // model is bit-identical to a batch analysis of the full recording.
     let streamed = previous.expect("at least one epoch ran");
     let batch = Sieve::new(config).analyze("sharelatex", sim.store(), &sim.call_graph())?;
-    assert_eq!(streamed, batch);
+    assert_eq!(*streamed, batch);
     println!(
         "\nFinal streamed model matches batch analysis bit for bit: {} metrics -> {} \
          representatives ({}x reduction), {} dependency edges.",

@@ -20,7 +20,10 @@
 //!    graph ([`graph`]).
 //!
 //! Two case-study engines consume the resulting model: orchestration of
-//! autoscaling ([`autoscale`]) and root cause analysis ([`rca`]).
+//! autoscaling ([`autoscale`]) and root cause analysis ([`rca`]). At scale,
+//! the multi-tenant serving layer ([`serve`]) multiplexes many isolated
+//! applications' incremental analysis sessions behind a sharded registry,
+//! refreshing only what each observation round actually changed.
 //!
 //! ## Quick start
 //!
@@ -64,6 +67,7 @@ pub use sieve_core as core;
 pub use sieve_exec as exec;
 pub use sieve_graph as graph;
 pub use sieve_rca as rca;
+pub use sieve_serve as serve;
 pub use sieve_simulator as simulator;
 pub use sieve_timeseries as timeseries;
 
@@ -81,6 +85,7 @@ pub mod prelude {
     pub use sieve_exec::{par_map_chunks, Name};
     pub use sieve_graph::{CallGraph, DependencyEdge, DependencyGraph};
     pub use sieve_rca::{RcaConfig, RcaEngine, RcaReport};
+    pub use sieve_serve::{MetricPoint, ServeConfig, ServiceStats, SieveService};
     pub use sieve_simulator::app::{AppSpec, CallSpec, ComponentSpec};
     pub use sieve_simulator::engine::{SimConfig, Simulation};
     pub use sieve_simulator::metrics::{MetricBehavior, MetricSpec};
