@@ -1,31 +1,41 @@
-//! Micro-benchmarks of the analysis primitives: shape-based distance
+//! Micro-benchmarks of the analysis primitives: the hot kernels
+//! (twiddle-cached batched FFT vs the naive per-series oracle,
+//! z-normalisation, Pearson, the OLS design fit), shape-based distance
 //! (direct and via cached spectra), k-Shape clustering (warm vs cold
-//! start), silhouette scoring, Granger causality, AMI — and the acceptance
-//! comparison of the cached-distance k-sweep against the naive one.
+//! start), silhouette scoring, Granger causality, AMI — plus two
+//! acceptance comparisons: the cached-distance k-sweep against the naive
+//! one, and the full `analyze` pipeline with the shared engines on
+//! against the engines-off path.
 //!
 //! Run with: `cargo bench -p sieve-bench --bench analysis`
+//!
+//! Every measurement is appended to `BENCH_analysis.json` at the repo
+//! root (see [`sieve_bench::ledger`]). `SIEVE_BENCH_SMOKE=1` (used by CI)
+//! shrinks the workloads and skips the wall-clock assertions while
+//! keeping every bitwise-equality assertion.
 
+use sieve_apps::{sharelatex, MetricRichness};
 use sieve_bench::harness::{smoke_mode, Runner};
+use sieve_bench::ledger::Ledger;
+use sieve_bench::noise::noise;
 use sieve_causality::granger::{granger_causes, GrangerConfig};
+use sieve_causality::ols::{fit_design, Design};
 use sieve_cluster::ami::adjusted_mutual_information;
 use sieve_cluster::jaro::pre_cluster_names;
 use sieve_cluster::kshape::{KShape, KShapeConfig};
 use sieve_cluster::silhouette::silhouette_score_sbd;
+use sieve_core::columnar::PreparedComponent;
 use sieve_core::config::SieveConfig;
-use sieve_core::reduce::{reduce_component, NamedSeries};
+use sieve_core::pipeline::{load_application, Sieve};
+use sieve_core::reduce::reduce_component;
+use sieve_exec::Name;
+use sieve_simulator::workload::Workload;
+use sieve_timeseries::fft::{fft_batch, fft_in_place_naive, Complex};
+use sieve_timeseries::normalize::z_normalize;
 use sieve_timeseries::sbd::shape_based_distance;
 use sieve_timeseries::spectrum::{sbd_from_spectra, SeriesSpectrum};
+use sieve_timeseries::stats;
 use std::hint::black_box;
-
-/// Deterministic pseudo-noise used to synthesise benchmark series.
-fn noise(i: usize, seed: u64) -> f64 {
-    let mut s =
-        (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed.wrapping_mul(0xD1B54A32D192ED03);
-    s ^= s >> 33;
-    s = s.wrapping_mul(0xff51afd7ed558ccd);
-    s ^= s >> 29;
-    ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
-}
 
 fn series(len: usize, seed: u64) -> Vec<f64> {
     (0..len)
@@ -58,6 +68,108 @@ fn metric_family(count: usize, len: usize) -> (Vec<Vec<f64>>, Vec<String>) {
         names.push(format!("family{family}_metric_{m}"));
     }
     (data, names)
+}
+
+/// The batched-FFT kernel acceptance comparison: one pass over a packed
+/// `64 × 1024` arena with the shared twiddle table versus transforming
+/// every series independently through the naive seed oracle. Spectra
+/// must match bit for bit, and the batched path must win by ≥ 1.3x on
+/// non-smoke hosts (the comparison is serial, so core count is
+/// irrelevant).
+fn bench_fft_kernels(runner: &mut Runner) {
+    let n = 1024usize;
+    let count = if smoke_mode() { 8 } else { 64 };
+    let signals: Vec<Vec<Complex>> = (0..count)
+        .map(|c| {
+            (0..n)
+                .map(|i| Complex::new(noise(i, c as u64 + 1), 0.0))
+                .collect()
+        })
+        .collect();
+
+    // Bitwise oracle: the batched transform equals the seed FFT per series.
+    let mut batch_buf: Vec<Complex> = signals.concat();
+    fft_batch(&mut batch_buf, n);
+    for (c, signal) in signals.iter().enumerate() {
+        let mut single = signal.clone();
+        fft_in_place_naive(&mut single);
+        for (a, b) in batch_buf[c * n..(c + 1) * n].iter().zip(&single) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "series {c} re");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "series {c} im");
+        }
+    }
+
+    let iters = if smoke_mode() { 2 } else { 100 };
+    runner.bench(&format!("fft/naive_per_series_{count}x{n}"), iters, || {
+        let mut checksum = 0.0;
+        for signal in &signals {
+            let mut buf = signal.clone();
+            fft_in_place_naive(&mut buf);
+            checksum += buf[0].re;
+        }
+        black_box(checksum)
+    });
+    runner.bench(&format!("fft/batch_{count}x{n}"), iters, || {
+        let mut buf = signals.concat();
+        fft_batch(&mut buf, n);
+        black_box(buf[0].re)
+    });
+    let naive = runner
+        .measurement(&format!("fft/naive_per_series_{count}x{n}"))
+        .unwrap()
+        .min();
+    let batch = runner
+        .measurement(&format!("fft/batch_{count}x{n}"))
+        .unwrap()
+        .min();
+    let speedup = naive.as_secs_f64() / batch.as_secs_f64().max(1e-12);
+    println!(
+        "fft: batched twiddle-cached speedup over naive per-series (best of {iters}): \
+         {speedup:.2}x (naive {naive:.3?}, batch {batch:.3?})"
+    );
+    if smoke_mode() {
+        println!("fft: smoke mode — wall-clock assertion skipped");
+    } else {
+        assert!(
+            speedup >= 1.3,
+            "batched FFT must be at least 1.3x faster than the naive \
+             per-series oracle, got {speedup:.2}x"
+        );
+    }
+}
+
+/// Timings of the scalar hot loops the clustering and causality stages
+/// lean on: z-normalisation, Pearson correlation and the OLS design fit.
+fn bench_stat_kernels(runner: &mut Runner) {
+    let len = 2048usize;
+    let x = series(len, 1);
+    let y = series(len, 2);
+    let iters = if smoke_mode() { 2 } else { 200 };
+    runner.bench(&format!("kernels/z_normalize_{len}"), iters, || {
+        black_box(z_normalize(black_box(&x)))
+    });
+    runner.bench(&format!("kernels/pearson_{len}"), iters, || {
+        black_box(stats::pearson(black_box(&x), black_box(&y)))
+    });
+
+    // A Granger-shaped design: intercept + 3 lags of y + 3 lags of x.
+    let lag = 3usize;
+    let rows = len - lag;
+    let mut design = Design::new();
+    design.reset(rows);
+    design.push_intercept();
+    for l in 1..=lag {
+        design
+            .push_column(&y[lag - l..len - l])
+            .expect("lagged column matches the design");
+        design
+            .push_column(&x[lag - l..len - l])
+            .expect("lagged column matches the design");
+    }
+    let target = &y[lag..];
+    runner.bench(&format!("kernels/fit_design_{rows}x7"), iters, || {
+        fit_design(black_box(&design), black_box(target)).unwrap()
+    });
 }
 
 fn bench_sbd(runner: &mut Runner) {
@@ -93,11 +205,12 @@ fn bench_sbd_spectra(runner: &mut Runner) {
 /// 1.5x faster while producing an identical clustering.
 fn bench_reduce_k_sweep_cached_vs_naive(runner: &mut Runner) {
     let (data, names) = metric_family(30, 240);
-    let series: Vec<NamedSeries> = names
-        .iter()
-        .zip(data)
-        .map(|(name, values)| NamedSeries::new(name.as_str(), values))
-        .collect();
+    let prepared = PreparedComponent::from_rows(
+        names
+            .iter()
+            .zip(data)
+            .map(|(name, values)| (Name::new(name), values)),
+    );
     // parallelism = 1 so the comparison is purely algorithmic — the cached
     // path must win on FFT reuse alone, not on threads.
     let base = SieveConfig::default()
@@ -106,8 +219,8 @@ fn bench_reduce_k_sweep_cached_vs_naive(runner: &mut Runner) {
     let cached_config = base.clone().with_sbd_cache(true);
     let naive_config = base.with_sbd_cache(false);
 
-    let cached_model = reduce_component("bench", &series, &cached_config).unwrap();
-    let naive_model = reduce_component("bench", &series, &naive_config).unwrap();
+    let cached_model = reduce_component("bench", &prepared, &cached_config).unwrap();
+    let naive_model = reduce_component("bench", &prepared, &naive_config).unwrap();
     assert_eq!(
         cached_model, naive_model,
         "cached and naive reduction must produce identical clusterings"
@@ -115,10 +228,10 @@ fn bench_reduce_k_sweep_cached_vs_naive(runner: &mut Runner) {
 
     let iters = if smoke_mode() { 1 } else { 5 };
     runner.bench("reduce_k_sweep/cached", iters, || {
-        reduce_component("bench", black_box(&series), &cached_config).unwrap()
+        reduce_component("bench", black_box(&prepared), &cached_config).unwrap()
     });
     runner.bench("reduce_k_sweep/naive", iters, || {
-        reduce_component("bench", black_box(&series), &naive_config).unwrap()
+        reduce_component("bench", black_box(&prepared), &naive_config).unwrap()
     });
     let cached = runner.measurement("reduce_k_sweep/cached").unwrap().min();
     let naive = runner.measurement("reduce_k_sweep/naive").unwrap().min();
@@ -132,6 +245,65 @@ fn bench_reduce_k_sweep_cached_vs_naive(runner: &mut Runner) {
             speedup >= 1.5,
             "cached k-sweep must be at least 1.5x faster than the naive path, got {speedup:.2}x"
         );
+    }
+}
+
+/// The end-to-end acceptance comparison: the full `analyze` pipeline with
+/// the shared SBD and Granger engines on versus both engines off, on the
+/// same recorded store at parallelism 1. The models must be bit-identical
+/// and the engine path at least 1.2x faster on non-smoke multi-core
+/// hosts.
+fn bench_full_analyze_cached_vs_naive(runner: &mut Runner) {
+    let app = sharelatex::app_spec(MetricRichness::Minimal);
+    let duration = if smoke_mode() { 30_000 } else { 120_000 };
+    let (store, call_graph) =
+        load_application(&app, &Workload::randomized(70.0, 3), 5, duration, 500).unwrap();
+    let base = SieveConfig::default().with_parallelism(1);
+    let cached_sieve = Sieve::new(base.clone().with_sbd_cache(true).with_granger_cache(true));
+    let naive_sieve = Sieve::new(base.with_sbd_cache(false).with_granger_cache(false));
+
+    let cached_model = cached_sieve
+        .analyze("sharelatex", &store, &call_graph)
+        .unwrap();
+    let naive_model = naive_sieve
+        .analyze("sharelatex", &store, &call_graph)
+        .unwrap();
+    assert_eq!(
+        cached_model, naive_model,
+        "engines on and off must produce bit-identical models"
+    );
+
+    let iters = if smoke_mode() { 1 } else { 3 };
+    runner.bench("analyze_full/engines-on", iters, || {
+        cached_sieve
+            .analyze("sharelatex", black_box(&store), &call_graph)
+            .unwrap()
+    });
+    runner.bench("analyze_full/engines-off", iters, || {
+        naive_sieve
+            .analyze("sharelatex", black_box(&store), &call_graph)
+            .unwrap()
+    });
+    let cached = runner.measurement("analyze_full/engines-on").unwrap().min();
+    let naive = runner
+        .measurement("analyze_full/engines-off")
+        .unwrap()
+        .min();
+    let speedup = naive.as_secs_f64() / cached.as_secs_f64().max(1e-12);
+    println!(
+        "analyze_full: engine-path speedup over engines-off (best of {iters}): \
+         {speedup:.2}x (off {naive:.3?}, on {cached:.3?})"
+    );
+    if smoke_mode() {
+        println!("analyze_full: smoke mode — wall-clock assertion skipped");
+    } else if sieve_exec::par::hardware_parallelism() > 1 {
+        assert!(
+            speedup >= 1.2,
+            "the full pipeline with engines on must be at least 1.2x faster \
+             than with engines off, got {speedup:.2}x"
+        );
+    } else {
+        println!("analyze_full: single-core host — the ≥1.2x assertion runs on multi-core hosts");
     }
 }
 
@@ -192,11 +364,21 @@ fn bench_ami(runner: &mut Runner) {
 
 fn main() {
     let mut runner = Runner::new();
+    bench_fft_kernels(&mut runner);
+    bench_stat_kernels(&mut runner);
     bench_sbd(&mut runner);
     bench_sbd_spectra(&mut runner);
     bench_reduce_k_sweep_cached_vs_naive(&mut runner);
+    bench_full_analyze_cached_vs_naive(&mut runner);
     bench_kshape(&mut runner);
     bench_silhouette(&mut runner);
     bench_granger(&mut runner);
     bench_ami(&mut runner);
+
+    let ledger = Ledger::new("analysis");
+    ledger.record_all(
+        runner.measurements(),
+        "synthetic kernels + sharelatex minimal, parallelism=1 comparisons",
+    );
+    println!("analysis: ledger appended to {}", ledger.path().display());
 }

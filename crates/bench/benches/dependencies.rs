@@ -11,6 +11,7 @@
 
 use sieve_apps::{sharelatex, MetricRichness};
 use sieve_bench::harness::{smoke_mode, Runner};
+use sieve_bench::ledger::Ledger;
 use sieve_core::config::SieveConfig;
 use sieve_core::dependencies::identify_dependencies;
 use sieve_core::pipeline::{load_application, Sieve};
@@ -109,4 +110,14 @@ fn main() {
             "dependencies: single-core host — the ≥1.5x assertion runs on multi-core hosts only"
         );
     }
+
+    let ledger = Ledger::new("dependencies");
+    ledger.record_all(
+        runner.measurements(),
+        "sharelatex minimal, isolated stage, parallelism=1",
+    );
+    println!(
+        "dependencies: ledger appended to {}",
+        ledger.path().display()
+    );
 }

@@ -11,6 +11,7 @@
 
 use sieve_apps::{sharelatex, MetricRichness};
 use sieve_bench::harness::{smoke_mode, Runner};
+use sieve_bench::ledger::Ledger;
 use sieve_core::config::SieveConfig;
 use sieve_core::pipeline::{load_application, Sieve};
 use sieve_core::session::AnalysisSession;
@@ -202,4 +203,14 @@ fn main() {
              full re-analysis, got {speedup:.2}x"
         );
     }
+
+    let ledger = Ledger::new("incremental");
+    ledger.record_all(
+        runner.measurements(),
+        "sharelatex minimal, one dirty component of 15, parallelism=1",
+    );
+    println!(
+        "incremental: ledger appended to {}",
+        ledger.path().display()
+    );
 }

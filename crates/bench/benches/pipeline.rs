@@ -13,6 +13,7 @@
 
 use sieve_apps::{openstack, sharelatex, MetricRichness};
 use sieve_bench::harness::{smoke_mode, Runner};
+use sieve_bench::ledger::Ledger;
 use sieve_core::config::SieveConfig;
 use sieve_core::pipeline::{load_application, Sieve};
 use sieve_core::reduce::{prepare_series, reduce_component};
@@ -284,4 +285,11 @@ fn main() {
     bench_cached_vs_naive_distance(&mut runner);
     bench_openstack_parallelism(&mut runner);
     bench_rca_compare(&mut runner);
+
+    let ledger = Ledger::new("pipeline");
+    ledger.record_all(
+        runner.measurements(),
+        "sharelatex minimal + openstack profiles, end-to-end stages",
+    );
+    println!("pipeline: ledger appended to {}", ledger.path().display());
 }

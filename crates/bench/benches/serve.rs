@@ -13,6 +13,7 @@
 
 use sieve_apps::tenants::{tenant_fleet, TenantMix, TenantWorkload};
 use sieve_bench::harness::{smoke_mode, Runner};
+use sieve_bench::ledger::Ledger;
 use sieve_core::config::SieveConfig;
 use sieve_core::model::SieveModel;
 use sieve_core::pipeline::Sieve;
@@ -221,4 +222,11 @@ fn main() {
              on multi-core hosts only"
         );
     }
+
+    let ledger = Ledger::new("serve");
+    ledger.record_all(
+        runner.measurements(),
+        "many-small tenant fleet, sweep parallelism=8",
+    );
+    println!("serve: ledger appended to {}", ledger.path().display());
 }

@@ -18,7 +18,7 @@ use sieve_cluster::kshape::{KShape, KShapeConfig};
 use sieve_cluster::silhouette::silhouette_score_sbd;
 use sieve_core::dependencies::{naive_comparison_count, planned_comparison_count};
 use sieve_core::pipeline::Sieve;
-use sieve_core::reduce::{is_unvarying, prepare_series, NamedSeries};
+use sieve_core::reduce::{is_unvarying, prepare_series};
 
 fn main() {
     print_header("Ablations: warm start, k selection, variance filter, call-graph restriction");
@@ -32,13 +32,12 @@ fn main() {
         .into_iter()
         .filter_map(|id| store.series(&id).map(|s| (id.metric, s)))
         .collect();
-    let prepared: Vec<NamedSeries> = prepare_series(&raw, config.interval_ms);
-    let varying: Vec<&NamedSeries> = prepared
-        .iter()
-        .filter(|s| !is_unvarying(&s.values, config.variance_threshold))
+    let prepared = prepare_series(&raw, config.interval_ms);
+    let varying: Vec<usize> = (0..prepared.len())
+        .filter(|&i| !is_unvarying(prepared.series(i), config.variance_threshold))
         .collect();
-    let data: Vec<&[f64]> = varying.iter().map(|s| &*s.values).collect();
-    let names: Vec<&str> = varying.iter().map(|s| s.name.as_str()).collect();
+    let data: Vec<&[f64]> = varying.iter().map(|&i| prepared.series(i)).collect();
+    let names: Vec<&str> = varying.iter().map(|&i| prepared.name(i).as_str()).collect();
 
     // 1. Variance filter on/off.
     println!("\n[1] Variance pre-filter (component `{component}`):");

@@ -32,13 +32,38 @@ impl Measurement {
         self.samples.iter().min().copied().unwrap_or_default()
     }
 
-    /// Mean iteration time.
+    /// Mean iteration time. Computed in integer nanoseconds so a sample
+    /// count that does not fit in `u32` can no longer truncate the
+    /// divisor (the old `Duration / u32` form silently wrapped).
     pub fn mean(&self) -> Duration {
         if self.samples.is_empty() {
             return Duration::default();
         }
-        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+        let total: u128 = self.samples.iter().map(Duration::as_nanos).sum();
+        duration_from_ns(total / self.samples.len() as u128)
     }
+
+    /// Median iteration time (for an even sample count, the mean of the
+    /// two middle samples).
+    pub fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            duration_from_ns((sorted[mid - 1].as_nanos() + sorted[mid].as_nanos()) / 2)
+        }
+    }
+}
+
+/// A `Duration` from nanoseconds, saturating instead of panicking on
+/// overflow (`u64::MAX` ns ≈ 584 years — plenty for a benchmark).
+fn duration_from_ns(ns: u128) -> Duration {
+    Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
 }
 
 /// Runs and reports a sequence of named benchmarks.
@@ -115,5 +140,34 @@ mod tests {
         assert_eq!(runner.measurement("noop").unwrap().samples.len(), 5);
         assert!(mean >= runner.measurement("noop").unwrap().min());
         assert!(runner.measurement("missing").is_none());
+    }
+
+    #[test]
+    fn mean_and_median_on_known_samples() {
+        let m = Measurement {
+            name: "known".to_string(),
+            samples: [40, 10, 20, 30]
+                .into_iter()
+                .map(Duration::from_nanos)
+                .collect(),
+        };
+        assert_eq!(m.min(), Duration::from_nanos(10));
+        assert_eq!(m.mean(), Duration::from_nanos(25));
+        // Even count: the median averages the two middle samples.
+        assert_eq!(m.median(), Duration::from_nanos(25));
+
+        let odd = Measurement {
+            name: "odd".to_string(),
+            samples: [9, 1, 5].into_iter().map(Duration::from_nanos).collect(),
+        };
+        assert_eq!(odd.median(), Duration::from_nanos(5));
+        assert_eq!(odd.mean(), Duration::from_nanos(5));
+
+        let empty = Measurement {
+            name: "empty".to_string(),
+            samples: Vec::new(),
+        };
+        assert_eq!(empty.mean(), Duration::default());
+        assert_eq!(empty.median(), Duration::default());
     }
 }

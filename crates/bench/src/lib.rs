@@ -11,6 +11,8 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod ledger;
+pub mod noise;
 
 use sieve_apps::{openstack, sharelatex, MetricRichness};
 use sieve_core::config::SieveConfig;

@@ -3,8 +3,9 @@
 
 use crate::{CausalityError, Result};
 
-/// A dense, row-major matrix of `f64` values.
-#[derive(Debug, Clone, PartialEq)]
+/// A dense, row-major matrix of `f64` values. `Default` is the empty
+/// `0 x 0` matrix (no allocation), which scratch arenas start from.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -120,6 +121,17 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Reshapes the matrix in place to `rows x cols`, zeroing every element
+    /// but keeping the backing allocation — the OLS scratch arena resets its
+    /// normal-equations matrix this way on every fit instead of allocating a
+    /// fresh one.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Matrix-vector product `self * v`.
     ///
     /// # Errors
@@ -144,8 +156,28 @@ impl Matrix {
     }
 }
 
+/// Reusable workspace for [`solve_with`]: one flat buffer holding the
+/// `n x (n+1)` augmented matrix of the elimination, reshaped (never
+/// reallocated once warm) on every call. A fitting loop that solves
+/// thousands of small normal-equation systems — the Granger stage solves
+/// two per candidate lag per edge — reuses one allocation instead of
+/// building `n` fresh row vectors per solve.
+#[derive(Debug, Clone, Default)]
+pub struct SolveScratch {
+    aug: Vec<f64>,
+}
+
+impl SolveScratch {
+    /// Creates an empty workspace with no backing allocation yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Solves the linear system `A x = b` with Gaussian elimination and partial
 /// pivoting. `A` must be square.
+///
+/// Allocates a fresh workspace per call; loops should prefer [`solve_with`].
 ///
 /// # Errors
 ///
@@ -154,6 +186,18 @@ impl Matrix {
 /// * [`CausalityError::SingularMatrix`] if the matrix is (numerically)
 ///   singular.
 pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    solve_with(a, b, &mut SolveScratch::new())
+}
+
+/// [`solve`] against a caller-held workspace. The elimination runs the exact
+/// float operations of the seed implementation — only the storage layout of
+/// the augmented matrix changed (flat rows instead of per-row `Vec`s) — so
+/// results are bitwise identical regardless of scratch reuse.
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_with(a: &Matrix, b: &[f64], scratch: &mut SolveScratch) -> Result<Vec<f64>> {
     let n = a.rows();
     if a.cols() != n {
         return Err(CausalityError::DimensionMismatch {
@@ -169,9 +213,13 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
             context: format!("rhs has {} entries for a {n}x{n} system", b.len()),
         });
     }
-    // Augmented matrix.
-    let mut aug = vec![vec![0.0; n + 1]; n];
-    for (r, row) in aug.iter_mut().enumerate() {
+    // Augmented matrix, one flat row-major buffer of width n+1.
+    let width = n + 1;
+    let aug = &mut scratch.aug;
+    aug.clear();
+    aug.resize(n * width, 0.0);
+    for r in 0..n {
+        let row = &mut aug[r * width..(r + 1) * width];
         for (c, slot) in row.iter_mut().enumerate().take(n) {
             *slot = a.get(r, c);
         }
@@ -181,38 +229,45 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     for col in 0..n {
         // Partial pivoting.
         let mut pivot = col;
-        let mut best = aug[col][col].abs();
-        for (r, row) in aug.iter().enumerate().skip(col + 1) {
-            if row[col].abs() > best {
-                best = row[col].abs();
+        let mut best = aug[col * width + col].abs();
+        for r in col + 1..n {
+            let candidate = aug[r * width + col].abs();
+            if candidate > best {
+                best = candidate;
                 pivot = r;
             }
         }
         if best < 1e-12 {
             return Err(CausalityError::SingularMatrix);
         }
-        aug.swap(col, pivot);
+        if pivot != col {
+            for c in 0..width {
+                aug.swap(col * width + c, pivot * width + c);
+            }
+        }
         // Eliminate below.
         for r in col + 1..n {
-            let factor = aug[r][col] / aug[col][col];
+            let factor = aug[r * width + col] / aug[col * width + col];
             if factor == 0.0 {
                 continue;
             }
-            let (pivot_row, rest) = aug.split_at_mut(col + 1);
-            let row = &mut rest[r - col - 1];
-            for (c, pivot_value) in pivot_row[col].iter().enumerate().take(n + 1).skip(col) {
-                row[c] -= factor * pivot_value;
+            let (head, tail) = aug.split_at_mut(r * width);
+            let pivot_row = &head[col * width..col * width + width];
+            let row = &mut tail[..width];
+            for (slot, pivot_value) in row.iter_mut().zip(pivot_row.iter()).skip(col) {
+                *slot -= factor * pivot_value;
             }
         }
     }
     // Back substitution.
     let mut x = vec![0.0; n];
     for r in (0..n).rev() {
-        let mut acc = aug[r][n];
+        let row = &aug[r * width..(r + 1) * width];
+        let mut acc = row[n];
         for c in r + 1..n {
-            acc -= aug[r][c] * x[c];
+            acc -= row[c] * x[c];
         }
-        x[r] = acc / aug[r][r];
+        x[r] = acc / row[r];
     }
     Ok(x)
 }
@@ -305,6 +360,44 @@ mod tests {
         assert!(solve(&a, &[1.0, 2.0]).is_err());
         let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
         assert!(solve(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_with_reused_scratch_is_bitwise_equal_to_fresh_solves() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 5.0, 2.0],
+            vec![0.5, 2.0, 6.0],
+        ])
+        .unwrap();
+        let b1 = vec![1.0, 2.0, 3.0];
+        let b2 = vec![-1.0, 0.25, 7.0];
+        let mut scratch = SolveScratch::new();
+        let r1 = solve_with(&a, &b1, &mut scratch).unwrap();
+        let r2 = solve_with(&a, &b2, &mut scratch).unwrap();
+        for (got, want) in r1.iter().zip(solve(&a, &b1).unwrap().iter()) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        for (got, want) in r2.iter().zip(solve(&a, &b2).unwrap().iter()) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        // Scratch also survives a size change (2x2 after 3x3).
+        let small = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, -1.0]]).unwrap();
+        let r = solve_with(&small, &[3.0, 1.0], &mut scratch).unwrap();
+        assert!((r[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reshape_zeroed_clears_and_resizes() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        m.reshape_zeroed(3, 3);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(m.get(r, c), 0.0);
+            }
+        }
     }
 
     #[test]

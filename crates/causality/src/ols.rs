@@ -12,8 +12,10 @@
 //! kept for callers that naturally produce observation rows (the ADF test)
 //! and funnels into the same [`fit_design`] numerics.
 
-use crate::linalg::{solve, Matrix};
+use crate::linalg::{solve_with, Matrix, SolveScratch};
 use crate::{CausalityError, Result};
+use sieve_timeseries::stats;
+use std::cell::RefCell;
 
 /// The result of an OLS fit.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,10 +145,37 @@ impl Design {
     }
 }
 
+/// Reusable per-thread workspace of [`fit_design`]: the normal-equations
+/// matrix `X^T X`, the right-hand side `X^T y` and the solver's augmented
+/// buffer. A Granger sweep fits two models per candidate lag per edge —
+/// with the arena, the only allocations left per fit are the
+/// fitted/residual/coefficient vectors that escape in the returned
+/// [`OlsFit`].
+#[derive(Debug, Clone, Default)]
+struct FitScratch {
+    xtx: Matrix,
+    xty: Vec<f64>,
+    solve: SolveScratch,
+}
+
+thread_local! {
+    /// One scratch arena per thread: the parallel Granger stage runs one
+    /// fitting loop per executor worker, and a thread-local keeps the arena
+    /// out of every call signature (the public `fit_design` contract is
+    /// unchanged). Reuse cannot change results — the arena is fully
+    /// overwritten per fit, asserted bitwise by tests.
+    static FIT_SCRATCH: RefCell<FitScratch> = RefCell::new(FitScratch::default());
+}
+
 /// Fits `y ~ design` by ordinary least squares on a flat column-major
 /// design matrix. This is the single numeric core behind every OLS fit in
 /// the crate — the cached and naive Granger paths, the ADF regressions and
 /// [`fit_line`] all share it, so their float operations are identical.
+///
+/// The normal equations accumulate through the chunked
+/// [`sieve_timeseries::stats::dot`] kernel (4-lane blocked summation, the
+/// documented epsilon tier relative to the seed's sequential folds), and
+/// all intermediate buffers come from a per-thread scratch arena.
 ///
 /// # Errors
 ///
@@ -177,53 +206,55 @@ pub fn fit_design(design: &Design, y: &[f64]) -> Result<OlsFit> {
         });
     }
 
-    // Normal equations from column dot products: X^T X and X^T y fall out
-    // of pairwise column products, accumulated in observation order. X^T X
-    // is symmetric, so only the upper triangle is computed and mirrored.
-    let mut xtx = Matrix::zeros(k, k);
-    let mut xty = vec![0.0; k];
-    for (i, xty_slot) in xty.iter_mut().enumerate() {
-        let ci = design.column(i);
-        for j in i..k {
-            let cj = design.column(j);
-            let dot = ci
-                .iter()
-                .zip(cj.iter())
-                .fold(0.0, |acc, (a, b)| acc + a * b);
-            xtx.set(i, j, dot);
-            if i != j {
-                xtx.set(j, i, dot);
+    FIT_SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        // Normal equations from column dot products: X^T X and X^T y fall
+        // out of pairwise column products via the blocked dot kernel. X^T X
+        // is symmetric, so only the upper triangle is computed and mirrored.
+        let xtx = &mut scratch.xtx;
+        xtx.reshape_zeroed(k, k);
+        let xty = &mut scratch.xty;
+        xty.clear();
+        xty.resize(k, 0.0);
+        for (i, xty_slot) in xty.iter_mut().enumerate() {
+            let ci = design.column(i);
+            for j in i..k {
+                let dot = stats::dot(ci, design.column(j));
+                xtx.set(i, j, dot);
+                if i != j {
+                    xtx.set(j, i, dot);
+                }
+            }
+            *xty_slot = stats::dot(ci, y);
+        }
+        let beta = if k == 0 {
+            Vec::new()
+        } else {
+            solve_with(xtx, xty, &mut scratch.solve)?
+        };
+
+        // Fitted values accumulate column contributions in column order —
+        // the same association as a row-major `X β` product.
+        let mut fitted = vec![0.0; n];
+        for (c, b) in beta.iter().enumerate() {
+            for (slot, v) in fitted.iter_mut().zip(design.column(c).iter()) {
+                *slot += v * b;
             }
         }
-        *xty_slot = ci.iter().zip(y.iter()).fold(0.0, |acc, (a, b)| acc + a * b);
-    }
-    let beta = if k == 0 {
-        Vec::new()
-    } else {
-        solve(&xtx, &xty)?
-    };
+        let residuals: Vec<f64> = y.iter().zip(fitted.iter()).map(|(a, b)| a - b).collect();
+        let rss = stats::sum_of_squares(&residuals);
+        let mean_y = stats::mean(y);
+        let tss = stats::centered_sum_of_squares(y, mean_y);
 
-    // Fitted values accumulate column contributions in column order — the
-    // same association as a row-major `X β` product.
-    let mut fitted = vec![0.0; n];
-    for (c, b) in beta.iter().enumerate() {
-        for (slot, v) in fitted.iter_mut().zip(design.column(c).iter()) {
-            *slot += v * b;
-        }
-    }
-    let residuals: Vec<f64> = y.iter().zip(fitted.iter()).map(|(a, b)| a - b).collect();
-    let rss: f64 = residuals.iter().map(|r| r * r).sum();
-    let mean_y: f64 = y.iter().sum::<f64>() / n as f64;
-    let tss: f64 = y.iter().map(|v| (v - mean_y).powi(2)).sum();
-
-    Ok(OlsFit {
-        coefficients: beta,
-        fitted,
-        residuals,
-        rss,
-        tss,
-        n_observations: n,
-        n_parameters: k,
+        Ok(OlsFit {
+            coefficients: beta,
+            fitted,
+            residuals,
+            rss,
+            tss,
+            n_observations: n,
+            n_parameters: k,
+        })
     })
 }
 
@@ -407,6 +438,85 @@ mod tests {
         }
         assert_eq!(via_rows.rss.to_bits(), via_design.rss.to_bits());
         assert_eq!(via_rows.tss.to_bits(), via_design.tss.to_bits());
+    }
+
+    #[test]
+    fn scratch_reuse_never_changes_results() {
+        // The thread-local arena is fully overwritten per fit: fitting A,
+        // then B, then A again must reproduce A's result bit for bit.
+        let n = 60;
+        let xa: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).sin()).collect();
+        let xb: Vec<f64> = (0..n).map(|i| (i as f64 * 0.71).cos() * 3.0).collect();
+        let ya: Vec<f64> = (0..n)
+            .map(|i| 2.0 * xa[i] + 0.1 * (i as f64).sin())
+            .collect();
+        let yb: Vec<f64> = (0..n)
+            .map(|i| -0.5 * xb[i] + (i as f64 * 0.05).cos())
+            .collect();
+
+        let mut design = Design::new();
+        design.reset(n);
+        design.push_intercept();
+        design.push_column(&xa).unwrap();
+        let first = fit_design(&design, &ya).unwrap();
+
+        let mut other = Design::new();
+        other.reset(n);
+        other.push_intercept();
+        other.push_column(&xb).unwrap();
+        other.push_column(&xa).unwrap();
+        let _ = fit_design(&other, &yb).unwrap();
+
+        let again = fit_design(&design, &ya).unwrap();
+        for (a, b) in first.coefficients.iter().zip(again.coefficients.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(first.rss.to_bits(), again.rss.to_bits());
+        assert_eq!(first.tss.to_bits(), again.tss.to_bits());
+    }
+
+    #[test]
+    fn blocked_accumulation_matches_sequential_oracle_within_epsilon() {
+        // Epsilon tier: the normal equations accumulate through the 4-lane
+        // blocked dot kernel; the seed's strict sequential folds are the
+        // oracle.
+        let n = 127;
+        let x1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin() * 2.0).collect();
+        let x2: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).cos() + 0.2).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 1.0 + 0.8 * x1[i] - 1.7 * x2[i] + (i as f64 * 0.47).sin() * 0.3)
+            .collect();
+        let mut design = Design::new();
+        design.reset(n);
+        design.push_intercept();
+        design.push_column(&x1).unwrap();
+        design.push_column(&x2).unwrap();
+        let blocked = fit_design(&design, &y).unwrap();
+
+        // Sequential normal equations + the crate solver, as the seed did.
+        let k = design.n_cols();
+        let mut xtx = Matrix::zeros(k, k);
+        let mut xty = vec![0.0; k];
+        for (i, target) in xty.iter_mut().enumerate() {
+            let ci = design.column(i);
+            for j in i..k {
+                let cj = design.column(j);
+                let dot = ci
+                    .iter()
+                    .zip(cj.iter())
+                    .fold(0.0, |acc, (a, b)| acc + a * b);
+                xtx.set(i, j, dot);
+                xtx.set(j, i, dot);
+            }
+            *target = ci.iter().zip(y.iter()).fold(0.0, |acc, (a, b)| acc + a * b);
+        }
+        let beta = crate::linalg::solve(&xtx, &xty).unwrap();
+        for (b, o) in blocked.coefficients.iter().zip(beta.iter()) {
+            assert!(
+                (b - o).abs() <= 1e-9 * 1.0_f64.max(o.abs()),
+                "blocked {b} vs sequential {o}"
+            );
+        }
     }
 
     #[test]

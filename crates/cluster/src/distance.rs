@@ -12,7 +12,7 @@
 
 use crate::{ClusterError, Result};
 use sieve_exec::try_par_map_chunks;
-use sieve_timeseries::spectrum::{sbd_from_spectra, SeriesSpectrum};
+use sieve_timeseries::spectrum::{sbd_from_spectra, SeriesSpectrum, SpectrumBatch};
 
 /// A symmetric matrix of pairwise shape-based distances with a zero
 /// diagonal.
@@ -117,9 +117,18 @@ pub fn compute_spectra<S: AsRef<[f64]>>(
         }
     }
     let refs: Vec<&[f64]> = series.iter().map(|s| s.as_ref()).collect();
-    try_par_map_chunks(workers, &refs, |s| {
-        SeriesSpectrum::compute(s).map_err(ClusterError::from)
-    })
+    // Each worker transforms its contiguous slice of series through one
+    // [`SpectrumBatch`] (shared twiddle table, one arena pass). The batch is
+    // bit-identical to per-series [`SeriesSpectrum::compute`], so the result
+    // does not depend on how the series are grouped across workers.
+    let chunk = refs.len().div_ceil(workers.max(1)).max(1);
+    let groups: Vec<&[&[f64]]> = refs.chunks(chunk).collect();
+    let batches: Vec<Vec<SeriesSpectrum>> = try_par_map_chunks(workers, &groups, |group| {
+        SpectrumBatch::compute(group)
+            .map(SpectrumBatch::into_spectra)
+            .map_err(ClusterError::from)
+    })?;
+    Ok(batches.into_iter().flatten().collect())
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 
 use crate::distance::compute_spectra;
 use crate::{ClusterError, Result};
-use sieve_timeseries::normalize::z_normalize;
+use sieve_timeseries::normalize::{z_normalize, z_normalize_into};
 use sieve_timeseries::sbd::{align_to, apply_shift, shape_based_distance};
 use sieve_timeseries::spectrum::{sbd_from_spectra, SeriesSpectrum};
 
@@ -131,8 +131,16 @@ impl KShapeResult {
 /// instead of re-running three FFTs per (series, centroid) pair.
 #[derive(Debug, Clone)]
 pub struct KShapeSeriesCache {
-    /// z-normalized copies of the input series.
-    data: Vec<Vec<f64>>,
+    /// z-normalized copies of the input series, packed end to end in one
+    /// contiguous columnar arena of `count × series_len` values. Series `i`
+    /// occupies `z_buffer[i * series_len..(i + 1) * series_len]`; the packing
+    /// keeps the refinement loops walking sequential memory instead of
+    /// chasing one heap allocation per series.
+    z_buffer: Vec<f64>,
+    /// Length of each (rectangular) series.
+    series_len: usize,
+    /// Number of cached series.
+    count: usize,
     /// Spectra of the z-normalized copies.
     spectra: Vec<SeriesSpectrum>,
 }
@@ -162,25 +170,66 @@ impl KShapeSeriesCache {
         if series.is_empty() || series[0].as_ref().is_empty() {
             return Err(ClusterError::NoData);
         }
+        let m = series[0].as_ref().len();
+        for (i, s) in series.iter().enumerate() {
+            if s.as_ref().len() != m {
+                return Err(ClusterError::InconsistentLengths {
+                    expected: m,
+                    index: i,
+                    actual: s.as_ref().len(),
+                });
+            }
+        }
         let refs: Vec<&[f64]> = series.iter().map(|s| s.as_ref()).collect();
-        let data: Vec<Vec<f64>> = sieve_exec::par_map_chunks(workers, &refs, |s| z_normalize(s));
-        let spectra = compute_spectra(&data, workers)?;
-        Ok(Self { data, spectra })
+        // Each worker z-normalizes a contiguous group of series straight
+        // into a packed sub-buffer; the group buffers concatenate into one
+        // columnar arena. `z_normalize_into` is bit-identical to
+        // `z_normalize`, so the cache contents do not depend on the worker
+        // count or the grouping.
+        let chunk = refs.len().div_ceil(workers.max(1)).max(1);
+        let groups: Vec<&[&[f64]]> = refs.chunks(chunk).collect();
+        let packed: Vec<Vec<f64>> = sieve_exec::par_map_chunks(workers, &groups, |group| {
+            let mut buf = vec![0.0; group.len() * m];
+            for (s, out) in group.iter().zip(buf.chunks_exact_mut(m)) {
+                z_normalize_into(s, out);
+            }
+            buf
+        });
+        let z_buffer = packed.concat();
+        let views: Vec<&[f64]> = z_buffer.chunks_exact(m).collect();
+        let spectra = compute_spectra(&views, workers)?;
+        Ok(Self {
+            z_buffer,
+            series_len: m,
+            count: refs.len(),
+            spectra,
+        })
     }
 
     /// Number of cached series.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.count
     }
 
     /// Whether the cache holds zero series.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.count == 0
     }
 
     /// Length of each (rectangular) series.
     pub fn series_len(&self) -> usize {
-        self.data[0].len()
+        self.series_len
+    }
+
+    /// The z-normalized copy of series `i` — a view into the contiguous
+    /// columnar arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn series(&self, i: usize) -> &[f64] {
+        let start = i * self.series_len;
+        &self.z_buffer[start..start + self.series_len]
     }
 }
 
@@ -492,7 +541,7 @@ fn extract_shape_cached(
     // Reference for alignment: previous centroid, or the first member if the
     // centroid is still the zero vector.
     let reference: Vec<f64> = if previous_centroid.iter().all(|&v| v == 0.0) {
-        cache.data[members[0]].clone()
+        cache.series(members[0]).to_vec()
     } else {
         previous_centroid.to_vec()
     };
@@ -502,7 +551,7 @@ fn extract_shape_cached(
     let mut aligned: Vec<Vec<f64>> = Vec::with_capacity(members.len());
     for &i in members {
         let r = sbd_from_spectra(&reference_spectrum, &cache.spectra[i])?;
-        aligned.push(z_normalize(&apply_shift(&cache.data[i], r.shift)));
+        aligned.push(z_normalize(&apply_shift(cache.series(i), r.shift)));
     }
 
     let candidate = match power_iterate_shape(&aligned, m, power_iterations) {
@@ -826,6 +875,24 @@ mod tests {
             KShape::new(bad_init).fit_cached(&cache),
             Err(ClusterError::InvalidInitialAssignment { .. })
         ));
+    }
+
+    #[test]
+    fn columnar_cache_views_match_per_series_z_normalize_bitwise() {
+        let series = noisy_family(&|i| ((i as f64) * 0.3).sin(), 7, 33, 41);
+        for workers in [1, 2, 4, 16] {
+            let cache = KShapeSeriesCache::new_parallel(&series, workers).unwrap();
+            assert_eq!(cache.len(), series.len());
+            assert_eq!(cache.series_len(), 33);
+            for (i, s) in series.iter().enumerate() {
+                let expected = z_normalize(s);
+                let view = cache.series(i);
+                assert_eq!(view.len(), expected.len());
+                for (a, b) in view.iter().zip(expected.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "series {i}, workers {workers}");
+                }
+            }
+        }
     }
 
     #[test]

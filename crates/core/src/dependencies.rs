@@ -13,8 +13,9 @@
 //! The comparisons run per-edge through [`sieve_exec::par_map_chunks`] — the
 //! same executor as the reduction step — and the candidate-edge list comes
 //! back in plan order, so the resulting graph is identical regardless of the
-//! parallelism degree. The series lookup borrows the `Arc`-shared prepared
-//! buffers; nothing on this path clones a string or a sample vector.
+//! parallelism degree. The series lookup borrows views of the columnar
+//! prepared arenas; nothing on this path clones a string or a sample
+//! vector.
 //!
 //! By default (`SieveConfig::use_granger_cache`) the stage runs on the
 //! shared causality engine: every (component, metric) series referenced by
@@ -25,16 +26,15 @@
 //! reuses that state instead of redoing the per-series work per pair. The
 //! naive per-pair path is kept as the bit-identical reference oracle.
 
+use crate::columnar::PreparedComponent;
 use crate::config::SieveConfig;
 use crate::model::ComponentClustering;
-use crate::reduce::NamedSeries;
 use crate::Result;
 use sieve_causality::engine::{granger_causes_prepared, PreparedGrangerSeries};
 use sieve_causality::granger::{granger_causes, GrangerResult};
 use sieve_exec::{par_map_chunks, Name};
 use sieve_graph::{CallGraph, DependencyEdge, DependencyGraph};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::Arc;
 
 /// A `(component, metric)` key borrowing the interned names of the plan.
 pub(crate) type SeriesKey<'a> = (&'a str, &'a str);
@@ -103,15 +103,16 @@ pub fn planned_comparison_count(
     comparison_plan(call_graph, clusterings).len() * 2
 }
 
-/// Indexes a prepared-series map for O(1) lookup. Keys borrow the interned
-/// names, values borrow the shared buffers — no clones on this path.
+/// Indexes a prepared-component map for O(1) lookup. Keys borrow the
+/// interned names, values borrow views of the columnar arenas — no clones
+/// on this path.
 pub(crate) fn series_lookup(
-    series: &BTreeMap<Name, Vec<NamedSeries>>,
-) -> HashMap<SeriesKey<'_>, &Arc<[f64]>> {
-    let mut lookup: HashMap<SeriesKey<'_>, &Arc<[f64]>> = HashMap::new();
-    for (component, list) in series {
-        for s in list {
-            lookup.insert((component.as_str(), s.name.as_str()), &s.values);
+    series: &BTreeMap<Name, PreparedComponent>,
+) -> HashMap<SeriesKey<'_>, &[f64]> {
+    let mut lookup: HashMap<SeriesKey<'_>, &[f64]> = HashMap::new();
+    for (component, prepared) in series {
+        for (name, values) in prepared.iter() {
+            lookup.insert((component.as_str(), name.as_str()), values);
         }
     }
     lookup
@@ -122,7 +123,7 @@ pub(crate) fn series_lookup(
 /// incremental session caches. [`identify_dependencies`] flattens this.
 pub(crate) fn candidate_edges_per_comparison(
     plan: &[Comparison],
-    lookup: &HashMap<SeriesKey<'_>, &Arc<[f64]>>,
+    lookup: &HashMap<SeriesKey<'_>, &[f64]>,
     config: &SieveConfig,
 ) -> Vec<Vec<DependencyEdge>> {
     if config.use_granger_cache {
@@ -157,8 +158,8 @@ pub(crate) fn assemble_graph(
 
 /// Runs the Granger comparisons and assembles the dependency graph.
 ///
-/// `series` maps each component to its prepared (resampled, `Arc`-shared)
-/// metric series — the same buffers the reduction step ran on.
+/// `series` maps each component to its prepared (resampled, columnar,
+/// `Arc`-shared) series arena — the same buffers the reduction step ran on.
 ///
 /// # Errors
 ///
@@ -166,7 +167,7 @@ pub(crate) fn assemble_graph(
 /// that fail because a series is too short or degenerate are simply skipped
 /// (no edge is produced).
 pub fn identify_dependencies(
-    series: &BTreeMap<Name, Vec<NamedSeries>>,
+    series: &BTreeMap<Name, PreparedComponent>,
     clusterings: &BTreeMap<Name, ComponentClustering>,
     call_graph: &CallGraph,
     config: &SieveConfig,
@@ -233,7 +234,7 @@ fn edges_for_comparison(
 /// benchmarked against.
 fn naive_candidate_edges(
     plan: &[Comparison],
-    lookup: &HashMap<SeriesKey<'_>, &Arc<[f64]>>,
+    lookup: &HashMap<SeriesKey<'_>, &[f64]>,
     config: &SieveConfig,
 ) -> Vec<Vec<DependencyEdge>> {
     let per_comparison = |cmp: &Comparison| -> Vec<DependencyEdge> {
@@ -253,15 +254,16 @@ fn naive_candidate_edges(
 }
 
 /// The engine path: one [`PreparedGrangerSeries`] per (component, metric)
-/// referenced by the plan, built up front through the shared executor
-/// (sharing the pipeline's `Arc` buffers — no sample is copied), then every
-/// per-edge test in both directions reuses it. The per-series ADF verdicts
-/// and variances are computed exactly once, the differenced buffers and
-/// restricted fits at most once per (differenced, order) key — instead of
-/// once per edge the series participates in.
+/// referenced by the plan, built up front through the shared executor (each
+/// needed representative is copied out of the columnar arena exactly once,
+/// into the engine's own buffer), then every per-edge test in both
+/// directions reuses it. The per-series ADF verdicts and variances are
+/// computed exactly once, the differenced buffers and restricted fits at
+/// most once per (differenced, order) key — instead of once per edge the
+/// series participates in.
 fn cached_candidate_edges(
     plan: &[Comparison],
-    lookup: &HashMap<SeriesKey<'_>, &Arc<[f64]>>,
+    lookup: &HashMap<SeriesKey<'_>, &[f64]>,
     config: &SieveConfig,
 ) -> Vec<Vec<DependencyEdge>> {
     let needed: BTreeSet<SeriesKey<'_>> = plan
@@ -273,12 +275,12 @@ fn cached_candidate_edges(
             ]
         })
         .collect();
-    let entries: Vec<(SeriesKey<'_>, &Arc<[f64]>)> = needed
+    let entries: Vec<(SeriesKey<'_>, &[f64])> = needed
         .into_iter()
         .filter_map(|key| lookup.get(&key).map(|values| (key, *values)))
         .collect();
     let states = par_map_chunks(config.parallelism, &entries, |(_, values)| {
-        PreparedGrangerSeries::prepare(Arc::clone(values))
+        PreparedGrangerSeries::prepare(*values)
     });
     let prepared: HashMap<SeriesKey<'_>, PreparedGrangerSeries> =
         entries.iter().map(|(key, _)| *key).zip(states).collect();
@@ -340,7 +342,7 @@ mod tests {
     /// `backend/queries` with a one-step lag and `backend/noise` is
     /// unrelated.
     fn scenario() -> (
-        BTreeMap<Name, Vec<NamedSeries>>,
+        BTreeMap<Name, PreparedComponent>,
         BTreeMap<Name, ComponentClustering>,
         CallGraph,
     ) {
@@ -362,14 +364,14 @@ mod tests {
         let mut series = BTreeMap::new();
         series.insert(
             Name::new("frontend"),
-            vec![NamedSeries::new("requests", requests)],
+            PreparedComponent::from_rows(vec![(Name::new("requests"), requests)]),
         );
         series.insert(
             Name::new("backend"),
-            vec![
-                NamedSeries::new("queries", queries),
-                NamedSeries::new("noise", unrelated),
-            ],
+            PreparedComponent::from_rows(vec![
+                (Name::new("queries"), queries),
+                (Name::new("noise"), unrelated),
+            ]),
         );
 
         let mut clusterings = BTreeMap::new();
@@ -529,8 +531,14 @@ mod tests {
             .collect();
 
         let mut series = BTreeMap::new();
-        series.insert(Name::new("a"), vec![NamedSeries::new("x", x)]);
-        series.insert(Name::new("b"), vec![NamedSeries::new("y", y)]);
+        series.insert(
+            Name::new("a"),
+            PreparedComponent::from_rows(vec![(Name::new("x"), x)]),
+        );
+        series.insert(
+            Name::new("b"),
+            PreparedComponent::from_rows(vec![(Name::new("y"), y)]),
+        );
         let mut clusterings = BTreeMap::new();
         clusterings.insert(Name::new("a"), clustering("a", vec!["x"]));
         clusterings.insert(Name::new("b"), clustering("b", vec!["y"]));
@@ -542,14 +550,14 @@ mod tests {
         // Sanity-check the setup: both directions really are significant
         // before filtering (otherwise this test would pass vacuously).
         let forward = sieve_causality::granger::granger_causes(
-            &series["a"][0].values,
-            &series["b"][0].values,
+            series["a"].series(0),
+            series["b"].series(0),
             &config.granger,
         )
         .unwrap();
         let backward = sieve_causality::granger::granger_causes(
-            &series["b"][0].values,
-            &series["a"][0].values,
+            series["b"].series(0),
+            series["a"].series(0),
             &config.granger,
         )
         .unwrap();
@@ -574,7 +582,7 @@ mod tests {
     fn missing_prepared_series_produce_no_edges() {
         let (_, clusterings, call_graph) = scenario();
         // Clusterings reference metrics that have no prepared series at all.
-        let empty: BTreeMap<Name, Vec<NamedSeries>> = BTreeMap::new();
+        let empty: BTreeMap<Name, PreparedComponent> = BTreeMap::new();
         let graph = identify_dependencies(
             &empty,
             &clusterings,

@@ -11,9 +11,10 @@
 //! input order, so a `parallelism = 1` run and a `parallelism = N` run
 //! produce *identical* [`SieveModel`]s, not merely equivalent ones.
 
+use crate::columnar::PreparedComponent;
 use crate::config::SieveConfig;
 use crate::model::SieveModel;
-use crate::reduce::{prepare_series, NamedSeries};
+use crate::reduce::prepare_series;
 use crate::session::AnalysisSession;
 use crate::{Result, SieveError};
 use sieve_exec::{par_map_chunks, Name};
@@ -63,7 +64,7 @@ pub(crate) fn prepare_components(
     store: &MetricStore,
     components: &[Name],
     config: &SieveConfig,
-) -> Vec<Vec<NamedSeries>> {
+) -> Vec<PreparedComponent> {
     par_map_chunks(config.parallelism, components, |component| {
         let mut raw: Vec<(Name, TimeSeries)> = Vec::new();
         store.for_each_series_of(component.as_str(), |id, series| {
@@ -92,9 +93,10 @@ impl Sieve {
 
     /// Prepares (resamples and truncates) the series of every component in
     /// the store, in parallel through the shared executor (component order
-    /// is preserved). The returned series are `Arc`-shared: steps 2 and 3
-    /// both read these buffers without re-copying them.
-    pub fn prepare(&self, store: &MetricStore) -> BTreeMap<Name, Vec<NamedSeries>> {
+    /// is preserved). Each component's series come back packed into one
+    /// columnar, `Arc`-shared [`PreparedComponent`] arena: steps 2 and 3
+    /// both read views of these buffers without re-copying them.
+    pub fn prepare(&self, store: &MetricStore) -> BTreeMap<Name, PreparedComponent> {
         let components = store.components();
         let prepared = prepare_components(store, &components, &self.config);
         components.into_iter().zip(prepared).collect()

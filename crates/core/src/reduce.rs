@@ -18,9 +18,11 @@
 //! would keep a byte counter that is constant up to rounding noise and drop
 //! a perfectly informative ratio metric.
 //!
-//! Prepared series are `Arc`-shared slices: the reduction here and the
-//! dependency identification of step 3 read the *same* buffers, and the
-//! k-Shape/silhouette calls below borrow them without copying.
+//! Prepared series live in one columnar [`PreparedComponent`] arena per
+//! component (a single `Arc`-shared backing buffer): the reduction here and
+//! the dependency identification of step 3 read the *same* buffer, and the
+//! k-Shape/silhouette calls below borrow contiguous views of it without
+//! copying.
 //!
 //! The k sweep itself runs on the shared SBD engine by default
 //! (`SieveConfig::use_sbd_cache`): per-series spectra and the pairwise
@@ -28,6 +30,7 @@
 //! candidate `k`, with the direct-SBD path kept as the bit-identical
 //! reference oracle.
 
+use crate::columnar::PreparedComponent;
 use crate::config::SieveConfig;
 use crate::model::{ComponentClustering, MetricCluster};
 use crate::Result;
@@ -66,11 +69,12 @@ impl NamedSeries {
 }
 
 /// Resamples a set of raw metric series of one component onto the common
-/// grid and truncates them to a common length.
+/// grid and packs them, truncated to a common length, into one columnar
+/// [`PreparedComponent`] arena.
 ///
 /// Series that are empty or too short to resample are skipped.
-pub fn prepare_series(raw: &[(Name, TimeSeries)], interval_ms: u64) -> Vec<NamedSeries> {
-    let mut resampled: Vec<(Name, Vec<f64>)> = raw
+pub fn prepare_series(raw: &[(Name, TimeSeries)], interval_ms: u64) -> PreparedComponent {
+    let resampled: Vec<(Name, Vec<f64>)> = raw
         .iter()
         .filter_map(|(name, series)| {
             if series.len() < 2 {
@@ -80,14 +84,9 @@ pub fn prepare_series(raw: &[(Name, TimeSeries)], interval_ms: u64) -> Vec<Named
             Some((name.clone(), resampled.into_parts().1))
         })
         .collect();
-    let min_len = resampled.iter().map(|(_, v)| v.len()).min().unwrap_or(0);
-    for (_, values) in &mut resampled {
-        values.truncate(min_len);
-    }
-    resampled
-        .into_iter()
-        .map(|(name, values)| NamedSeries::new(name, values))
-        .collect()
+    // `from_rows` truncates every row to the shortest one, which is exactly
+    // the rectangularisation rule this step has always applied.
+    PreparedComponent::from_rows(resampled)
 }
 
 /// Scale-free variance used by the unvarying-metric filter.
@@ -115,20 +114,21 @@ pub fn is_unvarying(values: &[f64], threshold: f64) -> bool {
 /// than an error.
 pub fn reduce_component(
     component: impl Into<Name>,
-    series: &[NamedSeries],
+    prepared: &PreparedComponent,
     config: &SieveConfig,
 ) -> Result<ComponentClustering> {
     let component = component.into();
-    let total_metrics = series.len();
+    let total_metrics = prepared.len();
 
     // 1. Variance filter.
     let mut filtered_metrics = Vec::new();
-    let mut kept: Vec<&NamedSeries> = Vec::new();
-    for s in series {
-        if s.values.len() < 4 || is_unvarying(&s.values, config.variance_threshold) {
-            filtered_metrics.push(s.name.clone());
+    let mut kept: Vec<usize> = Vec::new();
+    for i in 0..prepared.len() {
+        let values = prepared.series(i);
+        if values.len() < 4 || is_unvarying(values, config.variance_threshold) {
+            filtered_metrics.push(prepared.name(i).clone());
         } else {
-            kept.push(s);
+            kept.push(i);
         }
     }
 
@@ -148,8 +148,8 @@ pub fn reduce_component(
             total_metrics,
             filtered_metrics,
             clusters: vec![MetricCluster {
-                members: vec![kept[0].name.clone()],
-                representative: kept[0].name.clone(),
+                members: vec![prepared.name(kept[0]).clone()],
+                representative: prepared.name(kept[0]).clone(),
                 representative_distance: 0.0,
             }],
             silhouette: 0.0,
@@ -157,9 +157,11 @@ pub fn reduce_component(
         });
     }
 
-    // Borrow the shared buffers — no per-stage copies of the series data.
-    let data: Vec<&[f64]> = kept.iter().map(|s| &*s.values).collect();
-    let names: Vec<&str> = kept.iter().map(|s| s.name.as_str()).collect();
+    // Borrow contiguous views of the columnar arena — no per-stage copies
+    // of the series data.
+    let data: Vec<&[f64]> = kept.iter().map(|&i| prepared.series(i)).collect();
+    let kept_names: Vec<&Name> = kept.iter().map(|&i| prepared.name(i)).collect();
+    let names: Vec<&str> = kept_names.iter().map(|n| n.as_str()).collect();
 
     // 2. Try every k in the configured range and keep the best silhouette,
     // then 3. pick each cluster's representative. The cached path computes
@@ -168,9 +170,9 @@ pub fn reduce_component(
     // every distance from scratch. Both are bit-identical (asserted by
     // tests and the benches).
     let (silhouette, chosen_k, clusters) = if config.use_sbd_cache {
-        sweep_cached(&data, &names, &kept, config)?
+        sweep_cached(&data, &names, &kept_names, config)?
     } else {
-        sweep_naive(&data, &names, &kept, config)?
+        sweep_naive(&data, &names, &kept_names, config)?
     };
 
     Ok(ComponentClustering {
@@ -190,7 +192,7 @@ pub fn reduce_component(
 fn sweep_cached(
     data: &[&[f64]],
     names: &[&str],
-    kept: &[&NamedSeries],
+    kept: &[&Name],
     config: &SieveConfig,
 ) -> Result<(f64, usize, Vec<MetricCluster>)> {
     // Spectra of the *raw* prepared series drive the silhouette matrix and
@@ -243,7 +245,7 @@ fn sweep_cached(
 fn sweep_naive(
     data: &[&[f64]],
     names: &[&str],
-    kept: &[&NamedSeries],
+    kept: &[&Name],
     config: &SieveConfig,
 ) -> Result<(f64, usize, Vec<MetricCluster>)> {
     let max_k = config.max_clusters.min(data.len().saturating_sub(1)).max(1);
@@ -287,7 +289,7 @@ fn sweep_naive(
 fn build_clusters(
     result: &KShapeResult,
     chosen_k: usize,
-    kept: &[&NamedSeries],
+    kept: &[&Name],
     centroid_distances: impl Fn(&[f64], &[usize]) -> Vec<f64>,
 ) -> Vec<MetricCluster> {
     let mut clusters = Vec::new();
@@ -311,11 +313,8 @@ fn build_clusters(
             }
         }
         clusters.push(MetricCluster {
-            members: member_indices
-                .iter()
-                .map(|&i| kept[i].name.clone())
-                .collect(),
-            representative: kept[representative].name.clone(),
+            members: member_indices.iter().map(|&i| kept[i].clone()).collect(),
+            representative: kept[representative].clone(),
             representative_distance: if best_distance.is_finite() {
                 best_distance
             } else {
@@ -380,7 +379,7 @@ mod tests {
             500,
         );
         assert_eq!(prepared.len(), 2, "too-short series are skipped");
-        assert_eq!(prepared[0].values.len(), prepared[1].values.len());
+        assert_eq!(prepared.series(0).len(), prepared.series(1).len());
     }
 
     #[test]
@@ -403,8 +402,8 @@ mod tests {
             500,
         );
         assert_eq!(prepared.len(), 1);
-        assert_eq!(prepared[0].name, "ok");
-        assert_eq!(prepared[0].values.len(), 20);
+        assert_eq!(prepared.name(0), "ok");
+        assert_eq!(prepared.series(0).len(), 20);
     }
 
     #[test]
@@ -418,15 +417,16 @@ mod tests {
             500,
         );
         assert_eq!(prepared.len(), 2);
-        assert!(prepared.iter().all(|s| s.values.len() == 10));
+        assert_eq!(prepared.series_len(), 10);
+        assert!(prepared.iter().all(|(_, values)| values.len() == 10));
     }
 
     #[test]
     fn prepared_series_share_buffers_on_clone() {
         let ts = TimeSeries::from_values(0, 500, (0..20).map(|i| i as f64).collect());
         let prepared = prepare_series(&[(Name::new("m"), ts)], 500);
-        let copy = prepared[0].clone();
-        assert!(Arc::ptr_eq(&copy.values, &prepared[0].values));
+        let copy = prepared.clone();
+        assert!(Arc::ptr_eq(copy.buffer(), prepared.buffer()));
     }
 
     #[test]
@@ -451,7 +451,8 @@ mod tests {
         series.push(named("num_cpus", vec![4.0; len]));
 
         let config = SieveConfig::default().with_cluster_range(2, 4);
-        let clustering = reduce_component("web", &series, &config).unwrap();
+        let clustering =
+            reduce_component("web", &PreparedComponent::from_named(&series), &config).unwrap();
 
         assert_eq!(clustering.total_metrics, 8);
         assert_eq!(clustering.filtered_metrics.len(), 2);
@@ -493,8 +494,10 @@ mod tests {
         series.push(named("flat", vec![9.0; len]));
 
         let base = SieveConfig::default().with_cluster_range(2, 5);
-        let cached = reduce_component("web", &series, &base.clone().with_sbd_cache(true)).unwrap();
-        let naive = reduce_component("web", &series, &base.with_sbd_cache(false)).unwrap();
+        let prepared = PreparedComponent::from_named(&series);
+        let cached =
+            reduce_component("web", &prepared, &base.clone().with_sbd_cache(true)).unwrap();
+        let naive = reduce_component("web", &prepared, &base.with_sbd_cache(false)).unwrap();
         // Full structural equality including every representative distance
         // and silhouette value — the engine must not change a single bit.
         assert_eq!(cached, naive);
@@ -510,7 +513,12 @@ mod tests {
     #[test]
     fn all_constant_component_yields_zero_clusters() {
         let series = vec![named("a", vec![1.0; 50]), named("b", vec![2.0; 50])];
-        let clustering = reduce_component("idle", &series, &SieveConfig::default()).unwrap();
+        let clustering = reduce_component(
+            "idle",
+            &PreparedComponent::from_named(&series),
+            &SieveConfig::default(),
+        )
+        .unwrap();
         assert_eq!(clustering.clusters.len(), 0);
         assert_eq!(clustering.chosen_k, 0);
         assert_eq!(clustering.filtered_metrics.len(), 2);
@@ -523,7 +531,12 @@ mod tests {
             named("only", shapes(0, 1.0, 50)),
             named("flat", vec![3.0; 50]),
         ];
-        let clustering = reduce_component("single", &series, &SieveConfig::default()).unwrap();
+        let clustering = reduce_component(
+            "single",
+            &PreparedComponent::from_named(&series),
+            &SieveConfig::default(),
+        )
+        .unwrap();
         assert_eq!(clustering.chosen_k, 1);
         assert_eq!(clustering.clusters.len(), 1);
         assert_eq!(clustering.clusters[0].representative, "only");
@@ -531,7 +544,12 @@ mod tests {
 
     #[test]
     fn empty_component_is_handled() {
-        let clustering = reduce_component("none", &[], &SieveConfig::default()).unwrap();
+        let clustering = reduce_component(
+            "none",
+            &PreparedComponent::default(),
+            &SieveConfig::default(),
+        )
+        .unwrap();
         assert_eq!(clustering.total_metrics, 0);
         assert_eq!(clustering.clusters.len(), 0);
     }

@@ -59,13 +59,14 @@
 //! }
 //! ```
 
+use crate::columnar::PreparedComponent;
 use crate::config::SieveConfig;
 use crate::dependencies::{
     assemble_graph, candidate_edges_per_comparison, comparison_plan, Comparison, SeriesKey,
 };
 use crate::model::{ComponentClustering, SieveModel};
 use crate::pipeline::prepare_components;
-use crate::reduce::{reduce_component, NamedSeries};
+use crate::reduce::reduce_component;
 use crate::Result;
 use sieve_exec::hash::{fingerprint_f64s, mix, mix_f64, mix_str, FINGERPRINT_SEED};
 use sieve_exec::{try_par_map_chunks, Name};
@@ -95,9 +96,10 @@ pub struct SessionStats {
 
 /// Cached per-component preparation state.
 #[derive(Debug, Clone)]
-struct PreparedComponent {
-    /// The prepared (resampled, truncated, `Arc`-shared) series.
-    series: Vec<NamedSeries>,
+struct PreparedEntry {
+    /// The prepared (resampled, truncated) series, packed into one
+    /// columnar, `Arc`-shared [`PreparedComponent`] arena.
+    prepared: PreparedComponent,
     /// Content fingerprint of each prepared series, index-aligned.
     series_fps: Vec<u64>,
     /// Combined fingerprint of the whole prepared set (names + values +
@@ -164,8 +166,8 @@ pub struct AnalysisSession {
     application: String,
     store: MetricStore,
     call_graph: CallGraph,
-    /// Prepared series + fingerprints per component.
-    prepared: BTreeMap<Name, PreparedComponent>,
+    /// Prepared columnar series arenas + fingerprints per component.
+    prepared: BTreeMap<Name, PreparedEntry>,
     /// Cached clustering per component, valid for `clustering_keys[name]`.
     clusterings: BTreeMap<Name, ComponentClustering>,
     clustering_keys: BTreeMap<Name, u64>,
@@ -390,18 +392,18 @@ impl AnalysisSession {
         let dirty_components: Vec<Name> = std::mem::take(&mut self.dirty).into_iter().collect();
         stats.components_prepared = dirty_components.len();
         let freshly_prepared = prepare_components(&self.store, &dirty_components, &self.config);
-        for (component, series) in dirty_components.iter().zip(freshly_prepared) {
-            let series_fps: Vec<u64> = series.iter().map(|s| fingerprint_f64s(&s.values)).collect();
-            let clustering_key = series
-                .iter()
-                .zip(&series_fps)
-                .fold(mix(self.config_fp, series.len() as u64), |acc, (s, &fp)| {
-                    mix(mix_str(acc, s.name.as_str()), fp)
-                });
+        for (component, prepared) in dirty_components.iter().zip(freshly_prepared) {
+            let series_fps: Vec<u64> = (0..prepared.len())
+                .map(|i| fingerprint_f64s(prepared.series(i)))
+                .collect();
+            let clustering_key = prepared.names().iter().zip(&series_fps).fold(
+                mix(self.config_fp, prepared.len() as u64),
+                |acc, (name, &fp)| mix(mix_str(acc, name.as_str()), fp),
+            );
             self.prepared.insert(
                 component.clone(),
-                PreparedComponent {
-                    series,
+                PreparedEntry {
+                    prepared,
                     series_fps,
                     clustering_key,
                 },
@@ -415,7 +417,7 @@ impl AnalysisSession {
         //    the dirty list costs one key comparison per component and
         //    makes the step self-healing: if a previous refresh failed
         //    after re-preparing, the key mismatch is still visible here.
-        let to_recluster: Vec<(&Name, &PreparedComponent)> = self
+        let to_recluster: Vec<(&Name, &PreparedEntry)> = self
             .prepared
             .iter()
             .filter(|(component, pc)| {
@@ -425,7 +427,7 @@ impl AnalysisSession {
         stats.components_reclustered = to_recluster.len();
         let reclustered =
             match try_par_map_chunks(self.config.parallelism, &to_recluster, |(component, pc)| {
-                reduce_component((*component).clone(), &pc.series, &self.config)
+                reduce_component((*component).clone(), &pc.prepared, &self.config)
                     .map(|clustering| ((*component).clone(), pc.clustering_key, clustering))
             }) {
                 Ok(reclustered) => reclustered,
@@ -453,11 +455,11 @@ impl AnalysisSession {
         stats.comparisons_planned = plan.len();
 
         // (fingerprint, values) per prepared series, borrowed from the
-        // caches — nothing on this path copies a sample.
-        let mut lookup: HashMap<SeriesKey<'_>, (u64, &Arc<[f64]>)> = HashMap::new();
+        // columnar arenas — nothing on this path copies a sample.
+        let mut lookup: HashMap<SeriesKey<'_>, (u64, &[f64])> = HashMap::new();
         for (component, pc) in &self.prepared {
-            for (s, &fp) in pc.series.iter().zip(&pc.series_fps) {
-                lookup.insert((component.as_str(), s.name.as_str()), (fp, &s.values));
+            for ((name, values), &fp) in pc.prepared.iter().zip(&pc.series_fps) {
+                lookup.insert((component.as_str(), name.as_str()), (fp, values));
             }
         }
 
@@ -492,7 +494,7 @@ impl AnalysisSession {
         if !miss_indices.is_empty() {
             let miss_plan: Vec<Comparison> =
                 miss_indices.iter().map(|&i| plan[i].clone()).collect();
-            let values_lookup: HashMap<SeriesKey<'_>, &Arc<[f64]>> = lookup
+            let values_lookup: HashMap<SeriesKey<'_>, &[f64]> = lookup
                 .iter()
                 .map(|(key, &(_, values))| (*key, values))
                 .collect();

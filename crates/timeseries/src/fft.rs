@@ -6,7 +6,9 @@
 //! Transformation"). We implement the transform from scratch so that the
 //! reproduction does not depend on external numerics crates.
 
+use std::collections::HashMap;
 use std::ops::{Add, Mul, Neg, Sub};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A complex number with `f64` components.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -89,13 +91,160 @@ pub fn next_power_of_two(n: usize) -> usize {
     n.next_power_of_two()
 }
 
-/// In-place iterative radix-2 FFT.
+/// Precomputed twiddle factors for one radix-2 FFT length.
+///
+/// The table stores, for every butterfly stage `len = 2, 4, …, n`, the
+/// `len/2` twiddles `w_0 … w_{len/2-1}` that the seed FFT derived on the fly
+/// via the recurrence `w_{k+1} = w_k * wlen`. The table is built with the
+/// **exact same recurrence** (not `e^{-2πik/len}` closed-form calls), so an
+/// FFT driven by the table performs bit-for-bit the same float operations as
+/// the recomputing oracle [`fft_in_place_naive`] — which is what keeps every
+/// cached==naive model-equality assert in the workspace bitwise.
+///
+/// All stages are flattened into one buffer; stage `len` starts at offset
+/// `len/2 - 1` (the stage sizes `1 + 2 + … + len/4` telescope), for `n - 1`
+/// factors in total.
+#[derive(Debug)]
+pub struct TwiddleTable {
+    n: usize,
+    factors: Vec<Complex>,
+}
+
+impl TwiddleTable {
+    /// Builds the table for FFT length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two");
+        let mut factors = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            // Same per-stage recurrence as the seed FFT's inner loop.
+            let ang = -2.0 * std::f64::consts::PI / len as f64;
+            let wlen = Complex::from_polar_unit(ang);
+            let mut w = Complex::from_real(1.0);
+            for _ in 0..len / 2 {
+                factors.push(w);
+                w = w * wlen;
+            }
+            len <<= 1;
+        }
+        Self { n, factors }
+    }
+
+    /// The FFT length this table serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the table is for the trivial length-1 transform (which has no
+    /// twiddle factors at all).
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// The twiddles of the stage with butterfly span `len` (a power of two
+    /// in `2..=self.len()`).
+    #[inline]
+    fn stage(&self, len: usize) -> &[Complex] {
+        &self.factors[len / 2 - 1..len - 1]
+    }
+}
+
+/// Process-wide cache of twiddle tables, keyed by FFT length.
+///
+/// A metric-reduction sweep runs thousands of same-length FFTs per
+/// component (every series of a component pads to the same power of two),
+/// so the table for each padded length is built once and shared via `Arc`
+/// across threads and call sites. The handful of distinct padded lengths a
+/// process ever sees keeps the cache tiny.
+pub fn twiddle_table(n: usize) -> Arc<TwiddleTable> {
+    static TABLES: OnceLock<Mutex<HashMap<usize, Arc<TwiddleTable>>>> = OnceLock::new();
+    let tables = TABLES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = tables.lock().expect("twiddle cache poisoned");
+    Arc::clone(
+        guard
+            .entry(n)
+            .or_insert_with(|| Arc::new(TwiddleTable::new(n))),
+    )
+}
+
+/// In-place iterative radix-2 FFT, driven by the process-wide twiddle cache.
+///
+/// Bit-identical to the recomputing oracle [`fft_in_place_naive`]: the cached
+/// table is produced by the same recurrence the oracle evaluates inline.
 ///
 /// # Panics
 ///
 /// Panics if `data.len()` is not a power of two (use [`next_power_of_two`]
 /// and zero-padding to prepare inputs).
 pub fn fft_in_place(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    let table = twiddle_table(n);
+    fft_in_place_with(data, &table);
+}
+
+/// In-place FFT against a caller-held twiddle table (one lock-free lookup
+/// per transform — the batched path fetches the table once per component).
+///
+/// # Panics
+///
+/// Panics if `data.len()` differs from the table's length.
+pub fn fft_in_place_with(data: &mut [Complex], table: &TwiddleTable) {
+    let n = data.len();
+    assert_eq!(n, table.len(), "FFT length must match the twiddle table");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly passes: identical float operations to the seed FFT, with the
+    // per-butterfly `w = w * wlen` recurrence replaced by a table load.
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let twiddles = table.stage(len);
+        let mut i = 0;
+        while i < n {
+            let (lo, hi) = data[i..i + len].split_at_mut(half);
+            for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(twiddles.iter()) {
+                let u = *a;
+                let v = *b * w;
+                *a = u + v;
+                *b = u - v;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// The seed in-place radix-2 FFT, recomputing twiddles on the fly via the
+/// per-stage recurrence. Kept as the reference oracle: property tests assert
+/// [`fft_in_place`] is **bitwise** equal to this across random lengths, and
+/// the `analysis` bench measures the twiddle-cached/batched paths against it.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_in_place_naive(data: &mut [Complex]) {
     let n = data.len();
     assert!(n.is_power_of_two(), "FFT length must be a power of two");
     if n <= 1 {
@@ -132,6 +281,33 @@ pub fn fft_in_place(data: &mut [Complex]) {
             i += len;
         }
         len <<= 1;
+    }
+}
+
+/// Batched in-place FFT: transforms every consecutive `n`-chunk of `data`
+/// with a single twiddle-table fetch, streaming one contiguous buffer.
+///
+/// Bit-identical to running [`fft_in_place`] on each chunk separately — the
+/// batch shares the table and the memory layout, not the summation order —
+/// so batched spectra can feed every bitwise model-equality assert.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `data.len()` is not a multiple of
+/// `n`.
+pub fn fft_batch(data: &mut [Complex], n: usize) {
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    assert_eq!(
+        data.len() % n,
+        0,
+        "batch buffer must be a whole number of length-{n} transforms"
+    );
+    if n <= 1 {
+        return;
+    }
+    let table = twiddle_table(n);
+    for chunk in data.chunks_exact_mut(n) {
+        fft_in_place_with(chunk, &table);
     }
 }
 
@@ -330,6 +506,107 @@ mod tests {
     fn cross_correlation_of_empty_is_empty() {
         assert!(cross_correlation(&[], &[1.0]).is_empty());
         assert!(cross_correlation(&[1.0], &[]).is_empty());
+    }
+
+    /// Deterministic splitmix64-style generator for the property tests.
+    fn splitmix(state: &mut u64) -> f64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        ((z >> 11) as f64) / (1u64 << 53) as f64 - 0.5
+    }
+
+    fn random_complex(len: usize, seed: u64) -> Vec<Complex> {
+        let mut s = seed;
+        (0..len)
+            .map(|_| Complex::new(50.0 * splitmix(&mut s), 50.0 * splitmix(&mut s)))
+            .collect()
+    }
+
+    fn assert_bitwise_eq(a: &[Complex], b: &[Complex], ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}");
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "{ctx}: re[{i}]");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "{ctx}: im[{i}]");
+        }
+    }
+
+    #[test]
+    fn twiddle_cached_fft_is_bitwise_equal_to_seed_fft() {
+        // Property: across random power-of-two lengths and random inputs, the
+        // table-driven FFT performs the exact float operations of the seed's
+        // recomputing FFT — bitwise, not approximately.
+        for exp in 0..=11usize {
+            let n = 1usize << exp;
+            for seed in 0..4u64 {
+                let original = random_complex(n, seed.wrapping_mul(0x9E37) + exp as u64 + 1);
+                let mut cached = original.clone();
+                let mut naive = original;
+                fft_in_place(&mut cached);
+                fft_in_place_naive(&mut naive);
+                assert_bitwise_eq(&cached, &naive, &format!("n={n} seed={seed}"));
+            }
+        }
+    }
+
+    #[test]
+    fn twiddle_table_matches_seed_recurrence() {
+        let n = 64;
+        let table = TwiddleTable::new(n);
+        assert_eq!(table.len(), n);
+        assert!(!table.is_empty());
+        let mut len = 2;
+        while len <= n {
+            let ang = -2.0 * std::f64::consts::PI / len as f64;
+            let wlen = Complex::from_polar_unit(ang);
+            let mut w = Complex::from_real(1.0);
+            for (k, &t) in table.stage(len).iter().enumerate() {
+                assert_eq!(t.re.to_bits(), w.re.to_bits(), "len={len} k={k}");
+                assert_eq!(t.im.to_bits(), w.im.to_bits(), "len={len} k={k}");
+                w = w * wlen;
+            }
+            len <<= 1;
+        }
+    }
+
+    #[test]
+    fn twiddle_cache_shares_tables_per_length() {
+        let a = twiddle_table(256);
+        let b = twiddle_table(256);
+        assert!(Arc::ptr_eq(&a, &b), "same length must share one table");
+        let c = twiddle_table(512);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn fft_batch_is_bitwise_equal_to_per_series_ffts() {
+        for (count, n) in [(1usize, 8usize), (3, 64), (7, 128), (16, 32)] {
+            let mut batch: Vec<Complex> = Vec::with_capacity(count * n);
+            let mut singles: Vec<Vec<Complex>> = Vec::with_capacity(count);
+            for series in 0..count {
+                let data = random_complex(n, series as u64 * 31 + 7);
+                batch.extend_from_slice(&data);
+                singles.push(data);
+            }
+            fft_batch(&mut batch, n);
+            for (series, single) in singles.iter_mut().enumerate() {
+                fft_in_place(single);
+                assert_bitwise_eq(
+                    &batch[series * n..(series + 1) * n],
+                    single,
+                    &format!("count={count} n={n} series={series}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn fft_batch_rejects_ragged_buffers() {
+        let mut data = vec![Complex::default(); 12];
+        fft_batch(&mut data, 8);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::fft::cross_correlation;
 use crate::normalize::z_normalize;
+use crate::stats::sum_of_squares;
 use crate::{Result, TimeSeriesError};
 
 /// Result of a shape-based distance computation.
@@ -48,8 +49,10 @@ pub fn ncc_sequence(x: &[f64], y: &[f64]) -> Result<Vec<f64>> {
     }
     let zx = z_normalize(x);
     let zy = z_normalize(y);
-    let norm_x: f64 = zx.iter().map(|v| v * v).sum::<f64>().sqrt();
-    let norm_y: f64 = zy.iter().map(|v| v * v).sum::<f64>().sqrt();
+    // Same chunked norm kernel as the cached-spectrum path, keeping the
+    // direct and cached SBD paths bitwise interchangeable.
+    let norm_x = sum_of_squares(&zx).sqrt();
+    let norm_y = sum_of_squares(&zy).sqrt();
     let denom = norm_x * norm_y;
     let cc = cross_correlation(&zx, &zy);
     if denom == 0.0 {

@@ -18,9 +18,13 @@
 //! direct path performs internally. The pipeline's cached/naive model
 //! equality tests rely on this.
 
-use crate::fft::{cross_correlation_from_ffts, fft_real, next_power_of_two, Complex};
+use crate::fft::{
+    cross_correlation_from_ffts, fft_in_place_with, fft_real, next_power_of_two, twiddle_table,
+    Complex,
+};
 use crate::normalize::z_normalize;
 use crate::sbd::{peak_of_ncc, SbdResult};
+use crate::stats::sum_of_squares;
 use crate::{Result, TimeSeriesError};
 use std::sync::Arc;
 
@@ -60,7 +64,9 @@ impl SeriesSpectrum {
         }
         let len = values.len();
         let z = z_normalize(values);
-        let norm: f64 = z.iter().map(|v| v * v).sum::<f64>().sqrt();
+        // Same chunked kernel as the direct SBD path and the batched path, so
+        // all three stay bitwise interchangeable.
+        let norm = sum_of_squares(&z).sqrt();
         let padded_len = next_power_of_two(2 * len - 1);
         let fft = fft_real(&z, padded_len);
         Ok(Self {
@@ -96,6 +102,108 @@ impl SeriesSpectrum {
     /// The padded FFT length.
     pub fn padded_len(&self) -> usize {
         self.padded_len
+    }
+}
+
+/// All spectra of one component, computed in a single pass over one
+/// contiguous FFT arena.
+///
+/// The pipeline's prepared series are truncated to a common length per
+/// component, so every spectrum of a component shares one padded FFT
+/// length. The batch exploits that: it fetches the twiddle table once,
+/// packs every z-normalized series into one contiguous `Complex` buffer and
+/// transforms the chunks back to back — one allocation and one table fetch
+/// for the whole component instead of one of each per series.
+///
+/// The result is **bitwise identical** to calling
+/// [`SeriesSpectrum::compute`] per series (asserted by property tests): the
+/// batch changes memory layout and table reuse, never the float operations.
+#[derive(Debug, Clone)]
+pub struct SpectrumBatch {
+    spectra: Vec<SeriesSpectrum>,
+}
+
+impl SpectrumBatch {
+    /// Computes the spectra of `series`, which must all have the same
+    /// nonzero length (the shape every per-component computation in the
+    /// pipeline has).
+    ///
+    /// # Errors
+    ///
+    /// * [`TimeSeriesError::Empty`] if any series is empty.
+    /// * [`TimeSeriesError::LengthMismatch`] if the series lengths differ.
+    pub fn compute<S: AsRef<[f64]>>(series: &[S]) -> Result<Self> {
+        let Some(first) = series.first() else {
+            return Ok(Self {
+                spectra: Vec::new(),
+            });
+        };
+        let len = first.as_ref().len();
+        if len == 0 {
+            return Err(TimeSeriesError::Empty);
+        }
+        for s in series {
+            let other = s.as_ref().len();
+            if other != len {
+                return Err(TimeSeriesError::LengthMismatch {
+                    left: len,
+                    right: other,
+                });
+            }
+            if other == 0 {
+                return Err(TimeSeriesError::Empty);
+            }
+        }
+        let padded_len = next_power_of_two(2 * len - 1);
+        let table = twiddle_table(padded_len);
+        // One contiguous arena for every transform of the component.
+        let mut arena = vec![Complex::default(); series.len() * padded_len];
+        let mut zs: Vec<Vec<f64>> = Vec::with_capacity(series.len());
+        for (chunk, s) in arena.chunks_exact_mut(padded_len).zip(series.iter()) {
+            let z = z_normalize(s.as_ref());
+            for (slot, &v) in chunk.iter_mut().zip(z.iter()) {
+                *slot = Complex::from_real(v);
+            }
+            zs.push(z);
+        }
+        for chunk in arena.chunks_exact_mut(padded_len) {
+            fft_in_place_with(chunk, &table);
+        }
+        let spectra = zs
+            .into_iter()
+            .zip(arena.chunks_exact(padded_len))
+            .map(|(z, fft)| {
+                let norm = sum_of_squares(&z).sqrt();
+                SeriesSpectrum {
+                    len,
+                    z: z.into(),
+                    norm,
+                    fft: fft.into(),
+                    padded_len,
+                }
+            })
+            .collect();
+        Ok(Self { spectra })
+    }
+
+    /// The computed spectra, in input order.
+    pub fn spectra(&self) -> &[SeriesSpectrum] {
+        &self.spectra
+    }
+
+    /// Number of spectra in the batch.
+    pub fn len(&self) -> usize {
+        self.spectra.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spectra.is_empty()
+    }
+
+    /// Consumes the batch, yielding the spectra in input order.
+    pub fn into_spectra(self) -> Vec<SeriesSpectrum> {
+        self.spectra
     }
 }
 
@@ -199,6 +307,69 @@ mod tests {
         assert_eq!(direct.distance.to_bits(), cached.distance.to_bits());
         assert_eq!(direct.shift, cached.shift);
         assert!((cached.distance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_is_bitwise_equal_to_per_series_spectra() {
+        // The documented contract is "within epsilon"; the implementation is
+        // in fact bitwise because only layout and table reuse change, never
+        // the float operations — assert the stronger property.
+        for count in [1usize, 2, 5, 9] {
+            for len in [1usize, 3, 16, 100] {
+                let series: Vec<Vec<f64>> = (0..count)
+                    .map(|i| random_series(len, i as u64 * 17 + 3))
+                    .collect();
+                let batch = SpectrumBatch::compute(&series).unwrap();
+                assert_eq!(batch.len(), count);
+                assert!(!batch.is_empty());
+                for (i, (b, s)) in batch
+                    .spectra()
+                    .iter()
+                    .zip(series.iter().map(|s| SeriesSpectrum::compute(s).unwrap()))
+                    .enumerate()
+                {
+                    let ctx = format!("count={count} len={len} series={i}");
+                    assert_eq!(b.len(), s.len(), "{ctx}");
+                    assert_eq!(b.padded_len(), s.padded_len(), "{ctx}");
+                    assert_eq!(b.norm().to_bits(), s.norm().to_bits(), "{ctx}");
+                    for (a, c) in b.z_values().iter().zip(s.z_values().iter()) {
+                        assert_eq!(a.to_bits(), c.to_bits(), "{ctx}: z");
+                    }
+                    for (a, c) in b.fft.iter().zip(s.fft.iter()) {
+                        assert_eq!(a.re.to_bits(), c.re.to_bits(), "{ctx}: fft re");
+                        assert_eq!(a.im.to_bits(), c.im.to_bits(), "{ctx}: fft im");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_distances_match_direct_path_bitwise() {
+        let series: Vec<Vec<f64>> = (0..6).map(|i| random_series(48, i + 100)).collect();
+        let batch = SpectrumBatch::compute(&series).unwrap();
+        for i in 0..series.len() {
+            for j in 0..series.len() {
+                let direct = shape_based_distance(&series[i], &series[j]).unwrap();
+                let cached = sbd_from_spectra(&batch.spectra()[i], &batch.spectra()[j]).unwrap();
+                assert_eq!(direct.distance.to_bits(), cached.distance.to_bits());
+                assert_eq!(direct.shift, cached.shift);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rejects_mixed_lengths_and_empty_series() {
+        assert!(matches!(
+            SpectrumBatch::compute(&[vec![1.0, 2.0], vec![1.0, 2.0, 3.0]]),
+            Err(TimeSeriesError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            SpectrumBatch::compute(&[Vec::<f64>::new()]),
+            Err(TimeSeriesError::Empty)
+        ));
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert!(SpectrumBatch::compute(&empty).unwrap().is_empty());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! cargo run --release --example metric_reduction
 //! ```
 
+use sieve::core::columnar::PreparedComponent;
 use sieve::core::config::SieveConfig;
 use sieve::core::reduce::{reduce_component, NamedSeries};
 use sieve::timeseries::sbd::sbd;
@@ -55,7 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let config = SieveConfig::default();
-    let clustering = reduce_component("example-service", &series, &config)?;
+    // Pack the hand-built series into the columnar arena the pipeline uses.
+    let prepared = PreparedComponent::from_named(&series);
+    let clustering = reduce_component("example-service", &prepared, &config)?;
 
     println!(
         "Component `{}`: {} metrics, {} filtered as unvarying, k = {} (silhouette {:.2})",
