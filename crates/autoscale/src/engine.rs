@@ -215,14 +215,23 @@ pub fn run_without_scaling(
 }
 
 /// Mean of the `cpu_usage` metric across all components that export one.
+///
+/// Reads each series' *retained window* — the store visitor never exposes
+/// evicted points. Under bounded retention this is the mean over the
+/// newest `raw_capacity` samples (a deliberately recency-weighted
+/// calibration signal); with retention off, or whenever the stream is
+/// short enough to fit the window, it is bit-identical to the
+/// full-history mean (pinned by
+/// `mean_cpu_calibration_is_unchanged_by_ample_retention`).
 fn mean_cpu_usage_per_component(sim: &Simulation) -> f64 {
     let store = sim.store();
     let mut component_means = Vec::new();
     // One pass over the store, no per-component id allocation and no
-    // series copies — the visitor borrows each series in place.
-    store.for_each_series_named("cpu_usage", |_, series| {
-        if !series.is_empty() {
-            component_means.push(sieve_timeseries::stats::mean(series.values()));
+    // series copies — the visitor lends a zero-copy view of each series'
+    // retained window.
+    store.for_each_series_named("cpu_usage", |_, window| {
+        if !window.is_empty() {
+            component_means.push(sieve_timeseries::stats::mean(window.values()));
         }
     });
     if component_means.is_empty() {
@@ -292,6 +301,32 @@ mod tests {
         );
         assert_eq!(scaled.total_samples, baseline.total_samples);
         assert!(scaled.violation_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn mean_cpu_calibration_is_unchanged_by_ample_retention() {
+        use sieve_simulator::store::RetentionPolicy;
+        let app = sharelatex::app_spec(MetricRichness::Minimal);
+        let sla = SlaCondition::default();
+        let workload = Workload::constant(10.0);
+        // Short stream: 30 s at 500 ms ticks is 60 points per series, so a
+        // 60-point ring window retains every point and the windowed run
+        // must report the same calibration signal bit for bit.
+        let config = SimConfig::new(7).with_duration_ms(30_000);
+        let unbounded = run_without_scaling(&app, &workload, config, &sla).unwrap();
+        let windowed = run_without_scaling(
+            &app,
+            &workload,
+            config.with_retention(RetentionPolicy::windowed(60)),
+            &sla,
+        )
+        .unwrap();
+        assert_eq!(
+            windowed.mean_cpu_usage_per_component,
+            unbounded.mean_cpu_usage_per_component
+        );
+        assert_eq!(windowed.sla_violations, unbounded.sla_violations);
+        assert_eq!(windowed.latency_p90_ms, unbounded.latency_p90_ms);
     }
 
     #[test]

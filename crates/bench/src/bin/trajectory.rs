@@ -1,0 +1,282 @@
+//! `trajectory` — the performance-ledger trend reader.
+//!
+//! Every bench binary appends machine-readable runs to `BENCH_<bench>.json`
+//! at the repository root (see [`sieve_bench::ledger`]). This tool reads
+//! *all* of those ledgers, groups the runs by benchmark name and git
+//! revision, and prints the speedup curve of each benchmark across
+//! revisions — the project's performance history, reconstructed from the
+//! persisted records without re-running anything.
+//!
+//! It is also the CI regression gate: for every benchmark whose *latest*
+//! run is a real measurement (not a `SIEVE_BENCH_SMOKE` run), the latest
+//! median is compared against the best prior non-smoke median. A slowdown
+//! of more than 20% exits nonzero and names the offending benchmarks.
+//! Smoke runs are listed but never participate in the comparison — their
+//! numbers measure a shrunken workload and would poison the curve.
+//!
+//! Usage: `cargo run -p sieve-bench --bin trajectory [ledger-dir]`
+//! (the directory defaults to the repository root).
+
+use sieve_bench::ledger::LedgerRecord;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// A regression is a latest non-smoke median more than 20% above the best
+/// prior non-smoke median of the same benchmark.
+const REGRESSION_FACTOR: f64 = 1.20;
+
+/// One revision's aggregate for a benchmark: the best (lowest) non-smoke
+/// median observed at that revision, in chronological first-seen order.
+#[derive(Debug)]
+struct RevPoint {
+    rev: String,
+    best_median_ns: u64,
+}
+
+/// All `BENCH_*.json` files directly inside `dir`, sorted by name.
+fn ledger_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.file_name()
+                .and_then(|name| name.to_str())
+                .is_some_and(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// Parses every ledger line of every file, grouped by (bench, benchmark
+/// name) and kept in append order within each group.
+fn load_groups(dir: &Path) -> BTreeMap<(String, String), Vec<LedgerRecord>> {
+    let mut groups: BTreeMap<(String, String), Vec<LedgerRecord>> = BTreeMap::new();
+    for file in ledger_files(dir) {
+        let Ok(contents) = std::fs::read_to_string(&file) else {
+            eprintln!("trajectory: cannot read {}", file.display());
+            continue;
+        };
+        for line in contents.lines().filter(|l| !l.trim().is_empty()) {
+            match LedgerRecord::from_json_line(line) {
+                Some(record) => groups
+                    .entry((record.bench.clone(), record.name.clone()))
+                    .or_default()
+                    .push(record),
+                None => eprintln!("trajectory: skipping malformed line in {}", file.display()),
+            }
+        }
+    }
+    groups
+}
+
+/// Folds a group's non-smoke runs into one point per revision (first-seen
+/// order, best median per revision).
+fn rev_points(runs: &[LedgerRecord]) -> Vec<RevPoint> {
+    let mut points: Vec<RevPoint> = Vec::new();
+    for run in runs.iter().filter(|r| !r.smoke && r.median_ns > 0) {
+        match points.iter_mut().find(|p| p.rev == run.git_rev) {
+            Some(point) => point.best_median_ns = point.best_median_ns.min(run.median_ns),
+            None => points.push(RevPoint {
+                rev: run.git_rev.clone(),
+                best_median_ns: run.median_ns,
+            }),
+        }
+    }
+    points
+}
+
+fn format_ns(ns: u64) -> String {
+    format!("{:.3?}", std::time::Duration::from_nanos(ns))
+}
+
+/// Prints every benchmark's speedup curve and returns the regressions.
+fn evaluate(groups: &BTreeMap<(String, String), Vec<LedgerRecord>>) -> Vec<String> {
+    let mut regressions = Vec::new();
+    let mut current_bench = String::new();
+    for ((bench, name), runs) in groups {
+        if *bench != current_bench {
+            println!("ledger {bench} (BENCH_{bench}.json)");
+            current_bench = bench.clone();
+        }
+        let smoke_runs = runs.iter().filter(|r| r.smoke).count();
+        let points = rev_points(runs);
+        println!("  {name} ({} run(s), {smoke_runs} smoke)", runs.len());
+        let Some(baseline) = points.first() else {
+            println!("    no non-smoke runs — nothing to compare");
+            continue;
+        };
+        for point in &points {
+            let speedup = baseline.best_median_ns as f64 / point.best_median_ns as f64;
+            println!(
+                "    {:<10} median {:>12}   {speedup:>6.2}x vs first",
+                point.rev,
+                format_ns(point.best_median_ns)
+            );
+        }
+        if points.len() < 2 {
+            continue;
+        }
+        let latest = points.last().expect("len >= 2");
+        let best_prior = points[..points.len() - 1]
+            .iter()
+            .map(|p| p.best_median_ns)
+            .min()
+            .expect("len >= 2");
+        let ratio = latest.best_median_ns as f64 / best_prior as f64;
+        if ratio > REGRESSION_FACTOR {
+            regressions.push(format!(
+                "{bench}/{name}: latest median {} at {} is {:.0}% above the best \
+                 prior non-smoke median {}",
+                format_ns(latest.best_median_ns),
+                latest.rev,
+                (ratio - 1.0) * 100.0,
+                format_ns(best_prior)
+            ));
+        }
+    }
+    regressions
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args().nth(1).map_or_else(
+        || Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        PathBuf::from,
+    );
+    let groups = load_groups(&dir);
+    if groups.is_empty() {
+        println!(
+            "trajectory: no ledger runs under {} — run any bench first",
+            dir.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let regressions = evaluate(&groups);
+    if regressions.is_empty() {
+        println!("trajectory: no >20% median regressions");
+        return ExitCode::SUCCESS;
+    }
+    for regression in &regressions {
+        eprintln!("trajectory: REGRESSION {regression}");
+    }
+    ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, rev: &str, median_ns: u64, smoke: bool, unix_s: u64) -> LedgerRecord {
+        LedgerRecord {
+            bench: "unit".to_string(),
+            name: name.to_string(),
+            config: "cfg".to_string(),
+            iters: 3,
+            min_ns: median_ns / 2,
+            mean_ns: median_ns,
+            median_ns,
+            git_rev: rev.to_string(),
+            smoke,
+            unix_s,
+        }
+    }
+
+    fn groups_of(records: Vec<LedgerRecord>) -> BTreeMap<(String, String), Vec<LedgerRecord>> {
+        let mut groups: BTreeMap<(String, String), Vec<LedgerRecord>> = BTreeMap::new();
+        for r in records {
+            groups
+                .entry((r.bench.clone(), r.name.clone()))
+                .or_default()
+                .push(r);
+        }
+        groups
+    }
+
+    #[test]
+    fn regression_fires_only_beyond_twenty_percent() {
+        // 100µs → 115µs: within tolerance.
+        let ok = groups_of(vec![
+            record("a", "r1", 100_000, false, 1),
+            record("a", "r2", 115_000, false, 2),
+        ]);
+        assert!(evaluate(&ok).is_empty());
+
+        // 100µs → 130µs: 30% above the best prior — a regression.
+        let bad = groups_of(vec![
+            record("a", "r1", 100_000, false, 1),
+            record("a", "r2", 130_000, false, 2),
+        ]);
+        let regressions = evaluate(&bad);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("unit/a"), "{}", regressions[0]);
+    }
+
+    #[test]
+    fn comparison_is_against_the_best_prior_revision() {
+        // The best prior is r1 (80µs), not the immediately preceding r2.
+        let groups = groups_of(vec![
+            record("a", "r1", 80_000, false, 1),
+            record("a", "r2", 95_000, false, 2),
+            record("a", "r3", 100_000, false, 3),
+        ]);
+        let regressions = evaluate(&groups);
+        assert_eq!(regressions.len(), 1, "100µs vs best prior 80µs is +25%");
+    }
+
+    #[test]
+    fn smoke_runs_never_participate() {
+        let groups = groups_of(vec![
+            record("a", "r1", 100_000, false, 1),
+            // A smoke run with a wild number must not trip the gate...
+            record("a", "r2", 900_000, true, 2),
+            // ...nor can a smoke-only group produce a comparison.
+            record("b", "r1", 1, true, 3),
+        ]);
+        assert!(evaluate(&groups).is_empty());
+    }
+
+    #[test]
+    fn repeated_revisions_keep_their_best_median() {
+        let groups = groups_of(vec![
+            record("a", "r1", 100_000, false, 1),
+            record("a", "r2", 140_000, false, 2),
+            // A second, faster run at r2 rescues the revision.
+            record("a", "r2", 105_000, false, 3),
+        ]);
+        assert!(evaluate(&groups).is_empty());
+        let points = rev_points(&groups[&("unit".to_string(), "a".to_string())]);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].best_median_ns, 105_000);
+    }
+
+    #[test]
+    fn ledger_files_are_discovered_and_parsed() {
+        let dir = std::env::temp_dir().join(format!("sieve-trajectory-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_unit.json");
+        let lines = [
+            record("a", "r1", 100_000, false, 1).to_json_line(),
+            "not json".to_string(),
+            record("a", "r2", 110_000, false, 2).to_json_line(),
+        ]
+        .join("\n");
+        std::fs::write(&path, lines).unwrap();
+        std::fs::write(dir.join("NOT_A_LEDGER.txt"), "ignored").unwrap();
+
+        assert_eq!(ledger_files(&dir), vec![path.clone()]);
+        let groups = load_groups(&dir);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[&("unit".to_string(), "a".to_string())].len(), 2);
+        assert!(
+            evaluate(&groups).is_empty(),
+            "10% slower is not a regression"
+        );
+
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(dir.join("NOT_A_LEDGER.txt"));
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

@@ -79,7 +79,7 @@ pub fn sharelatex_clusterings(
     for component in store.components() {
         let mut raw = Vec::new();
         store.for_each_series_of(&component, |id, series| {
-            raw.push((id.metric.clone(), series.clone()));
+            raw.push((id.metric.clone(), series.to_series()));
         });
         let prepared = prepare_series(&raw, config.interval_ms);
         let clustering =

@@ -2,6 +2,8 @@
 
 use sieve_causality::granger::GrangerConfig;
 
+pub use sieve_simulator::store::RetentionPolicy;
+
 /// Configuration of the Sieve pipeline, defaulting to the values used in the
 /// paper.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +53,15 @@ pub struct SieveConfig {
     /// paths produce bit-identical models; the naive path is the reference
     /// oracle for tests and benchmarks. Defaults to `true`.
     pub use_granger_cache: bool,
+    /// How much raw history the metric store retains per series. Unbounded
+    /// by default (the offline-experiment oracle mode); a bounded policy
+    /// keeps each series' newest points in a fixed ring window and folds
+    /// evicted points into 10x/100x mean/min/max aggregate tiers. Applied
+    /// by [`crate::pipeline::Sieve::analyze_application`] when loading an
+    /// application, and by the serving layer when creating tenant stores.
+    /// Analysis results are unchanged as long as the analysis window fits
+    /// inside retention — the pipeline only ever reads retained windows.
+    pub retention: RetentionPolicy,
 }
 
 impl Default for SieveConfig {
@@ -65,6 +76,7 @@ impl Default for SieveConfig {
             parallelism: sieve_exec::par::hardware_parallelism(),
             use_sbd_cache: true,
             use_granger_cache: true,
+            retention: RetentionPolicy::unbounded(),
         }
     }
 }
@@ -103,6 +115,12 @@ impl SieveConfig {
         self
     }
 
+    /// Builder-style setter for the store retention policy.
+    pub fn with_retention(mut self, retention: RetentionPolicy) -> Self {
+        self.retention = retention;
+        self
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -129,6 +147,9 @@ impl SieveConfig {
                 reason: "variance_threshold must be non-negative".into(),
             });
         }
+        if let Err(reason) = self.retention.validate() {
+            return Err(crate::SieveError::InvalidConfig { reason });
+        }
         Ok(())
     }
 }
@@ -149,7 +170,35 @@ mod tests {
             c.use_granger_cache,
             "cached causality engine is the default"
         );
+        assert!(
+            !c.retention.is_bounded(),
+            "unbounded retention is the default"
+        );
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn retention_builder_and_validation() {
+        let c = SieveConfig::default().with_retention(RetentionPolicy::windowed(256));
+        assert_eq!(c.retention.raw_capacity, Some(256));
+        assert!(c.validate().is_ok());
+
+        let bad = SieveConfig {
+            retention: RetentionPolicy {
+                raw_capacity: Some(0),
+                tier_capacity: 8,
+            },
+            ..SieveConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad_tier = SieveConfig {
+            retention: RetentionPolicy {
+                raw_capacity: None,
+                tier_capacity: 0,
+            },
+            ..SieveConfig::default()
+        };
+        assert!(bad_tier.validate().is_err());
     }
 
     #[test]

@@ -14,16 +14,15 @@
 use crate::columnar::PreparedComponent;
 use crate::config::SieveConfig;
 use crate::model::SieveModel;
-use crate::reduce::prepare_series;
+use crate::reduce::prepare_row;
 use crate::session::AnalysisSession;
 use crate::{Result, SieveError};
 use sieve_exec::{par_map_chunks, Name};
 use sieve_graph::CallGraph;
 use sieve_simulator::app::AppSpec;
 use sieve_simulator::engine::{SimConfig, Simulation};
-use sieve_simulator::store::MetricStore;
+use sieve_simulator::store::{MetricStore, RetentionPolicy};
 use sieve_simulator::workload::Workload;
-use sieve_timeseries::TimeSeries;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -46,9 +45,37 @@ pub fn load_application(
     duration_ms: u64,
     interval_ms: u64,
 ) -> Result<(MetricStore, CallGraph)> {
+    load_application_with_retention(
+        spec,
+        workload,
+        seed,
+        duration_ms,
+        interval_ms,
+        RetentionPolicy::unbounded(),
+    )
+}
+
+/// Same as [`load_application`] with an explicit store [`RetentionPolicy`]:
+/// the recorded store keeps only the retained window of each series, so a
+/// bounded policy models analysing a long-running service whose monitoring
+/// database evicts old points. [`Sieve::analyze_application`] routes
+/// through this with `SieveConfig::retention`.
+///
+/// # Errors
+///
+/// Propagates simulator errors (invalid specs or parameters).
+pub fn load_application_with_retention(
+    spec: &AppSpec,
+    workload: &Workload,
+    seed: u64,
+    duration_ms: u64,
+    interval_ms: u64,
+    retention: RetentionPolicy,
+) -> Result<(MetricStore, CallGraph)> {
     let sim_config = SimConfig::new(seed)
         .with_tick_ms(interval_ms)
-        .with_duration_ms(duration_ms);
+        .with_duration_ms(duration_ms)
+        .with_retention(retention);
     let mut simulation =
         Simulation::new(spec.clone(), workload.clone(), sim_config).map_err(SieveError::from)?;
     simulation.run_to_completion();
@@ -66,11 +93,17 @@ pub(crate) fn prepare_components(
     config: &SieveConfig,
 ) -> Vec<PreparedComponent> {
     par_map_chunks(config.parallelism, components, |component| {
-        let mut raw: Vec<(Name, TimeSeries)> = Vec::new();
-        store.for_each_series_of(component.as_str(), |id, series| {
-            raw.push((id.metric.clone(), series.clone()));
+        // Resample straight off the store's zero-copy window views — no
+        // per-series clone between the store and the resampler. The rows
+        // go through the same `prepare_row` rule as `prepare_series`, so
+        // this path stays bit-identical to preparing owned copies.
+        let mut rows: Vec<(Name, Vec<f64>)> = Vec::new();
+        store.for_each_series_of(component.as_str(), |id, view| {
+            if let Some(values) = prepare_row(view, config.interval_ms) {
+                rows.push((id.metric.clone(), values));
+            }
         });
-        prepare_series(&raw, config.interval_ms)
+        PreparedComponent::from_rows(rows)
     })
 }
 
@@ -197,8 +230,14 @@ impl Sieve {
         seed: u64,
         duration_ms: u64,
     ) -> Result<SieveModel> {
-        let (store, call_graph) =
-            load_application(spec, workload, seed, duration_ms, self.config.interval_ms)?;
+        let (store, call_graph) = load_application_with_retention(
+            spec,
+            workload,
+            seed,
+            duration_ms,
+            self.config.interval_ms,
+            self.config.retention,
+        )?;
         self.analyze(&spec.name, &store, &call_graph)
     }
 }

@@ -42,7 +42,7 @@ use sieve_exec::Name;
 use sieve_timeseries::sbd::shape_based_distance;
 use sieve_timeseries::spectrum::{sbd_from_spectra, SeriesSpectrum};
 use sieve_timeseries::stats::{mean, variance};
-use sieve_timeseries::{resample, TimeSeries};
+use sieve_timeseries::{resample, SeriesView, TimeSeries};
 use std::sync::Arc;
 
 /// A named, resampled metric series ready for clustering.
@@ -68,6 +68,21 @@ impl NamedSeries {
     }
 }
 
+/// Resamples one raw series onto the common grid, returning the grid
+/// values; `None` for series too short to resample (fewer than two
+/// points).
+///
+/// This is the single preparation rule shared by [`prepare_series`]
+/// (owned series) and the pipeline's zero-copy read of store windows, so
+/// both paths are bit-identical by construction.
+pub(crate) fn prepare_row(series: SeriesView<'_>, interval_ms: u64) -> Option<Vec<f64>> {
+    if series.len() < 2 {
+        return None;
+    }
+    let resampled = resample::resample_view(series, interval_ms).ok()?;
+    Some(resampled.into_parts().1)
+}
+
 /// Resamples a set of raw metric series of one component onto the common
 /// grid and packs them, truncated to a common length, into one columnar
 /// [`PreparedComponent`] arena.
@@ -76,13 +91,7 @@ impl NamedSeries {
 pub fn prepare_series(raw: &[(Name, TimeSeries)], interval_ms: u64) -> PreparedComponent {
     let resampled: Vec<(Name, Vec<f64>)> = raw
         .iter()
-        .filter_map(|(name, series)| {
-            if series.len() < 2 {
-                return None;
-            }
-            let resampled = resample::resample(series, interval_ms).ok()?;
-            Some((name.clone(), resampled.into_parts().1))
-        })
+        .filter_map(|(name, series)| Some((name.clone(), prepare_row(series.view(), interval_ms)?)))
         .collect();
     // `from_rows` truncates every row to the shortest one, which is exactly
     // the rectangularisation rule this step has always applied.

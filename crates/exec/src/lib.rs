@@ -16,12 +16,15 @@
 //! * [`hash`] — the deterministic splitmix64-based content-fingerprint
 //!   helpers behind the store's per-series fingerprints and the analysis
 //!   session's dirty-tracking cache keys.
+//! * [`mem`] — procfs-based RSS introspection used by the bounded-memory
+//!   fleet benchmark to assert flat memory under sustained ingest.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod hash;
 pub mod intern;
+pub mod mem;
 pub mod par;
 
 pub use intern::Name;

@@ -73,6 +73,18 @@ impl ServeConfig {
         self
     }
 
+    /// Builder-style setter for the default per-tenant store retention
+    /// budget — shorthand for replacing `analysis.retention`. Tenants
+    /// created after this point get a store that keeps each series' newest
+    /// points in a bounded ring window (see
+    /// [`sieve_core::config::RetentionPolicy`]); per-tenant overrides go
+    /// through [`crate::service::SieveService::create_tenant_with_retention`]
+    /// or [`crate::service::SieveService::set_retention`].
+    pub fn with_retention(mut self, retention: sieve_core::config::RetentionPolicy) -> Self {
+        self.analysis.retention = retention;
+        self
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -129,5 +141,18 @@ mod tests {
         let bad_analysis =
             ServeConfig::default().with_analysis(SieveConfig::default().with_interval_ms(0));
         assert!(bad_analysis.validate().is_err());
+    }
+
+    #[test]
+    fn retention_shorthand_sets_the_analysis_policy() {
+        use sieve_core::config::RetentionPolicy;
+        let c = ServeConfig::default().with_retention(RetentionPolicy::windowed(128));
+        assert_eq!(c.analysis.retention, RetentionPolicy::windowed(128));
+        assert!(c.validate().is_ok());
+        let bad = ServeConfig::default().with_retention(RetentionPolicy {
+            raw_capacity: Some(0),
+            tier_capacity: 8,
+        });
+        assert!(bad.validate().is_err());
     }
 }

@@ -10,7 +10,7 @@ use sieve_core::model::SieveModel;
 use sieve_core::session::{AnalysisSession, SessionStats};
 use sieve_exec::{try_par_map_chunks, Name};
 use sieve_graph::CallGraph;
-use sieve_simulator::store::MetricStore;
+use sieve_simulator::store::{MetricStore, RetentionPolicy};
 use std::sync::Arc;
 
 /// A multi-tenant Sieve analysis service.
@@ -66,7 +66,10 @@ impl SieveService {
     }
 
     /// Registers a new tenant with an empty store, the given call graph
-    /// and the service's default analysis configuration.
+    /// and the service's default analysis configuration. The store is
+    /// created under the service's default retention budget
+    /// (`config.analysis.retention`), so a bounded service keeps every
+    /// tenant's memory flat from the first point.
     ///
     /// # Errors
     ///
@@ -74,9 +77,28 @@ impl SieveService {
     /// * [`ServeError::Analysis`] when the analysis configuration is
     ///   rejected by the session.
     pub fn create_tenant(&self, name: impl Into<Name>, call_graph: CallGraph) -> Result<()> {
+        let retention = self.config.analysis.retention;
+        self.create_tenant_with_retention(name, call_graph, retention)
+    }
+
+    /// Like [`SieveService::create_tenant`] with a per-tenant retention
+    /// budget overriding the service default — large tenants can run a
+    /// tight ring window while small ones keep full history, on the same
+    /// service.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SieveService::create_tenant`].
+    pub fn create_tenant_with_retention(
+        &self,
+        name: impl Into<Name>,
+        call_graph: CallGraph,
+        retention: RetentionPolicy,
+    ) -> Result<()> {
         let name = name.into();
-        let config = self.config.analysis.clone();
-        self.adopt_tenant_with_config(name, MetricStore::new(), call_graph, config)
+        let config = self.config.analysis.clone().with_retention(retention);
+        let store = MetricStore::with_retention(retention);
+        self.adopt_tenant_with_config(name, store, call_graph, config)
     }
 
     /// Registers a new tenant over an existing store handle (for example
@@ -182,6 +204,32 @@ impl SieveService {
         Ok(())
     }
 
+    /// Replaces a tenant's store retention budget at runtime. Tightening
+    /// the budget evicts each series' oldest points immediately (folding
+    /// them into the 10x/100x downsample tiers) and marks every trimmed
+    /// series touched — eviction-as-dirt — so the next
+    /// [`SieveService::refresh_dirty`] sweep treats the tenant like any
+    /// other dirty one and republishes a model of the narrowed window.
+    /// Loosening never restores evicted points; only the aggregate tiers
+    /// remember them.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when `tenant` is not registered.
+    pub fn set_retention(&self, tenant: &str, retention: RetentionPolicy) -> Result<()> {
+        self.registry.get(tenant)?.store.set_retention(retention);
+        Ok(())
+    }
+
+    /// A tenant's current store retention budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when `tenant` is not registered.
+    pub fn retention(&self, tenant: &str) -> Result<RetentionPolicy> {
+        Ok(self.registry.get(tenant)?.store.retention())
+    }
+
     /// A handle to a tenant's store (for read-side consumers such as
     /// dashboards; remember the delta stream belongs to the service).
     ///
@@ -224,6 +272,7 @@ impl SieveService {
             ..ServiceStats::default()
         };
         for tenant in &tenants {
+            stats.absorb_retention(&tenant.store);
             if tenant.model().is_some() {
                 stats.absorb(&tenant.last_stats());
             }
@@ -329,7 +378,7 @@ impl SieveService {
                 work.push(Arc::clone(tenant));
             }
         }
-        self.run_sweep(tenants.len(), &work)
+        self.run_sweep(&tenants, &work)
     }
 
     /// Marks every component of every tenant dirty and refreshes the whole
@@ -358,7 +407,7 @@ impl SieveService {
                 work.push(Arc::clone(tenant));
             }
         }
-        self.run_sweep(tenants.len(), &work)
+        self.run_sweep(&tenants, &work)
     }
 
     /// The shared fan-out of both sweeps: refreshes every tenant in `work`
@@ -366,12 +415,18 @@ impl SieveService {
     /// and aggregates the statistics. Each work item locks only its own
     /// tenant's session, so workers never contend; the executor returns
     /// results in input (sorted-tenant) order, and the earliest failing
-    /// tenant wins error reporting deterministically.
-    fn run_sweep(&self, tenants_total: usize, work: &[Arc<Tenant>]) -> Result<ServiceStats> {
+    /// tenant wins error reporting deterministically. Retention counters
+    /// are read from *every* registered tenant's store (not just the dirty
+    /// ones) — the fleet's memory footprint is a property of the stores,
+    /// not of the sweep.
+    fn run_sweep(&self, tenants: &[Arc<Tenant>], work: &[Arc<Tenant>]) -> Result<ServiceStats> {
         let mut stats = ServiceStats {
-            tenants_total,
+            tenants_total: tenants.len(),
             ..ServiceStats::default()
         };
+        for tenant in tenants {
+            stats.absorb_retention(&tenant.store);
+        }
         let refreshed: Vec<SessionStats> =
             try_par_map_chunks(self.config.sweep_parallelism, work, |tenant| {
                 let mut session = tenant.session.lock().expect("tenant session poisoned");
@@ -632,6 +687,84 @@ mod tests {
             let p = parallel.model(tenant).unwrap().unwrap();
             assert_eq!(*s, *p, "tenant {tenant} differs across sweep degrees");
         }
+    }
+
+    #[test]
+    fn retention_budgets_bound_tenant_stores_and_surface_in_stats() {
+        let service =
+            SieveService::new(tiny_config().with_retention(RetentionPolicy::windowed(40))).unwrap();
+        // `bounded` inherits the service default; `oracle` overrides it.
+        service.create_tenant("bounded", web_db_graph()).unwrap();
+        service
+            .create_tenant_with_retention("oracle", web_db_graph(), RetentionPolicy::unbounded())
+            .unwrap();
+        ingest_wave(&service, "bounded", 0..80, 0.0);
+        ingest_wave(&service, "oracle", 0..80, 0.0);
+
+        let stats = service.refresh_dirty().unwrap();
+        assert_eq!(stats.tenants_refreshed, 2);
+        // 4 series x 80 points per tenant; the bounded tenant keeps 40 each.
+        assert_eq!(stats.points_retained, 4 * 40 + 4 * 80);
+        assert_eq!(stats.points_evicted, 4 * 40);
+        assert_eq!(stats.bytes_evicted, 4 * 40 * 12);
+        assert_eq!(service.stats().points_evicted, 4 * 40);
+        assert_eq!(
+            service.store("bounded").unwrap().retained_point_count(),
+            4 * 40
+        );
+
+        // The bounded tenant's published model is the batch analysis of
+        // its retained window — served==batch holds under eviction.
+        let sieve = Sieve::new(service.config().analysis.clone());
+        let model = service.model("bounded").unwrap().unwrap();
+        let batch = sieve
+            .analyze(
+                "bounded",
+                &service.store("bounded").unwrap(),
+                &web_db_graph(),
+            )
+            .unwrap();
+        assert_eq!(*model, batch);
+    }
+
+    #[test]
+    fn set_retention_dirties_the_tenant_for_the_next_sweep() {
+        let service = SieveService::new(tiny_config()).unwrap();
+        service.create_tenant("acme", web_db_graph()).unwrap();
+        ingest_wave(&service, "acme", 0..80, 0.0);
+        service.refresh_dirty().unwrap();
+        let wide = service.model("acme").unwrap().unwrap();
+
+        // Tighten the budget: points are evicted immediately and the
+        // tenant is dirty again without any new ingest.
+        service
+            .set_retention("acme", RetentionPolicy::windowed(40))
+            .unwrap();
+        assert_eq!(
+            service.retention("acme").unwrap(),
+            RetentionPolicy::windowed(40)
+        );
+        let stats = service.refresh_dirty().unwrap();
+        assert_eq!(stats.tenants_refreshed, 1, "eviction counts as dirt");
+        assert_eq!(stats.points_evicted, 4 * 40);
+        let narrow = service.model("acme").unwrap().unwrap();
+        assert!(!Arc::ptr_eq(&wide, &narrow), "the sweep republished");
+
+        // The republished model is the batch analysis of the narrow window.
+        let sieve = Sieve::new(service.config().analysis.clone());
+        let batch = sieve
+            .analyze("acme", &service.store("acme").unwrap(), &web_db_graph())
+            .unwrap();
+        assert_eq!(*narrow, batch);
+
+        assert!(matches!(
+            service.set_retention("ghost", RetentionPolicy::unbounded()),
+            Err(ServeError::UnknownTenant { .. })
+        ));
+        assert!(matches!(
+            service.retention("ghost"),
+            Err(ServeError::UnknownTenant { .. })
+        ));
     }
 
     #[test]

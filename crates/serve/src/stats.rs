@@ -31,6 +31,19 @@ pub struct ServiceStats {
     pub comparisons_planned: usize,
     /// Sum of [`SessionStats::comparisons_tested`] over refreshed tenants.
     pub comparisons_tested: usize,
+    /// Raw points currently retained across *all* tenants' stores (not just
+    /// refreshed ones) — the live memory footprint of the fleet's ring
+    /// windows, in points. Equals total accepted points when every tenant
+    /// runs unbounded retention.
+    pub points_retained: u64,
+    /// Cumulative points evicted from ring windows across all tenants'
+    /// stores since service start (each one folded into the 10x/100x
+    /// downsample tiers before being dropped).
+    pub points_evicted: u64,
+    /// Cumulative bytes reclaimed by eviction across all tenants' stores,
+    /// under each store's cost model
+    /// ([`sieve_simulator::store::MetricStore::evicted_bytes`]).
+    pub bytes_evicted: u64,
 }
 
 impl ServiceStats {
@@ -45,6 +58,15 @@ impl ServiceStats {
         self.comparisons_planned += stats.comparisons_planned;
         self.comparisons_tested += stats.comparisons_tested;
     }
+
+    /// Folds one tenant store's retention counters into the aggregate.
+    /// Called for every registered tenant (refreshed or not): retention is
+    /// a property of the fleet's stores, not of any particular sweep.
+    pub fn absorb_retention(&mut self, store: &sieve_simulator::store::MetricStore) {
+        self.points_retained += store.retained_point_count();
+        self.points_evicted += store.evicted_point_count();
+        self.bytes_evicted += store.evicted_bytes();
+    }
 }
 
 impl std::fmt::Display for ServiceStats {
@@ -52,14 +74,18 @@ impl std::fmt::Display for ServiceStats {
         write!(
             f,
             "{} of {} tenants refreshed (epoch {}): prepared {} components, \
-             re-clustered {}, re-tested {}/{} comparisons",
+             re-clustered {}, re-tested {}/{} comparisons; \
+             {} points retained, {} evicted ({} bytes reclaimed)",
             self.tenants_refreshed,
             self.tenants_total,
             self.epoch_high_watermark,
             self.components_prepared,
             self.components_reclustered,
             self.comparisons_tested,
-            self.comparisons_planned
+            self.comparisons_planned,
+            self.points_retained,
+            self.points_evicted,
+            self.bytes_evicted
         )
     }
 }
@@ -99,5 +125,21 @@ mod tests {
         assert_eq!(agg.comparisons_tested, 9);
         let text = agg.to_string();
         assert!(text.contains("2 of 3 tenants"));
+    }
+
+    #[test]
+    fn absorb_retention_sums_store_counters() {
+        use sieve_simulator::store::{MetricId, MetricStore, RetentionPolicy};
+        let store = MetricStore::with_retention(RetentionPolicy::windowed(4));
+        let id = MetricId::new("web", "cpu");
+        for t in 0..10u64 {
+            store.record(&id, t * 500, t as f64);
+        }
+        let mut agg = ServiceStats::default();
+        agg.absorb_retention(&store);
+        assert_eq!(agg.points_retained, 4);
+        assert_eq!(agg.points_evicted, 6);
+        assert_eq!(agg.bytes_evicted, 72, "6 points at 12 bytes each");
+        assert!(agg.to_string().contains("6 evicted (72 bytes reclaimed)"));
     }
 }

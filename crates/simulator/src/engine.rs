@@ -22,7 +22,7 @@
 
 use crate::app::AppSpec;
 use crate::metrics::MetricState;
-use crate::store::{MetricId, MetricStore};
+use crate::store::{MetricId, MetricStore, RetentionPolicy};
 use crate::tracer::{Tracer, TracingMode};
 use crate::workload::Workload;
 use crate::{Result, SimulatorError};
@@ -43,6 +43,9 @@ pub struct SimConfig {
     /// How the call graph is captured (affects the modelled tracing
     /// overhead only, never the recorded graph).
     pub tracing_mode: TracingMode,
+    /// How much history the simulation's metric store retains per series
+    /// (unbounded by default — the offline-experiment oracle mode).
+    pub retention: RetentionPolicy,
 }
 
 impl SimConfig {
@@ -54,12 +57,19 @@ impl SimConfig {
             tick_ms: 500,
             duration_ms: 120_000,
             tracing_mode: TracingMode::Sysdig,
+            retention: RetentionPolicy::unbounded(),
         }
     }
 
     /// Sets the simulated duration (builder style).
     pub fn with_duration_ms(mut self, duration_ms: u64) -> Self {
         self.duration_ms = duration_ms;
+        self
+    }
+
+    /// Sets the metric store's retention policy (builder style).
+    pub fn with_retention(mut self, retention: RetentionPolicy) -> Self {
+        self.retention = retention;
         self
     }
 
@@ -201,7 +211,7 @@ impl Simulation {
             spec,
             workload,
             config,
-            store: MetricStore::new(),
+            store: MetricStore::with_retention(config.retention),
             tracer,
             current_tick: 0,
             total_ticks,
@@ -634,6 +644,25 @@ mod tests {
             SimConfig::new(1).with_duration_ms(0)
         )
         .is_err());
+    }
+
+    #[test]
+    fn windowed_simulation_bounds_retained_points() {
+        let config = SimConfig::new(9)
+            .with_duration_ms(60_000)
+            .with_retention(RetentionPolicy::windowed(20));
+        let mut sim = Simulation::new(three_tier_app(), Workload::constant(25.0), config).unwrap();
+        sim.run_to_completion();
+        let store = sim.store();
+        assert_eq!(store.point_count(), 120 * 7, "every tick still recorded");
+        assert_eq!(store.retained_point_count(), 20 * 7);
+        let series = store.series(&MetricId::new("web", "cpu")).unwrap();
+        assert_eq!(series.len(), 20);
+        // The retained window is the exact tail of an unbounded run.
+        let oracle = run_sim(Workload::constant(25.0), 60_000, 9);
+        let full = oracle.store().series(&MetricId::new("web", "cpu")).unwrap();
+        assert_eq!(series.timestamps(), &full.timestamps()[100..]);
+        assert_eq!(series.values(), &full.values()[100..]);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! * [`tracer`] — the call-graph recorder, with the relative overhead model
 //!   for native/sysdig/tcpdump tracing used by Figure 5;
 //! * [`store`] — the in-memory metric store with the resource-accounting
-//!   model (CPU, storage, network) used by Table 3;
+//!   model (CPU, storage, network) used by Table 3, and the bounded-memory
+//!   retention layer (ring windows + tiered mean/min/max downsampling)
+//!   that lets long-running services ingest forever with flat memory;
 //! * [`fault`] — fault injection used by the RCA case study to produce a
 //!   "faulty version" of an application.
 //!

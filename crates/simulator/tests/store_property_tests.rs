@@ -4,7 +4,7 @@
 //! access for `proptest`): every run checks the identical pseudo-random
 //! inputs, so failures are trivially reproducible.
 
-use sieve_simulator::store::{MetricId, MetricStore};
+use sieve_simulator::store::{DownsampleTier, MetricId, MetricStore, RetentionPolicy};
 
 /// Deterministic splitmix64 generator for test data.
 struct Rng(u64);
@@ -174,5 +174,191 @@ fn watermark_is_strictly_monotone_and_deltas_partition_the_writes() {
         assert!(store.drain_delta().is_empty(), "seed {seed}");
         assert!(total_reported <= total_accepted, "seed {seed}");
         assert_eq!(store.point_count(), total_accepted as u64, "seed {seed}");
+    }
+}
+
+#[test]
+fn windowed_store_retains_exactly_the_unbounded_tail() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed.wrapping_add(1000));
+        let len = rng.usize_in(1, 120);
+        let cap = rng.usize_in(1, 130);
+        let points = random_points(&mut rng, len);
+        let id = MetricId::new("svc", "metric");
+
+        let oracle = MetricStore::new();
+        let windowed = MetricStore::with_retention(RetentionPolicy::windowed(cap));
+        record_all(&oracle, &id, &points);
+        record_all(&windowed, &id, &points);
+
+        let full = oracle.series(&id).unwrap();
+        let kept = windowed.series(&id).unwrap();
+        let tail_start = len.saturating_sub(cap);
+        assert_eq!(
+            kept.timestamps(),
+            &full.timestamps()[tail_start..],
+            "seed {seed}: retained window must be the newest points"
+        );
+        assert_eq!(kept.values(), &full.values()[tail_start..], "seed {seed}");
+        assert_eq!(
+            windowed.retained_point_count(),
+            (len - tail_start) as u64,
+            "seed {seed}"
+        );
+        assert_eq!(
+            windowed.evicted_point_count(),
+            tail_start as u64,
+            "seed {seed}"
+        );
+        // Cumulative accounting is retention-independent.
+        assert_eq!(windowed.point_count(), oracle.point_count(), "seed {seed}");
+    }
+}
+
+#[test]
+fn eviction_changes_the_fingerprint_iff_points_were_dropped() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed.wrapping_add(2000));
+        let len = rng.usize_in(1, 90);
+        let cap = rng.usize_in(1, 100);
+        let points = random_points(&mut rng, len);
+        let id = MetricId::new("svc", "metric");
+
+        let oracle = MetricStore::new();
+        let windowed = MetricStore::with_retention(RetentionPolicy::windowed(cap));
+        record_all(&oracle, &id, &points);
+        record_all(&windowed, &id, &points);
+
+        if len <= cap {
+            assert_eq!(
+                windowed.fingerprint(&id),
+                oracle.fingerprint(&id),
+                "seed {seed}: no eviction, so the fingerprint rule is unchanged"
+            );
+        } else {
+            assert_ne!(
+                windowed.fingerprint(&id),
+                oracle.fingerprint(&id),
+                "seed {seed}: every eviction must advance the fingerprint"
+            );
+        }
+        // Two windowed stores fed the same stream always agree.
+        let twin = MetricStore::with_retention(RetentionPolicy::windowed(cap));
+        record_all(&twin, &id, &points);
+        assert_eq!(
+            twin.fingerprint(&id),
+            windowed.fingerprint(&id),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn watermark_and_delta_invariants_hold_under_interleaved_record_and_evict() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed.wrapping_add(3000));
+        let store = MetricStore::with_retention(RetentionPolicy::windowed(rng.usize_in(4, 12)));
+        let ids: Vec<MetricId> = (0..rng.usize_in(1, 5))
+            .map(|c| MetricId::new(format!("svc{c}"), "m"))
+            .collect();
+        let mut clocks = vec![0u64; ids.len()];
+        // Our own model of each series' retained length, kept exact so the
+        // expected dirty set under tightening is computable.
+        let mut retained = vec![0usize; ids.len()];
+        let mut cap = store.retention().raw_capacity.unwrap();
+
+        let mut last_epoch = store.epoch();
+        for _ in 0..rng.usize_in(1, 12) {
+            let mut touched_now = std::collections::BTreeSet::new();
+            for _ in 0..rng.usize_in(0, 15) {
+                let which = rng.usize_in(0, ids.len() - 1);
+                clocks[which] += 100 + rng.next_u64() % 400;
+                store.record(&ids[which], clocks[which], rng.unit());
+                retained[which] = (retained[which] + 1).min(cap);
+                touched_now.insert(ids[which].clone());
+            }
+            // Sometimes tighten (or loosen) retention mid-stream: every
+            // series the trim evicts from must show up as dirty exactly
+            // like a written one.
+            if rng.usize_in(0, 2) == 0 {
+                let new_cap = rng.usize_in(2, 12);
+                store.set_retention(RetentionPolicy::windowed(new_cap));
+                for (which, r) in retained.iter_mut().enumerate() {
+                    if *r > new_cap {
+                        *r = new_cap;
+                        touched_now.insert(ids[which].clone());
+                    }
+                }
+                cap = new_cap;
+            }
+            let delta = store.drain_delta();
+            assert!(delta.epoch > last_epoch, "seed {seed}: watermark monotone");
+            assert_eq!(delta.epoch, store.epoch(), "seed {seed}");
+            last_epoch = delta.epoch;
+            let expected: Vec<MetricId> = touched_now.into_iter().collect();
+            assert_eq!(
+                delta.touched, expected,
+                "seed {seed}: dirty set = written ∪ trimmed, sorted"
+            );
+        }
+        assert!(store.drain_delta().is_empty(), "seed {seed}");
+        let model_retained: usize = retained.iter().sum();
+        assert_eq!(
+            store.retained_point_count(),
+            model_retained as u64,
+            "seed {seed}: retained counter matches the reference model"
+        );
+    }
+}
+
+#[test]
+fn downsampled_tiers_are_a_deterministic_function_of_the_stream() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed.wrapping_add(4000));
+        let len = rng.usize_in(1, 400);
+        let cap = rng.usize_in(1, 8);
+        let policy = RetentionPolicy::windowed(cap).with_tier_capacity(rng.usize_in(1, 6));
+        let points = random_points(&mut rng, len);
+        let id = MetricId::new("svc", "metric");
+
+        // One store fed point by point, one fed in random batch splits:
+        // the tiers (and everything else) must be bit-identical.
+        let one_by_one = MetricStore::with_retention(policy);
+        record_all(&one_by_one, &id, &points);
+        let batched = MetricStore::with_retention(policy);
+        let mut rest = &points[..];
+        while !rest.is_empty() {
+            let take = rng.usize_in(1, rest.len());
+            batched.record_batch(rest[..take].iter().map(|&(t, v)| (&id, t, v)));
+            rest = &rest[take..];
+        }
+
+        for tier in [DownsampleTier::TenX, DownsampleTier::HundredX] {
+            let a = one_by_one.downsampled(&id, tier);
+            let b = batched.downsampled(&id, tier);
+            assert_eq!(a, b, "seed {seed}: tiers are stream-determined");
+        }
+        assert_eq!(
+            one_by_one.fingerprint(&id),
+            batched.fingerprint(&id),
+            "seed {seed}"
+        );
+        // Every closed bucket summarizes exactly TIER_FANOUT sources and
+        // its extremes bracket its mean.
+        for bucket in one_by_one.downsampled(&id, DownsampleTier::TenX) {
+            assert_eq!(bucket.count, 10, "seed {seed}");
+            assert!(
+                bucket.min <= bucket.mean && bucket.mean <= bucket.max,
+                "seed {seed}"
+            );
+            assert!(bucket.start_ms <= bucket.end_ms, "seed {seed}");
+        }
+        for bucket in one_by_one.downsampled(&id, DownsampleTier::HundredX) {
+            assert_eq!(bucket.count, 100, "seed {seed}");
+            assert!(
+                bucket.min <= bucket.mean && bucket.mean <= bucket.max,
+                "seed {seed}"
+            );
+        }
     }
 }

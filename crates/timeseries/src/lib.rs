@@ -50,7 +50,7 @@ pub mod stats;
 mod error;
 
 pub use error::TimeSeriesError;
-pub use series::TimeSeries;
+pub use series::{SeriesView, TimeSeries};
 
 /// Convenient result alias used by fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, TimeSeriesError>;

@@ -8,6 +8,7 @@
 //! interpolation and aligns pairs of series onto a shared grid.
 
 use crate::interpolate::{linear_interpolate, CubicSpline};
+use crate::series::SeriesView;
 use crate::{Result, TimeSeries, TimeSeriesError};
 
 /// The sampling interval Sieve uses when discretizing metrics (500 ms).
@@ -34,6 +35,21 @@ pub const DEFAULT_INTERVAL_MS: u64 = 500;
 /// * [`TimeSeriesError::Empty`] for an empty input series.
 /// * [`TimeSeriesError::InvalidParameter`] when `interval_ms` is zero.
 pub fn resample(series: &TimeSeries, interval_ms: u64) -> Result<TimeSeries> {
+    resample_view(series.view(), interval_ms)
+}
+
+/// Resamples a borrowed [`SeriesView`] onto a regular grid of `interval_ms`.
+///
+/// This is the zero-copy entry point used when reading a retained window
+/// straight out of the metric store: the grid and interpolation are computed
+/// directly from the borrowed slices, and only the resampled output is
+/// allocated. [`resample`] is a thin wrapper over this function, so both
+/// paths are bit-identical by construction.
+///
+/// # Errors
+///
+/// Same as [`resample`].
+pub fn resample_view(series: SeriesView<'_>, interval_ms: u64) -> Result<TimeSeries> {
     if series.is_empty() {
         return Err(TimeSeriesError::Empty);
     }
@@ -221,6 +237,19 @@ mod tests {
         let r = resample(&ts, 500).unwrap();
         assert_eq!(r.len(), 3);
         assert!((r.values()[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_view_is_bit_identical_to_resample() {
+        let ts =
+            TimeSeries::from_parts(vec![0, 600, 1200, 1700], vec![0.3, 6.1, 11.7, 17.2]).unwrap();
+        let owned = resample(&ts, 500).unwrap();
+        let viewed = resample_view(ts.view(), 500).unwrap();
+        assert_eq!(owned, viewed);
+        // A view over only the tail resamples exactly that tail.
+        let tail = SeriesView::new(&ts.timestamps()[1..], &ts.values()[1..]);
+        let tail_resampled = resample_view(tail, 500).unwrap();
+        assert_eq!(tail_resampled.start_ms(), Some(600));
     }
 
     #[test]

@@ -187,6 +187,107 @@ impl TimeSeries {
     }
 }
 
+/// A borrowed, zero-copy view of a contiguous run of observations:
+/// parallel slices of strictly increasing timestamps and their values.
+///
+/// Views are what the bounded-memory metric store hands to its visitors:
+/// a windowed series keeps its *retained window* as a contiguous region
+/// of a larger backing buffer, and a `SeriesView` borrows exactly that
+/// region — no copy, no allocation. Everything downstream of the store
+/// (series preparation, resampling, the autoscaler's metric polling)
+/// consumes views, so the same code path serves bounded and unbounded
+/// stores alike.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesView<'a> {
+    timestamps_ms: &'a [u64],
+    values: &'a [f64],
+}
+
+impl<'a> SeriesView<'a> {
+    /// Creates a view over parallel timestamp/value slices.
+    ///
+    /// The timestamps must be strictly increasing — the invariant every
+    /// [`TimeSeries`] and every store window already upholds; only the
+    /// lengths are checked here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn new(timestamps_ms: &'a [u64], values: &'a [f64]) -> Self {
+        assert_eq!(
+            timestamps_ms.len(),
+            values.len(),
+            "timestamp and value slices must be parallel"
+        );
+        Self {
+            timestamps_ms,
+            values,
+        }
+    }
+
+    /// Number of observations in the view.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the view holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The viewed timestamps in milliseconds.
+    pub fn timestamps(&self) -> &'a [u64] {
+        self.timestamps_ms
+    }
+
+    /// The viewed values.
+    pub fn values(&self) -> &'a [f64] {
+        self.values
+    }
+
+    /// Iterator over `(timestamp_ms, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + 'a {
+        self.timestamps_ms
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+    }
+
+    /// First timestamp, if any.
+    pub fn start_ms(&self) -> Option<u64> {
+        self.timestamps_ms.first().copied()
+    }
+
+    /// Last timestamp, if any.
+    pub fn end_ms(&self) -> Option<u64> {
+        self.timestamps_ms.last().copied()
+    }
+
+    /// Copies the viewed window into an owned [`TimeSeries`].
+    pub fn to_series(&self) -> TimeSeries {
+        TimeSeries {
+            timestamps_ms: self.timestamps_ms.to_vec(),
+            values: self.values.to_vec(),
+        }
+    }
+}
+
+impl TimeSeries {
+    /// A zero-copy view of the whole series.
+    pub fn view(&self) -> SeriesView<'_> {
+        SeriesView {
+            timestamps_ms: &self.timestamps_ms,
+            values: &self.values,
+        }
+    }
+}
+
+impl<'a> From<&'a TimeSeries> for SeriesView<'a> {
+    fn from(series: &'a TimeSeries) -> Self {
+        series.view()
+    }
+}
+
 impl FromIterator<(u64, f64)> for TimeSeries {
     /// Builds a series from `(timestamp, value)` pairs.
     ///

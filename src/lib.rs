@@ -78,7 +78,7 @@ pub mod prelude {
     pub use sieve_causality::engine::{granger_causes_prepared, PreparedGrangerSeries};
     pub use sieve_causality::granger::{granger_causes, GrangerConfig, GrangerResult};
     pub use sieve_cluster::kshape::{KShape, KShapeConfig, KShapeResult};
-    pub use sieve_core::config::SieveConfig;
+    pub use sieve_core::config::{RetentionPolicy, SieveConfig};
     pub use sieve_core::model::{ComponentClustering, MetricCluster, SieveModel};
     pub use sieve_core::pipeline::{load_application, Sieve};
     pub use sieve_core::session::{AnalysisSession, SessionStats};
