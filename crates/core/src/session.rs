@@ -223,6 +223,31 @@ impl AnalysisSession {
         Ok(session)
     }
 
+    /// Like [`AnalysisSession::new`], but for a store revived from a
+    /// durability snapshot (`MetricStore::restore`): the session's epoch
+    /// watermark is fast-forwarded to the store's current epoch, so stats
+    /// and sweep bookkeeping continue from where the frozen session
+    /// stopped instead of restarting at zero. Everything is marked dirty,
+    /// so the first refresh performs a full analysis — and because models
+    /// are pure functions of store content, that refresh publishes a model
+    /// bit-identical to the one the original session served over the same
+    /// store content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SieveError::InvalidConfig`] for invalid
+    /// configurations.
+    pub fn rehydrated(
+        application: impl Into<String>,
+        store: MetricStore,
+        call_graph: CallGraph,
+        config: SieveConfig,
+    ) -> Result<Self> {
+        let mut session = Self::new(application, store, call_graph, config)?;
+        session.last_epoch = session.store.epoch();
+        Ok(session)
+    }
+
     /// The session configuration.
     pub fn config(&self) -> &SieveConfig {
         &self.config
@@ -258,6 +283,13 @@ impl AnalysisSession {
     /// verdict, so nothing is dirtied.
     pub fn set_call_graph(&mut self, call_graph: CallGraph) {
         self.call_graph = call_graph;
+    }
+
+    /// The call graph the session currently plans comparisons over. A
+    /// durability snapshot persists this next to the frozen store, so a
+    /// recovered session plans the same comparisons.
+    pub fn call_graph(&self) -> &CallGraph {
+        &self.call_graph
     }
 
     /// Marks the components with touched series in `delta` as dirty
@@ -723,6 +755,45 @@ mod tests {
         assert!(!Arc::ptr_eq(&first, &second));
         assert!(Arc::ptr_eq(&second, &session.snapshot().unwrap()));
         assert_eq!(*first, *snap);
+    }
+
+    #[test]
+    fn rehydrated_session_reproduces_the_frozen_model_bitwise() {
+        let app = chain_app(3);
+        let (store, graph) =
+            load_application(&app, &Workload::randomized(50.0, 4), 11, 60_000, 500).unwrap();
+        let mut live =
+            AnalysisSession::new("chain", store.clone(), graph.clone(), fast_config()).unwrap();
+        let live_model = live.update_shared(&store.drain_delta()).unwrap();
+
+        // Freeze the store, revive it, and rehydrate a fresh session over
+        // it — the recovery boot path.
+        let revived = sieve_simulator::store::MetricStore::restore(store.freeze());
+        let mut recovered = AnalysisSession::rehydrated(
+            "chain",
+            revived.clone(),
+            live.call_graph().clone(),
+            fast_config(),
+        )
+        .unwrap();
+        assert_eq!(
+            recovered.store().epoch(),
+            store.epoch(),
+            "the watermark survives the freeze"
+        );
+        let recovered_model = recovered.refresh_shared().unwrap();
+        assert_eq!(*recovered_model, *live_model);
+        assert_eq!(recovered.last_stats().epoch, live.last_stats().epoch);
+
+        // Both sides keep converging identically once ingest resumes.
+        for session_store in [&store, &revived] {
+            let id = sieve_simulator::store::MetricId::new("svc1", "svc1_latency_ms");
+            let last = session_store.series(&id).unwrap().end_ms().unwrap();
+            session_store.record(&id, last + 500, 99.0);
+        }
+        let next_live = live.update_shared(&store.drain_delta()).unwrap();
+        let next_recovered = recovered.update_shared(&revived.drain_delta()).unwrap();
+        assert_eq!(*next_recovered, *next_live);
     }
 
     #[test]

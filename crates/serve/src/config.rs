@@ -1,6 +1,8 @@
 //! Serving-layer configuration.
 
 use sieve_core::config::SieveConfig;
+use sieve_wal::FsyncPolicy;
+use std::path::PathBuf;
 
 /// Default number of registry shards (a power of two, see
 /// [`ServeConfig::shard_count`]).
@@ -39,6 +41,65 @@ pub struct ServeConfig {
     /// hardware; services hosting many small tenants usually want
     /// per-tenant parallelism 1 and let the sweep provide the fan-out.
     pub analysis: SieveConfig,
+    /// Crash safety. `None` (the default) serves purely from memory;
+    /// `Some` threads every ingest and tenant-admin operation through a
+    /// per-shard write-ahead log with periodic snapshots, and
+    /// [`crate::service::SieveService::recover`] can rebuild the service
+    /// from the directory after a crash.
+    pub durability: Option<DurabilityConfig>,
+}
+
+/// Durability settings of a crash-safe service (see
+/// [`ServeConfig::durability`]).
+///
+/// The service keeps one append-only log and one snapshot file per
+/// registry shard under `dir` (shard routing is the same deterministic
+/// hash in every process, so a tenant's events land in the same shard
+/// file across restarts). Accepted ingest batches and tenant-admin events
+/// are framed, checksummed and group-committed to the log; every
+/// `snapshot_every_events` logged events the shard's tenants are
+/// snapshotted atomically and the log is truncated, which bounds both
+/// disk usage and replay work at recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityConfig {
+    /// Directory holding the per-shard log and snapshot files. Created on
+    /// service construction if absent. One directory belongs to one
+    /// service: constructing a *new* service over it wipes previous state
+    /// (use [`crate::service::SieveService::recover`] to resume instead).
+    pub dir: PathBuf,
+    /// When the shard logs fsync after a group commit
+    /// ([`FsyncPolicy::Always`] by default — no acknowledged event is
+    /// ever lost to a crash).
+    pub fsync: FsyncPolicy,
+    /// Snapshot cadence: after this many logged events a shard writes a
+    /// snapshot and truncates its log. Must be at least 1. Small values
+    /// bound recovery replay tightly at the cost of more snapshot I/O.
+    pub snapshot_every_events: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with the safe defaults: fsync on every
+    /// commit, snapshot every 1024 events.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            snapshot_every_events: 1024,
+        }
+    }
+
+    /// Builder-style setter for the fsync policy.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Builder-style setter for the snapshot cadence (clamped to at
+    /// least 1).
+    pub fn with_snapshot_every_events(mut self, every: u64) -> Self {
+        self.snapshot_every_events = every.max(1);
+        self
+    }
 }
 
 impl Default for ServeConfig {
@@ -47,6 +108,7 @@ impl Default for ServeConfig {
             shard_count: DEFAULT_SHARD_COUNT,
             sweep_parallelism: sieve_exec::par::hardware_parallelism(),
             analysis: SieveConfig::default(),
+            durability: None,
         }
     }
 }
@@ -85,13 +147,21 @@ impl ServeConfig {
         self
     }
 
+    /// Builder-style setter enabling crash-safe serving under the given
+    /// durability settings.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
     ///
     /// Returns [`crate::ServeError::InvalidConfig`] when the shard count is
-    /// zero or not a power of two, or when the default analysis
-    /// configuration is itself invalid.
+    /// zero or not a power of two, when the durability settings are
+    /// inconsistent, or when the default analysis configuration is itself
+    /// invalid.
     pub fn validate(&self) -> crate::Result<()> {
         if !self.shard_count.is_power_of_two() {
             return Err(crate::ServeError::InvalidConfig {
@@ -100,6 +170,18 @@ impl ServeConfig {
                     self.shard_count
                 ),
             });
+        }
+        if let Some(durability) = &self.durability {
+            if durability.snapshot_every_events == 0 {
+                return Err(crate::ServeError::InvalidConfig {
+                    reason: "durability.snapshot_every_events must be at least 1".to_string(),
+                });
+            }
+            if durability.dir.as_os_str().is_empty() {
+                return Err(crate::ServeError::InvalidConfig {
+                    reason: "durability.dir must not be empty".to_string(),
+                });
+            }
         }
         self.analysis
             .validate()
@@ -141,6 +223,32 @@ mod tests {
         let bad_analysis =
             ServeConfig::default().with_analysis(SieveConfig::default().with_interval_ms(0));
         assert!(bad_analysis.validate().is_err());
+    }
+
+    #[test]
+    fn durability_builders_and_validation() {
+        let d = DurabilityConfig::new("/tmp/sieve-wal")
+            .with_fsync(FsyncPolicy::EveryN(8))
+            .with_snapshot_every_events(0);
+        assert_eq!(d.fsync, FsyncPolicy::EveryN(8));
+        assert_eq!(d.snapshot_every_events, 1, "cadence clamps to 1");
+        let c = ServeConfig::default().with_durability(d.clone());
+        assert!(c.validate().is_ok());
+        assert_eq!(c.durability, Some(d));
+
+        let zero = DurabilityConfig {
+            dir: PathBuf::from("/tmp/sieve-wal"),
+            fsync: FsyncPolicy::Never,
+            snapshot_every_events: 0,
+        };
+        assert!(ServeConfig::default()
+            .with_durability(zero)
+            .validate()
+            .is_err());
+        assert!(ServeConfig::default()
+            .with_durability(DurabilityConfig::new(""))
+            .validate()
+            .is_err());
     }
 
     #[test]

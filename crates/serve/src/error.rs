@@ -29,6 +29,19 @@ pub enum ServeError {
         /// The underlying pipeline error.
         source: SieveError,
     },
+    /// The durability layer failed (log append, commit, snapshot or
+    /// recovery I/O). Live in-memory state is unaffected, but the
+    /// operation that triggered the write may not be durable.
+    Wal {
+        /// The underlying write-ahead-log error.
+        source: sieve_wal::WalError,
+    },
+}
+
+impl From<sieve_wal::WalError> for ServeError {
+    fn from(source: sieve_wal::WalError) -> Self {
+        Self::Wal { source }
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -44,6 +57,9 @@ impl std::fmt::Display for ServeError {
             Self::Analysis { tenant, source } => {
                 write!(f, "analysis of tenant `{tenant}` failed: {source}")
             }
+            Self::Wal { source } => {
+                write!(f, "durability layer failure: {source}")
+            }
         }
     }
 }
@@ -52,6 +68,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Analysis { source, .. } => Some(source),
+            Self::Wal { source } => Some(source),
             _ => None,
         }
     }

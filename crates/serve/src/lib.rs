@@ -33,6 +33,15 @@
 //! * **Aggregated stats** ([`stats::ServiceStats`]): per-tenant
 //!   [`sieve_core::session::SessionStats`] summed across the fleet, so
 //!   "only dirty work was redone" stays observable at service scale.
+//! * **Crash safety** (opt-in via [`config::DurabilityConfig`]): every
+//!   accepted ingest batch and tenant-admin event is group-committed to a
+//!   per-shard write-ahead log with periodic atomic snapshots, and
+//!   [`service::SieveService::recover`] replays snapshot + log tail on
+//!   boot through the ordinary store machinery — the recovered service
+//!   publishes models bit-identical to the pre-crash live ones, and a
+//!   torn or bit-flipped log tail degrades exactly the affected tenants
+//!   with a precisely accounted lost suffix
+//!   ([`recovery::RecoveryReport`]).
 //!
 //! # Example
 //!
@@ -58,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod recovery;
 pub mod service;
 pub mod stats;
 
@@ -65,11 +75,16 @@ mod error;
 mod registry;
 mod tenant;
 
-pub use config::ServeConfig;
+pub use config::{DurabilityConfig, ServeConfig};
 pub use error::ServeError;
+pub use recovery::{LostSuffix, RecoveryReport, TenantRecovery};
 pub use service::SieveService;
 pub use stats::ServiceStats;
 pub use tenant::MetricPoint;
+
+// Re-exported so durable-serving callers can pick an fsync policy
+// without depending on `sieve-wal` directly.
+pub use sieve_wal::FsyncPolicy;
 
 /// Convenient result alias for serving-layer operations.
 pub type Result<T> = std::result::Result<T, ServeError>;

@@ -85,6 +85,21 @@ impl ShardedRegistry {
             .sum()
     }
 
+    /// All tenants of one shard, sorted by name — the deterministic
+    /// content of that shard's durability snapshot (the WAL layer shares
+    /// this registry's shard routing, so "one log shard" and "one
+    /// registry shard" are the same partition of the tenant space).
+    pub(crate) fn all_in_shard(&self, shard: usize) -> Vec<Arc<Tenant>> {
+        let mut tenants: Vec<Arc<Tenant>> = self.shards[shard]
+            .read()
+            .expect("registry shard poisoned")
+            .values()
+            .cloned()
+            .collect();
+        tenants.sort_by(|a, b| a.name.cmp(&b.name));
+        tenants
+    }
+
     /// All tenants, sorted by name. This is the deterministic input order
     /// of the refresh sweep: shard-internal iteration order is arbitrary
     /// (a `HashMap`), so the sweep sorts to make `parallelism = 1` and

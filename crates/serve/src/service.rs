@@ -1,6 +1,9 @@
 //! The multi-tenant analysis service.
 
-use crate::config::ServeConfig;
+use crate::config::{DurabilityConfig, ServeConfig};
+use crate::recovery::{
+    CorruptionSummary, LostSuffix, RecoveryReport, ShardRecovery, TenantRecovery,
+};
 use crate::registry::ShardedRegistry;
 use crate::stats::ServiceStats;
 use crate::tenant::{MetricPoint, Tenant};
@@ -8,10 +11,95 @@ use crate::{Result, ServeError};
 use sieve_core::config::SieveConfig;
 use sieve_core::model::SieveModel;
 use sieve_core::session::{AnalysisSession, SessionStats};
-use sieve_exec::{try_par_map_chunks, Name};
+use sieve_exec::hash::shard_index;
+use sieve_exec::{par_map_chunks, Name};
 use sieve_graph::CallGraph;
-use sieve_simulator::store::{MetricStore, RetentionPolicy};
-use std::sync::Arc;
+use sieve_simulator::store::{MetricId, MetricStore, RetentionPolicy};
+use sieve_wal::{
+    log_file_name, scan_log, snapshot_file_name, ShardSnapshot, ShardWal, TenantSnapshot, WalError,
+    WalEvent,
+};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One shard's durable state: the log writer plus the snapshot-cadence
+/// counter. The `Mutex` around it is the shard's *durability order* lock:
+/// every durable mutation (ingest, tenant admin) holds it across
+/// apply-to-memory + append-to-log, so the log's frame order equals the
+/// apply order for every tenant of the shard — which is exactly the
+/// order recovery replays.
+#[derive(Debug)]
+struct ShardLog {
+    wal: ShardWal,
+    events_since_snapshot: u64,
+}
+
+/// The durability side of a service: one logged shard per registry shard
+/// (same deterministic routing hash, so "log shard" and "registry shard"
+/// are the same partition of the tenant space).
+#[derive(Debug)]
+struct DurableLog {
+    dir: PathBuf,
+    snapshot_every_events: u64,
+    shards: Vec<Mutex<ShardLog>>,
+}
+
+impl DurableLog {
+    /// Creates a fresh durable directory for a *new* service: any
+    /// previous incarnation's logs and snapshots are wiped (a new service
+    /// must not inherit a predecessor's tenants — that's what
+    /// [`SieveService::recover`] is for).
+    fn create(durability: &DurabilityConfig, shard_count: usize) -> Result<Self> {
+        std::fs::create_dir_all(&durability.dir).map_err(WalError::from)?;
+        let mut shards = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            remove_if_present(&durability.dir.join(snapshot_file_name(shard)))?;
+            let log_path = durability.dir.join(log_file_name(shard));
+            remove_if_present(&log_path)?;
+            let wal = ShardWal::open(&log_path, 1, durability.fsync)?;
+            shards.push(Mutex::new(ShardLog {
+                wal,
+                events_since_snapshot: 0,
+            }));
+        }
+        Ok(Self {
+            dir: durability.dir.clone(),
+            snapshot_every_events: durability.snapshot_every_events,
+            shards,
+        })
+    }
+
+    /// Locks one shard's log.
+    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, ShardLog> {
+        self.shards[shard].lock().expect("shard log poisoned")
+    }
+}
+
+/// Removes a file, treating "not found" as success.
+fn remove_if_present(path: &Path) -> Result<()> {
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(WalError::from(e).into()),
+    }
+}
+
+/// Truncates a shard log file to `len` bytes in place. The shard's
+/// append-mode [`ShardWal`] handle keeps working: `O_APPEND` writes land
+/// at the new end of file.
+fn truncate_log_file(path: &Path, len: u64) -> Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)
+        .map_err(WalError::from)?;
+    file.set_len(len).map_err(WalError::from)?;
+    file.sync_data().map_err(WalError::from)?;
+    Ok(())
+}
 
 /// A multi-tenant Sieve analysis service.
 ///
@@ -45,19 +133,53 @@ use std::sync::Arc;
 pub struct SieveService {
     config: ServeConfig,
     registry: ShardedRegistry,
+    /// Present iff the configuration enables durability: per-shard logs
+    /// plus snapshot state under `config.durability.dir`.
+    durable: Option<DurableLog>,
+    /// Monotone sweep counter ([`SieveService::refresh_dirty`] and
+    /// [`SieveService::refresh_all`] both count); the time base of the
+    /// per-tenant failure backoff.
+    sweeps: AtomicU64,
+    /// Cumulative tenant-refresh failures since service start.
+    refresh_failures: AtomicU64,
+    /// Test-only fault injection: tenants whose refresh is forced to fail,
+    /// so the backoff machinery can be exercised deterministically (the
+    /// analysis pipeline itself degrades gracefully on any valid input and
+    /// offers no data-driven way to make a refresh error).
+    #[cfg(test)]
+    refresh_failpoint: std::sync::RwLock<std::collections::HashSet<String>>,
 }
 
 impl SieveService {
     /// Creates a service with the given configuration.
     ///
+    /// When [`ServeConfig::durability`] is set, the durable directory is
+    /// created (if absent) and **wiped of any previous service's logs and
+    /// snapshots** — a new service starts empty by definition. To resume
+    /// a previous incarnation's tenants from its durable state, use
+    /// [`SieveService::recover`] instead.
+    ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidConfig`] for invalid configurations
-    /// (shard count not a power of two, invalid default analysis config).
+    /// (shard count not a power of two, invalid default analysis config),
+    /// [`ServeError::Wal`] when the durable directory cannot be prepared.
     pub fn new(config: ServeConfig) -> Result<Self> {
         config.validate()?;
         let registry = ShardedRegistry::new(config.shard_count);
-        Ok(Self { config, registry })
+        let durable = match &config.durability {
+            Some(durability) => Some(DurableLog::create(durability, config.shard_count)?),
+            None => None,
+        };
+        Ok(Self {
+            config,
+            registry,
+            durable,
+            sweeps: AtomicU64::new(0),
+            refresh_failures: AtomicU64::new(0),
+            #[cfg(test)]
+            refresh_failpoint: std::sync::RwLock::default(),
+        })
     }
 
     /// The service configuration.
@@ -138,13 +260,42 @@ impl SieveService {
         config: SieveConfig,
     ) -> Result<()> {
         let name = name.into();
+        // The durable creation record must reproduce the store being
+        // adopted: its retention governs future evictions (and therefore
+        // the fingerprint chains replay verifies against), so the logged
+        // config carries the store's actual policy even when the session
+        // config was built from the service default.
+        let mut logged_config = config.clone();
+        logged_config.retention = store.retention();
+        let logged_graph = call_graph.clone();
+        let preloaded = store.series_count() > 0;
         let session = AnalysisSession::new(name.as_str(), store.clone(), call_graph, config)
             .map_err(|source| ServeError::Analysis {
                 tenant: name.clone(),
                 source,
             })?;
+        let Some(durable) = &self.durable else {
+            return self
+                .registry
+                .insert(Arc::new(Tenant::new(name, store, session)));
+        };
+        let shard = shard_index(name.as_str(), self.config.shard_count);
+        let mut log = durable.lock_shard(shard);
         self.registry
-            .insert(Arc::new(Tenant::new(name, store, session)))
+            .insert(Arc::new(Tenant::new(name.clone(), store, session)))?;
+        log.wal.append(&WalEvent::TenantCreated {
+            tenant: name.to_string(),
+            config: Box::new(logged_config),
+            call_graph: logged_graph,
+        });
+        log.wal.commit()?;
+        if preloaded {
+            // The creation event does not carry store content, so an
+            // adopted pre-loaded store is only durable once snapshotted.
+            self.snapshot_shard(durable, shard, &mut log)
+        } else {
+            self.after_logged_event(durable, shard, &mut log)
+        }
     }
 
     /// Number of registered tenants.
@@ -171,16 +322,56 @@ impl SieveService {
     /// ([`MetricStore::record_batch`]) — ingest for two tenants never
     /// serialises, whatever the analysis threads do.
     ///
+    /// On a durable service, the accepted subset of the batch (rejected
+    /// points — non-monotone timestamps, non-finite values — are filtered
+    /// out, so the log never contains a point that replays differently
+    /// than it applied) is framed together with the per-series
+    /// fingerprint watermarks the batch produced, and group-committed to
+    /// the tenant's shard log before this call returns. A commit failure
+    /// surfaces as [`ServeError::Wal`]: the batch *is* applied in memory
+    /// but not durable — retrying the ingest is safe (the store rejects
+    /// the duplicate timestamps as non-monotone).
+    ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownTenant`] when `tenant` is not registered.
+    /// [`ServeError::UnknownTenant`] when `tenant` is not registered;
+    /// [`ServeError::Wal`] when the durable commit fails.
     pub fn ingest(&self, tenant: &str, points: &[MetricPoint]) -> Result<usize> {
         let tenant = self.registry.get(tenant)?;
-        Ok(tenant.store.record_batch(
+        let Some(durable) = &self.durable else {
+            return Ok(tenant.store.record_batch(
+                points
+                    .iter()
+                    .map(|point| (&point.id, point.timestamp_ms, point.value)),
+            ));
+        };
+        let shard = shard_index(tenant.name.as_str(), self.config.shard_count);
+        let mut log = durable.lock_shard(shard);
+        let outcome = tenant.store.record_batch_detailed(
             points
                 .iter()
                 .map(|point| (&point.id, point.timestamp_ms, point.value)),
-        ))
+        );
+        if outcome.accepted > 0 {
+            let mut rejected = vec![false; points.len()];
+            for &(index, _) in &outcome.rejected {
+                rejected[index] = true;
+            }
+            let accepted: Vec<(MetricId, u64, f64)> = points
+                .iter()
+                .enumerate()
+                .filter(|(index, _)| !rejected[*index])
+                .map(|(_, point)| (point.id.clone(), point.timestamp_ms, point.value))
+                .collect();
+            log.wal.append(&WalEvent::IngestBatch {
+                tenant: tenant.name.to_string(),
+                points: accepted,
+                watermarks: outcome.watermarks,
+            });
+            log.wal.commit()?;
+            self.after_logged_event(durable, shard, &mut log)?;
+        }
+        Ok(outcome.accepted)
     }
 
     /// Replaces a tenant's call graph (topologies grow while an
@@ -192,15 +383,31 @@ impl SieveService {
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownTenant`] when `tenant` is not registered.
+    /// [`ServeError::UnknownTenant`] when `tenant` is not registered;
+    /// [`ServeError::Wal`] when the durable commit fails.
     pub fn set_call_graph(&self, tenant: &str, call_graph: CallGraph) -> Result<()> {
         let tenant = self.registry.get(tenant)?;
+        let mut log = match &self.durable {
+            Some(durable) => {
+                let shard = shard_index(tenant.name.as_str(), self.config.shard_count);
+                Some((durable, shard, durable.lock_shard(shard)))
+            }
+            None => None,
+        };
         tenant
             .session
             .lock()
             .expect("tenant session poisoned")
-            .set_call_graph(call_graph);
+            .set_call_graph(call_graph.clone());
         tenant.request_refresh();
+        if let Some((durable, shard, log)) = log.as_mut() {
+            log.wal.append(&WalEvent::CallGraphReplaced {
+                tenant: tenant.name.to_string(),
+                call_graph,
+            });
+            log.wal.commit()?;
+            self.after_logged_event(durable, *shard, log)?;
+        }
         Ok(())
     }
 
@@ -215,10 +422,23 @@ impl SieveService {
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownTenant`] when `tenant` is not registered.
+    /// [`ServeError::UnknownTenant`] when `tenant` is not registered;
+    /// [`ServeError::Wal`] when the durable commit fails.
     pub fn set_retention(&self, tenant: &str, retention: RetentionPolicy) -> Result<()> {
-        self.registry.get(tenant)?.store.set_retention(retention);
-        Ok(())
+        let tenant = self.registry.get(tenant)?;
+        let Some(durable) = &self.durable else {
+            tenant.store.set_retention(retention);
+            return Ok(());
+        };
+        let shard = shard_index(tenant.name.as_str(), self.config.shard_count);
+        let mut log = durable.lock_shard(shard);
+        tenant.store.set_retention(retention);
+        log.wal.append(&WalEvent::RetentionChanged {
+            tenant: tenant.name.to_string(),
+            retention,
+        });
+        log.wal.commit()?;
+        self.after_logged_event(durable, shard, &mut log)
     }
 
     /// A tenant's current store retention budget.
@@ -277,6 +497,11 @@ impl SieveService {
                 stats.absorb(&tenant.last_stats());
             }
         }
+        stats.refresh_failures = self.refresh_failures.load(Ordering::Relaxed);
+        stats.tenants_degraded = tenants
+            .iter()
+            .filter(|tenant| tenant.failure_streak() > 0)
+            .count();
         stats
     }
 
@@ -305,6 +530,18 @@ impl SieveService {
     /// bit-identical models (asserted by the `serve` bench and the
     /// property tests).
     ///
+    /// # Failure backoff
+    ///
+    /// A tenant whose refresh fails is retried with capped exponential
+    /// backoff: after `n` consecutive failures it is skipped for
+    /// `min(2^(n-1), 32)` sweeps (its delta stays in the store, its
+    /// absorbed dirt stays pending in the session — nothing is lost, the
+    /// work is merely deferred), then retried. One success resets the
+    /// backoff. [`ServiceStats::refresh_failures`] counts every failure;
+    /// [`ServiceStats::tenants_degraded`] counts tenants currently in a
+    /// failed state. [`SieveService::refresh_all`] ignores backoff and
+    /// always retries everything.
+    ///
     /// # Errors
     ///
     /// [`ServeError::Analysis`] naming the failing tenant — the earliest
@@ -313,7 +550,7 @@ impl SieveService {
     /// sweep has still published its new model (only the returned
     /// aggregate statistics are lost). A failing tenant keeps its previous
     /// snapshot, and its absorbed dirt stays pending in its session, so
-    /// the next sweep retries exactly the outstanding work.
+    /// a later sweep retries exactly the outstanding work.
     ///
     /// # Example
     ///
@@ -350,6 +587,7 @@ impl SieveService {
     /// # Ok::<(), sieve_serve::ServeError>(())
     /// ```
     pub fn refresh_dirty(&self) -> Result<ServiceStats> {
+        let sweep = self.sweeps.fetch_add(1, Ordering::Relaxed) + 1;
         let tenants = self.registry.all_sorted();
 
         // Drain every tenant's delta (cheap: one store lock each), absorb
@@ -361,6 +599,13 @@ impl SieveService {
         // changes the comparison plan without dirtying any series.
         let mut work: Vec<Arc<Tenant>> = Vec::new();
         for tenant in &tenants {
+            // Tenants waiting out a failure backoff are skipped entirely:
+            // their delta stays in the store and their force-refresh flag
+            // stays set, so the deferred work is all still there when the
+            // backoff window ends.
+            if tenant.in_backoff(sweep) {
+                continue;
+            }
             let delta = tenant.store.drain_delta();
             let replanned = tenant.take_refresh_request();
             let never_published = tenant.model().is_none();
@@ -378,7 +623,7 @@ impl SieveService {
                 work.push(Arc::clone(tenant));
             }
         }
-        self.run_sweep(&tenants, &work)
+        self.run_sweep(&tenants, &work, sweep)
     }
 
     /// Marks every component of every tenant dirty and refreshes the whole
@@ -392,6 +637,7 @@ impl SieveService {
     ///
     /// Same as [`SieveService::refresh_dirty`].
     pub fn refresh_all(&self) -> Result<ServiceStats> {
+        let sweep = self.sweeps.fetch_add(1, Ordering::Relaxed) + 1;
         let tenants = self.registry.all_sorted();
         let mut work: Vec<Arc<Tenant>> = Vec::new();
         for tenant in &tenants {
@@ -407,7 +653,7 @@ impl SieveService {
                 work.push(Arc::clone(tenant));
             }
         }
-        self.run_sweep(&tenants, &work)
+        self.run_sweep(&tenants, &work, sweep)
     }
 
     /// The shared fan-out of both sweeps: refreshes every tenant in `work`
@@ -419,7 +665,12 @@ impl SieveService {
     /// are read from *every* registered tenant's store (not just the dirty
     /// ones) — the fleet's memory footprint is a property of the stores,
     /// not of the sweep.
-    fn run_sweep(&self, tenants: &[Arc<Tenant>], work: &[Arc<Tenant>]) -> Result<ServiceStats> {
+    fn run_sweep(
+        &self,
+        tenants: &[Arc<Tenant>],
+        work: &[Arc<Tenant>],
+        sweep: u64,
+    ) -> Result<ServiceStats> {
         let mut stats = ServiceStats {
             tenants_total: tenants.len(),
             ..ServiceStats::default()
@@ -427,8 +678,27 @@ impl SieveService {
         for tenant in tenants {
             stats.absorb_retention(&tenant.store);
         }
-        let refreshed: Vec<SessionStats> =
-            try_par_map_chunks(self.config.sweep_parallelism, work, |tenant| {
+        // Every tenant is attempted (an early failure must not starve the
+        // later tenants of the same sweep), every outcome is recorded for
+        // the backoff machinery, and only then is the earliest failure in
+        // sorted order — deterministic, whatever the thread timing —
+        // reported to the caller.
+        let outcomes: Vec<Result<SessionStats>> =
+            par_map_chunks(self.config.sweep_parallelism, work, |tenant| {
+                #[cfg(test)]
+                if self
+                    .refresh_failpoint
+                    .read()
+                    .expect("failpoint lock poisoned")
+                    .contains(tenant.name.as_str())
+                {
+                    return Err(ServeError::Analysis {
+                        tenant: tenant.name.clone(),
+                        source: sieve_core::SieveError::NoMetrics {
+                            scope: "injected refresh failure".to_string(),
+                        },
+                    });
+                }
                 let mut session = tenant.session.lock().expect("tenant session poisoned");
                 let model = session
                     .refresh_shared()
@@ -443,11 +713,392 @@ impl SieveService {
                 // always the last publish and a stale model can never win.
                 tenant.publish(model, session_stats);
                 Ok(session_stats)
-            })?;
-        for session_stats in &refreshed {
-            stats.absorb(session_stats);
+            });
+        let mut first_error = None;
+        for (tenant, outcome) in work.iter().zip(outcomes) {
+            match outcome {
+                Ok(session_stats) => {
+                    tenant.record_refresh_success();
+                    stats.absorb(&session_stats);
+                }
+                Err(error) => {
+                    self.refresh_failures.fetch_add(1, Ordering::Relaxed);
+                    tenant.record_refresh_failure(sweep);
+                    if first_error.is_none() {
+                        first_error = Some(error);
+                    }
+                }
+            }
         }
-        Ok(stats)
+        stats.refresh_failures = self.refresh_failures.load(Ordering::Relaxed);
+        stats.tenants_degraded = tenants
+            .iter()
+            .filter(|tenant| tenant.failure_streak() > 0)
+            .count();
+        match first_error {
+            Some(error) => Err(error),
+            None => Ok(stats),
+        }
+    }
+
+    /// Bumps the shard's snapshot-cadence counter after a logged event
+    /// and snapshots the shard when the cadence is due.
+    fn after_logged_event(
+        &self,
+        durable: &DurableLog,
+        shard: usize,
+        log: &mut ShardLog,
+    ) -> Result<()> {
+        log.events_since_snapshot += 1;
+        if log.events_since_snapshot >= durable.snapshot_every_events {
+            self.snapshot_shard(durable, shard, log)?;
+        }
+        Ok(())
+    }
+
+    /// Writes an atomic snapshot of every tenant of `shard` (frozen store
+    /// image, session config, call graph, covering the log watermark
+    /// `last_seq`) and truncates the shard log — replay work after a
+    /// crash is bounded by the snapshot cadence, not by service uptime.
+    ///
+    /// Runs under the shard's log mutex, so no durable mutation of the
+    /// shard's tenants can interleave: the snapshot is consistent with
+    /// exactly the log prefix it claims to cover.
+    fn snapshot_shard(&self, durable: &DurableLog, shard: usize, log: &mut ShardLog) -> Result<()> {
+        let tenants = self.registry.all_in_shard(shard);
+        let snapshot = ShardSnapshot {
+            shard,
+            last_seq: log.wal.last_seq(),
+            tenants: tenants
+                .iter()
+                .map(|tenant| {
+                    let session = tenant.session.lock().expect("tenant session poisoned");
+                    TenantSnapshot {
+                        tenant: tenant.name.to_string(),
+                        config: Box::new(session.config().clone()),
+                        call_graph: session.call_graph().clone(),
+                        store: tenant.store.freeze(),
+                    }
+                })
+                .collect(),
+        };
+        snapshot.write_atomic(&durable.dir.join(snapshot_file_name(shard)))?;
+        // The snapshot covers every committed frame: drop them. (A crash
+        // between the rename above and this truncation is benign — the
+        // leftover frames carry sequence numbers at or below the
+        // snapshot's `last_seq` and recovery skips them.)
+        truncate_log_file(&durable.dir.join(log_file_name(shard)), 0)?;
+        log.events_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Rebuilds a service from the durable directory of a crashed (or
+    /// cleanly stopped) predecessor: per shard, the snapshot is restored,
+    /// the log tail is scanned and its intact prefix replayed through the
+    /// ordinary store machinery, and every tenant comes back with a
+    /// session whose next refresh publishes a model **bit-identical** to
+    /// what the pre-crash service would have published for the same
+    /// surviving events.
+    ///
+    /// Corruption never poisons recovery: a torn or bit-flipped frame
+    /// truncates that shard's replay at the last intact frame, the
+    /// affected tenants are reported as
+    /// [`TenantRecovery::Recovered`] with their exact lost suffix
+    /// (resynchronized later frames are counted, never applied), and a
+    /// replayed batch whose fingerprint watermarks do not reproduce the
+    /// logged ones degrades just that tenant. A corrupt snapshot falls
+    /// back to pure log replay. After recovery the directory is
+    /// re-snapshotted and the logs are truncated, so the corrupt tail is
+    /// physically gone and a second recovery is clean by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] when `config` has no durability
+    /// section (or is otherwise invalid), [`ServeError::Wal`] on I/O
+    /// failures, [`ServeError::Analysis`] when a recovered tenant's
+    /// session cannot be rebuilt.
+    pub fn recover(config: ServeConfig) -> Result<(Self, RecoveryReport)> {
+        config.validate()?;
+        let durability = config
+            .durability
+            .clone()
+            .ok_or_else(|| ServeError::InvalidConfig {
+                reason: "recover requires a durability configuration".to_string(),
+            })?;
+        std::fs::create_dir_all(&durability.dir).map_err(WalError::from)?;
+        let registry = ShardedRegistry::new(config.shard_count);
+        let mut shards = Vec::with_capacity(config.shard_count);
+        let mut shard_logs = Vec::with_capacity(config.shard_count);
+        for shard in 0..config.shard_count {
+            let snapshot_path = durability.dir.join(snapshot_file_name(shard));
+            let (snapshot, snapshot_corrupt) = match ShardSnapshot::read(&snapshot_path) {
+                Ok(snapshot) => (snapshot, false),
+                Err(WalError::Corrupt { .. }) => (None, true),
+                Err(error) => return Err(error.into()),
+            };
+            let mut snapshot_last_seq = 0;
+            let mut replaying: BTreeMap<String, Replaying> = BTreeMap::new();
+            if let Some(snapshot) = snapshot {
+                snapshot_last_seq = snapshot.last_seq;
+                for tenant in snapshot.tenants {
+                    replaying.insert(
+                        tenant.tenant,
+                        Replaying::restored(
+                            MetricStore::restore(tenant.store),
+                            *tenant.config,
+                            tenant.call_graph,
+                        ),
+                    );
+                }
+            }
+
+            let log_path = durability.dir.join(log_file_name(shard));
+            let bytes = match std::fs::read(&log_path) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+                Err(e) => return Err(WalError::from(e).into()),
+            };
+            let scanned = scan_log(&bytes);
+            let mut frames_replayed = 0u64;
+            let mut recovered_through = snapshot_last_seq;
+            for (seq, event) in &scanned.applied {
+                if *seq <= snapshot_last_seq {
+                    continue;
+                }
+                frames_replayed += 1;
+                recovered_through = *seq;
+                replay_event(&mut replaying, event);
+            }
+            // Frames the scanner resynchronized after a corrupt region
+            // are structurally intact but unsafe to apply (the events
+            // before them are gone); they become the per-tenant lost
+            // suffix.
+            if let Some(corruption) = &scanned.corruption {
+                for (seq, event) in &corruption.resynced {
+                    if *seq <= snapshot_last_seq {
+                        continue;
+                    }
+                    let tenant = replaying
+                        .entry(event.tenant().to_string())
+                        .or_insert_with(Replaying::phantom);
+                    tenant.degraded = true;
+                    tenant.lost.events += 1;
+                    tenant.lost.points += event.point_count() as u64;
+                }
+            }
+
+            // Re-anchor the directory at the recovered state: one fresh
+            // snapshot, an empty log, and a writer continuing the
+            // sequence — the corrupt tail is physically gone.
+            let snapshot = ShardSnapshot {
+                shard,
+                last_seq: recovered_through,
+                tenants: replaying
+                    .iter()
+                    .filter_map(|(name, tenant)| {
+                        Some(TenantSnapshot {
+                            tenant: name.clone(),
+                            config: Box::new(tenant.config.clone()?),
+                            call_graph: tenant.graph.clone()?,
+                            store: tenant.store.as_ref()?.freeze(),
+                        })
+                    })
+                    .collect(),
+            };
+            snapshot.write_atomic(&snapshot_path)?;
+            truncate_log_file(&log_path, 0)?;
+            shard_logs.push(Mutex::new(ShardLog {
+                wal: ShardWal::open(&log_path, recovered_through + 1, durability.fsync)?,
+                events_since_snapshot: 0,
+            }));
+
+            let mut report_tenants = BTreeMap::new();
+            for (name, tenant) in replaying {
+                report_tenants.insert(name.clone(), tenant.outcome());
+                let (Some(store), Some(tenant_config), Some(graph)) =
+                    (tenant.store, tenant.config, tenant.graph)
+                else {
+                    // The tenant's creation record is gone (corrupt
+                    // snapshot plus truncated log): it is reported but
+                    // cannot be re-registered.
+                    continue;
+                };
+                let session =
+                    AnalysisSession::rehydrated(name.clone(), store.clone(), graph, tenant_config)
+                        .map_err(|source| ServeError::Analysis {
+                            tenant: Name::from(name.as_str()),
+                            source,
+                        })?;
+                registry.insert(Arc::new(Tenant::new(
+                    Name::from(name.as_str()),
+                    store,
+                    session,
+                )))?;
+            }
+            shards.push(ShardRecovery {
+                shard,
+                snapshot_last_seq,
+                snapshot_corrupt,
+                recovered_through_seq: recovered_through,
+                frames_replayed,
+                corruption: scanned.corruption.map(|corruption| CorruptionSummary {
+                    offset: corruption.offset,
+                    reason: corruption.reason,
+                    lost_bytes: corruption.lost_bytes,
+                }),
+                tenants: report_tenants,
+            });
+        }
+        let service = Self {
+            config,
+            registry,
+            durable: Some(DurableLog {
+                dir: durability.dir.clone(),
+                snapshot_every_events: durability.snapshot_every_events,
+                shards: shard_logs,
+            }),
+            sweeps: AtomicU64::new(0),
+            refresh_failures: AtomicU64::new(0),
+            #[cfg(test)]
+            refresh_failpoint: std::sync::RwLock::default(),
+        };
+        Ok((service, RecoveryReport { shards }))
+    }
+}
+
+/// One tenant mid-replay: what recovery knows about it so far.
+struct Replaying {
+    /// `None` when the tenant is known only by name from orphaned frames
+    /// (its creation record was lost).
+    store: Option<MetricStore>,
+    config: Option<SieveConfig>,
+    graph: Option<CallGraph>,
+    points_replayed: u64,
+    lost: LostSuffix,
+    /// Once degraded, no further event of the tenant is applied — every
+    /// later one joins the lost suffix (applying events after a gap
+    /// would order history differently than the watermarks were computed
+    /// against).
+    degraded: bool,
+}
+
+impl Replaying {
+    fn restored(store: MetricStore, config: SieveConfig, graph: CallGraph) -> Self {
+        Self {
+            store: Some(store),
+            config: Some(config),
+            graph: Some(graph),
+            points_replayed: 0,
+            lost: LostSuffix::default(),
+            degraded: false,
+        }
+    }
+
+    fn phantom() -> Self {
+        Self {
+            store: None,
+            config: None,
+            graph: None,
+            points_replayed: 0,
+            lost: LostSuffix::default(),
+            degraded: true,
+        }
+    }
+
+    fn outcome(&self) -> TenantRecovery {
+        if self.degraded || self.lost.events > 0 {
+            TenantRecovery::Recovered {
+                points_replayed: self.points_replayed,
+                lost_suffix: self.lost,
+            }
+        } else {
+            TenantRecovery::Clean {
+                points_replayed: self.points_replayed,
+            }
+        }
+    }
+}
+
+/// Applies one intact log frame to the replaying shard state. Ingest
+/// batches are verified *before* being applied: the batch's fingerprint
+/// watermarks are recomputed over the current store state
+/// ([`MetricStore::preview_watermarks`], side-effect free) and compared
+/// with the logged ones — a mismatch means replay would diverge from
+/// what the live service applied, so the tenant degrades instead of
+/// silently rebuilding a wrong model.
+fn replay_event(replaying: &mut BTreeMap<String, Replaying>, event: &WalEvent) {
+    match event {
+        WalEvent::TenantCreated {
+            tenant,
+            config,
+            call_graph,
+        } => {
+            match replaying.entry(tenant.clone()) {
+                std::collections::btree_map::Entry::Vacant(entry) => {
+                    entry.insert(Replaying::restored(
+                        MetricStore::with_retention(config.retention),
+                        (**config).clone(),
+                        call_graph.clone(),
+                    ));
+                }
+                std::collections::btree_map::Entry::Occupied(mut entry) => {
+                    // A duplicate creation record means the log and
+                    // snapshot disagree: degrade rather than guess.
+                    let tenant = entry.get_mut();
+                    tenant.degraded = true;
+                    tenant.lost.events += 1;
+                }
+            }
+        }
+        WalEvent::CallGraphReplaced { tenant, call_graph } => {
+            let tenant = replaying
+                .entry(tenant.clone())
+                .or_insert_with(Replaying::phantom);
+            if tenant.degraded {
+                tenant.lost.events += 1;
+            } else {
+                tenant.graph = Some(call_graph.clone());
+            }
+        }
+        WalEvent::RetentionChanged { tenant, retention } => {
+            let tenant = replaying
+                .entry(tenant.clone())
+                .or_insert_with(Replaying::phantom);
+            match (&tenant.store, tenant.degraded) {
+                (Some(store), false) => store.set_retention(*retention),
+                _ => {
+                    tenant.degraded = true;
+                    tenant.lost.events += 1;
+                }
+            }
+        }
+        WalEvent::IngestBatch {
+            tenant,
+            points,
+            watermarks,
+        } => {
+            let tenant = replaying
+                .entry(tenant.clone())
+                .or_insert_with(Replaying::phantom);
+            let verified = match (&tenant.store, tenant.degraded) {
+                (Some(store), false) => {
+                    let preview = store
+                        .preview_watermarks(points.iter().map(|(id, ts, value)| (id, *ts, *value)));
+                    preview == *watermarks
+                }
+                _ => false,
+            };
+            if verified {
+                let store = tenant.store.as_ref().expect("verified batch has a store");
+                let accepted =
+                    store.record_batch(points.iter().map(|(id, ts, value)| (id, *ts, *value)));
+                tenant.points_replayed += accepted as u64;
+            } else {
+                tenant.degraded = true;
+                tenant.lost.events += 1;
+                tenant.lost.points += points.len() as u64;
+            }
+        }
     }
 }
 
@@ -765,6 +1416,316 @@ mod tests {
             service.retention("ghost"),
             Err(ServeError::UnknownTenant { .. })
         ));
+    }
+
+    /// A unique temp directory per test (tests run in parallel).
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sieve-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn durable_config(dir: &std::path::Path) -> ServeConfig {
+        tiny_config().with_durability(crate::DurabilityConfig::new(dir))
+    }
+
+    #[test]
+    fn durable_service_recovers_bit_identical_models() {
+        let dir = temp_dir("clean-recovery");
+        let service = SieveService::new(durable_config(&dir)).unwrap();
+        service.create_tenant("alpha", web_db_graph()).unwrap();
+        service
+            .create_tenant_with_retention("beta", web_db_graph(), RetentionPolicy::windowed(60))
+            .unwrap();
+        ingest_wave(&service, "alpha", 0..80, 0.0);
+        ingest_wave(&service, "beta", 0..90, 1.3);
+        service.refresh_dirty().unwrap();
+        // Admin events are durable too.
+        service
+            .set_retention("beta", RetentionPolicy::windowed(40))
+            .unwrap();
+        service.set_call_graph("alpha", CallGraph::new()).unwrap();
+        ingest_wave(&service, "alpha", 80..100, 0.2);
+        service.refresh_dirty().unwrap();
+        let live_alpha = service.model("alpha").unwrap().unwrap();
+        let live_beta = service.model("beta").unwrap().unwrap();
+        drop(service); // "crash": nothing flushed beyond what committed
+
+        let (recovered, report) = SieveService::recover(durable_config(&dir)).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(recovered.tenants(), vec!["alpha", "beta"]);
+        assert_eq!(
+            recovered.retention("beta").unwrap(),
+            RetentionPolicy::windowed(40),
+            "replayed admin event"
+        );
+        // Recovered tenants republish on the first sweep, bit-identical
+        // to the pre-crash live models.
+        recovered.refresh_dirty().unwrap();
+        assert_eq!(*recovered.model("alpha").unwrap().unwrap(), *live_alpha);
+        assert_eq!(*recovered.model("beta").unwrap().unwrap(), *live_beta);
+
+        // And the service re-converges: post-recovery ingest behaves like
+        // an uncrashed service fed the same stream.
+        ingest_wave(&recovered, "beta", 90..110, 1.3);
+        recovered.refresh_dirty().unwrap();
+        let sieve = Sieve::new(recovered.config().analysis.clone());
+        let batch = sieve
+            .analyze("beta", &recovered.store("beta").unwrap(), &web_db_graph())
+            .unwrap();
+        assert_eq!(*recovered.model("beta").unwrap().unwrap(), batch);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_truncates_at_the_torn_tail_and_reports_the_lost_suffix() {
+        let dir = temp_dir("torn-tail");
+        // A huge snapshot cadence keeps everything in the log so the test
+        // can tear it.
+        let config = tiny_config().with_durability(
+            crate::DurabilityConfig::new(&dir).with_snapshot_every_events(1_000_000),
+        );
+        let service = SieveService::new(config.clone()).unwrap();
+        service.create_tenant("acme", web_db_graph()).unwrap();
+        for round in 0..6u64 {
+            ingest_wave(&service, "acme", round * 10..(round + 1) * 10, 0.0);
+        }
+        drop(service);
+
+        // Tear the last 5 bytes off the shard log: the final ingest frame
+        // is torn, everything before it is intact.
+        let shard = sieve_exec::hash::shard_index("acme", config.shard_count);
+        let log_path = dir.join(sieve_wal::log_file_name(shard));
+        let bytes = std::fs::read(&log_path).unwrap();
+        std::fs::write(&log_path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let (recovered, report) = SieveService::recover(config.clone()).unwrap();
+        assert!(!report.is_clean());
+        // A torn *final* frame is unreadable, so nobody can say which
+        // tenant it belonged to: the loss is accounted at the shard level
+        // in bytes, and the tenant is clean for its surviving prefix — no
+        // readable event of it was dropped.
+        let shard_report = report.shards.iter().find(|s| s.shard == shard).unwrap();
+        let corruption = shard_report.corruption.as_ref().unwrap();
+        assert!(corruption.lost_bytes > 0, "{corruption:?}");
+        match report.tenant("acme").unwrap() {
+            TenantRecovery::Clean { points_replayed } => {
+                // 5 intact waves of 40 points; the 6th wave's frame is torn.
+                assert_eq!(*points_replayed, 5 * 40);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        // The recovered model for the intact prefix equals an uncrashed
+        // oracle fed only the surviving waves.
+        recovered.refresh_dirty().unwrap();
+        let oracle = SieveService::new(tiny_config()).unwrap();
+        oracle.create_tenant("acme", web_db_graph()).unwrap();
+        for round in 0..5u64 {
+            ingest_wave(&oracle, "acme", round * 10..(round + 1) * 10, 0.0);
+        }
+        oracle.refresh_dirty().unwrap();
+        assert_eq!(
+            *recovered.model("acme").unwrap().unwrap(),
+            *oracle.model("acme").unwrap().unwrap(),
+            "recovered prefix model must equal the uncrashed oracle"
+        );
+
+        // Recovery re-anchored the directory: a second recovery is clean
+        // and the loss is not double-reported.
+        drop(recovered);
+        let (again, second) = SieveService::recover(config).unwrap();
+        assert!(second.is_clean(), "{second}");
+        again.refresh_dirty().unwrap();
+        assert_eq!(
+            *again.model("acme").unwrap().unwrap(),
+            *oracle.model("acme").unwrap().unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_bit_flip_mid_log_degrades_only_the_affected_tenant() {
+        let dir = temp_dir("bit-flip");
+        let config = tiny_config().with_durability(
+            crate::DurabilityConfig::new(&dir).with_snapshot_every_events(1_000_000),
+        );
+        // Two tenants in different WAL shards: the flip lands in a shard
+        // hosting exactly one of them. Beta's history is many small
+        // frames, so a mid-file flip kills one frame and the frames after
+        // it resync — a per-tenant accountable lost suffix.
+        let service = SieveService::new(config.clone()).unwrap();
+        service.create_tenant("alpha", web_db_graph()).unwrap();
+        service.create_tenant("beta", web_db_graph()).unwrap();
+        ingest_wave(&service, "alpha", 0..80, 0.0);
+        for round in 0..6u64 {
+            ingest_wave(&service, "beta", round * 10..(round + 1) * 10, 1.1);
+        }
+        drop(service);
+
+        let alpha_shard = sieve_exec::hash::shard_index("alpha", config.shard_count);
+        let beta_shard = sieve_exec::hash::shard_index("beta", config.shard_count);
+        assert_ne!(alpha_shard, beta_shard, "tenants picked to hash apart");
+        let log_path = dir.join(sieve_wal::log_file_name(beta_shard));
+        let mut bytes = std::fs::read(&log_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&log_path, &bytes).unwrap();
+
+        let (recovered, report) = SieveService::recover(config).unwrap();
+        assert!(report.tenant("alpha").unwrap().is_clean());
+        let (survived_waves, lost) = match report.tenant("beta").unwrap() {
+            TenantRecovery::Recovered {
+                points_replayed,
+                lost_suffix,
+            } => {
+                // Whole 40-point waves survive or are lost — never a
+                // partially applied frame.
+                assert_eq!(points_replayed % 40, 0);
+                (points_replayed / 40, *lost_suffix)
+            }
+            other => panic!("expected a lost suffix, got {other:?}"),
+        };
+        assert!(lost.events >= 1, "{lost:?}");
+        assert!(survived_waves < 6);
+        recovered.refresh_dirty().unwrap();
+        // Alpha is untouched by beta's corruption, and beta's model is the
+        // one an uncrashed service would publish for the surviving prefix.
+        let oracle = SieveService::new(tiny_config()).unwrap();
+        oracle.create_tenant("alpha", web_db_graph()).unwrap();
+        oracle.create_tenant("beta", web_db_graph()).unwrap();
+        ingest_wave(&oracle, "alpha", 0..80, 0.0);
+        for round in 0..survived_waves {
+            ingest_wave(&oracle, "beta", round * 10..(round + 1) * 10, 1.1);
+        }
+        oracle.refresh_dirty().unwrap();
+        assert_eq!(
+            *recovered.model("alpha").unwrap().unwrap(),
+            *oracle.model("alpha").unwrap().unwrap()
+        );
+        assert_eq!(
+            *recovered.model("beta").unwrap().unwrap(),
+            *oracle.model("beta").unwrap().unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshots_bound_replay_and_recovery_reads_snapshot_plus_tail() {
+        let dir = temp_dir("snapshot-cadence");
+        let config = tiny_config()
+            .with_durability(crate::DurabilityConfig::new(&dir).with_snapshot_every_events(3));
+        let service = SieveService::new(config.clone()).unwrap();
+        service.create_tenant("acme", web_db_graph()).unwrap(); // event 1
+        for round in 0..5u64 {
+            // Events 2..=6: snapshots fire after events 3 and 6, each
+            // truncating the log.
+            ingest_wave(&service, "acme", round * 10..(round + 1) * 10, 0.0);
+        }
+        service.refresh_dirty().unwrap();
+        let live = service.model("acme").unwrap().unwrap();
+        drop(service);
+
+        let (recovered, report) = SieveService::recover(config).unwrap();
+        assert!(report.is_clean(), "{report}");
+        let shard = sieve_exec::hash::shard_index("acme", 4);
+        let shard_report = report.shards.iter().find(|s| s.shard == shard).unwrap();
+        assert_eq!(
+            shard_report.snapshot_last_seq, 6,
+            "recovery restored from the latest snapshot"
+        );
+        assert_eq!(
+            shard_report.frames_replayed, 0,
+            "the snapshot covered the whole history, nothing to replay"
+        );
+        recovered.refresh_dirty().unwrap();
+        assert_eq!(*recovered.model("acme").unwrap().unwrap(), *live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_new_durable_service_wipes_the_previous_incarnation() {
+        let dir = temp_dir("wipe");
+        let first = SieveService::new(durable_config(&dir)).unwrap();
+        first.create_tenant("acme", web_db_graph()).unwrap();
+        ingest_wave(&first, "acme", 0..40, 0.0);
+        drop(first);
+
+        // `new` starts fresh: the old tenant is gone from disk too.
+        let second = SieveService::new(durable_config(&dir)).unwrap();
+        assert_eq!(second.tenant_count(), 0);
+        drop(second);
+        let (recovered, report) = SieveService::recover(durable_config(&dir)).unwrap();
+        assert_eq!(recovered.tenant_count(), 0);
+        assert!(report.is_clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failing_tenants_back_off_exponentially_and_heal() {
+        let service = SieveService::new(tiny_config().with_sweep_parallelism(1)).unwrap();
+        service.create_tenant("bad", web_db_graph()).unwrap();
+        service.create_tenant("good", web_db_graph()).unwrap();
+        ingest_wave(&service, "bad", 0..80, 0.0);
+        ingest_wave(&service, "good", 0..80, 0.3);
+        service
+            .refresh_failpoint
+            .write()
+            .unwrap()
+            .insert("bad".to_string());
+
+        // Sweep 1: the bad tenant fails (the error is surfaced), the good
+        // tenant still publishes.
+        let err = service.refresh_dirty().unwrap_err();
+        assert!(matches!(err, ServeError::Analysis { ref tenant, .. } if tenant == "bad"));
+        assert!(service.model("good").unwrap().is_some());
+        assert!(service.model("bad").unwrap().is_none());
+        let stats = service.stats();
+        assert_eq!(stats.refresh_failures, 1);
+        assert_eq!(stats.tenants_degraded, 1);
+
+        // Sweep 2: streak 1 delays by 1 sweep, so the tenant is retried —
+        // and fails again (streak 2, delay 2).
+        assert!(service.refresh_dirty().is_err());
+        assert_eq!(service.stats().refresh_failures, 2);
+        // Sweep 3: inside the backoff window — skipped, so the sweep is
+        // clean and cheap.
+        let stats = service.refresh_dirty().unwrap();
+        assert_eq!(stats.tenants_refreshed, 0);
+        assert_eq!(stats.tenants_degraded, 1);
+        // Sweep 4: window over, retried, fails (streak 3, delay 4).
+        assert!(service.refresh_dirty().is_err());
+        assert_eq!(service.stats().refresh_failures, 3);
+
+        // Heal the tenant. It is still in backoff for sweeps 5..=7 — the
+        // deferred work survives the wait — and succeeds at sweep 8.
+        service.refresh_failpoint.write().unwrap().clear();
+        for _ in 0..3 {
+            assert_eq!(service.refresh_dirty().unwrap().tenants_refreshed, 0);
+        }
+        let stats = service.refresh_dirty().unwrap();
+        assert_eq!(stats.tenants_refreshed, 1, "healed tenant republished");
+        assert_eq!(stats.tenants_degraded, 0, "backoff reset on success");
+        assert_eq!(stats.refresh_failures, 3, "cumulative count remains");
+        assert!(service.model("bad").unwrap().is_some());
+    }
+
+    #[test]
+    fn refresh_all_ignores_backoff() {
+        let service = SieveService::new(tiny_config().with_sweep_parallelism(1)).unwrap();
+        service.create_tenant("bad", web_db_graph()).unwrap();
+        ingest_wave(&service, "bad", 0..80, 0.0);
+        service
+            .refresh_failpoint
+            .write()
+            .unwrap()
+            .insert("bad".to_string());
+        assert!(service.refresh_dirty().is_err()); // streak 1
+        assert!(service.refresh_dirty().is_err()); // streak 2 → backoff 2
+                                                   // refresh_dirty would skip the tenant now; refresh_all retries it
+                                                   // anyway and surfaces the failure.
+        assert!(service.refresh_all().is_err());
+        assert_eq!(service.stats().refresh_failures, 3);
     }
 
     #[test]

@@ -44,6 +44,17 @@ pub struct ServiceStats {
     /// under each store's cost model
     /// ([`sieve_simulator::store::MetricStore::evicted_bytes`]).
     pub bytes_evicted: u64,
+    /// Cumulative tenant-refresh failures since service start. A failing
+    /// tenant keeps its previous snapshot and is retried with capped
+    /// exponential backoff (see
+    /// [`crate::service::SieveService::refresh_dirty`]); every individual
+    /// failure increments this counter.
+    pub refresh_failures: u64,
+    /// Tenants currently degraded: their last refresh attempt failed and
+    /// they are serving a stale (or no) model while waiting out their
+    /// backoff window. Returns to zero as soon as the tenants refresh
+    /// successfully.
+    pub tenants_degraded: usize,
 }
 
 impl ServiceStats {
@@ -75,7 +86,8 @@ impl std::fmt::Display for ServiceStats {
             f,
             "{} of {} tenants refreshed (epoch {}): prepared {} components, \
              re-clustered {}, re-tested {}/{} comparisons; \
-             {} points retained, {} evicted ({} bytes reclaimed)",
+             {} points retained, {} evicted ({} bytes reclaimed); \
+             {} degraded, {} refresh failures to date",
             self.tenants_refreshed,
             self.tenants_total,
             self.epoch_high_watermark,
@@ -85,7 +97,9 @@ impl std::fmt::Display for ServiceStats {
             self.comparisons_planned,
             self.points_retained,
             self.points_evicted,
-            self.bytes_evicted
+            self.bytes_evicted,
+            self.tenants_degraded,
+            self.refresh_failures
         )
     }
 }

@@ -5,8 +5,14 @@ use sieve_core::model::SieveModel;
 use sieve_core::session::{AnalysisSession, SessionStats};
 use sieve_exec::Name;
 use sieve_simulator::store::{MetricId, MetricStore};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+
+/// Longest refresh-failure backoff, in sweeps. A tenant that keeps
+/// failing is still retried at least once every this many sweeps — the
+/// cap keeps a transiently broken tenant from being starved forever once
+/// its data heals.
+pub(crate) const MAX_BACKOFF_SWEEPS: u64 = 32;
 
 /// One observation to ingest for a tenant: which series, when, what value.
 ///
@@ -80,6 +86,12 @@ pub(crate) struct Tenant {
     /// changes the comparison plan without touching any series. Consumed
     /// (reset) by the next sweep.
     force_refresh: AtomicBool,
+    /// Consecutive refresh failures (0 = healthy). Drives the capped
+    /// exponential backoff: streak `n` delays the next attempt by
+    /// `min(2^(n-1), MAX_BACKOFF_SWEEPS)` sweeps.
+    failure_streak: AtomicU32,
+    /// Sweep number at which a failed tenant becomes eligible again.
+    retry_at_sweep: AtomicU64,
 }
 
 impl Tenant {
@@ -90,7 +102,38 @@ impl Tenant {
             session: Mutex::new(session),
             published: RwLock::new(Published::default()),
             force_refresh: AtomicBool::new(false),
+            failure_streak: AtomicU32::new(0),
+            retry_at_sweep: AtomicU64::new(0),
         }
+    }
+
+    /// Records a successful refresh: the tenant is healthy again and any
+    /// backoff window is cancelled.
+    pub(crate) fn record_refresh_success(&self) {
+        self.failure_streak.store(0, Ordering::Release);
+        self.retry_at_sweep.store(0, Ordering::Release);
+    }
+
+    /// Records a failed refresh during sweep number `sweep` and schedules
+    /// the retry: streak `n` waits `min(2^(n-1), MAX_BACKOFF_SWEEPS)`
+    /// sweeps, so a persistently broken tenant costs one attempt per
+    /// backoff window instead of one per sweep.
+    pub(crate) fn record_refresh_failure(&self, sweep: u64) {
+        let streak = self.failure_streak.fetch_add(1, Ordering::AcqRel) + 1;
+        let delay = (1u64 << (streak.min(32) - 1).min(63)).min(MAX_BACKOFF_SWEEPS);
+        self.retry_at_sweep.store(sweep + delay, Ordering::Release);
+    }
+
+    /// Whether the tenant is waiting out a failure backoff at sweep
+    /// number `sweep` (healthy tenants are never in backoff).
+    pub(crate) fn in_backoff(&self, sweep: u64) -> bool {
+        self.failure_streak.load(Ordering::Acquire) > 0
+            && sweep < self.retry_at_sweep.load(Ordering::Acquire)
+    }
+
+    /// Current consecutive-failure streak (0 = healthy).
+    pub(crate) fn failure_streak(&self) -> u32 {
+        self.failure_streak.load(Ordering::Acquire)
     }
 
     /// Requests a refresh at the next sweep even if no series changes.

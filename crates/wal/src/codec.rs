@@ -1,0 +1,513 @@
+//! Little-endian byte codecs for everything the durability layer
+//! persists.
+//!
+//! The workspace bakes in zero external dependencies, so serialization is
+//! hand-rolled: fixed-width little-endian scalars, `u32`-length-prefixed
+//! strings, and explicit field order. The encoding is *exact* — `f64`s
+//! round-trip through [`f64::to_bits`], so a decoded store image is
+//! bit-identical to the frozen one, which is what makes "replayed == live,
+//! bitwise" provable rather than approximate.
+//!
+//! Decoding never panics on malformed input: every `take_*` returns a
+//! descriptive `Err(String)` that the frame/snapshot layers convert into
+//! checksummed-corruption accounting.
+
+use sieve_core::config::SieveConfig;
+use sieve_graph::CallGraph;
+use sieve_simulator::store::{
+    AggregateBucket, CostModel, MetricId, RetentionPolicy, SeriesState, StoreState, TierState,
+};
+
+/// Decode-side cursor over an immutable byte slice.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Shorthand for decode results: the error is a human-readable reason.
+pub type DecodeResult<T> = std::result::Result<T, String>;
+
+impl<'a> Cursor<'a> {
+    /// Starts a cursor at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Current byte position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> DecodeResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(format!(
+                "truncated {what}: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            )),
+        }
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self, what: &str) -> DecodeResult<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self, what: &str) -> DecodeResult<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self, what: &str) -> DecodeResult<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `usize` persisted as a little-endian `u64`.
+    pub fn take_usize(&mut self, what: &str) -> DecodeResult<usize> {
+        let v = self.take_u64(what)?;
+        usize::try_from(v).map_err(|_| format!("{what}: {v} overflows usize"))
+    }
+
+    /// Reads an `f64` persisted via [`f64::to_bits`].
+    pub fn take_f64(&mut self, what: &str) -> DecodeResult<f64> {
+        Ok(f64::from_bits(self.take_u64(what)?))
+    }
+
+    /// Reads a `bool` persisted as one byte (0 or 1).
+    pub fn take_bool(&mut self, what: &str) -> DecodeResult<bool> {
+        match self.take_u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(format!("{what}: invalid bool byte {other}")),
+        }
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn take_str(&mut self, what: &str) -> DecodeResult<String> {
+        let len = self.take_u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what}: invalid utf-8"))
+    }
+}
+
+/// Appends one byte.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `usize` as a little-endian `u64`.
+pub fn put_usize(buf: &mut Vec<u8>, v: usize) {
+    put_u64(buf, v as u64);
+}
+
+/// Appends an `f64` via [`f64::to_bits`] (bit-exact, NaN-safe).
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Appends a `bool` as one byte.
+pub fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    put_u8(buf, u8::from(v));
+}
+
+/// Appends a `u32`-length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a [`MetricId`] (component, metric).
+pub fn put_metric_id(buf: &mut Vec<u8>, id: &MetricId) {
+    put_str(buf, id.component.as_str());
+    put_str(buf, id.metric.as_str());
+}
+
+/// Reads a [`MetricId`].
+pub fn take_metric_id(cur: &mut Cursor<'_>) -> DecodeResult<MetricId> {
+    let component = cur.take_str("metric id component")?;
+    let metric = cur.take_str("metric id metric")?;
+    Ok(MetricId::new(component, metric))
+}
+
+/// Appends a [`RetentionPolicy`].
+pub fn put_retention(buf: &mut Vec<u8>, policy: &RetentionPolicy) {
+    match policy.raw_capacity {
+        None => put_u8(buf, 0),
+        Some(cap) => {
+            put_u8(buf, 1);
+            put_usize(buf, cap);
+        }
+    }
+    put_usize(buf, policy.tier_capacity);
+}
+
+/// Reads a [`RetentionPolicy`].
+pub fn take_retention(cur: &mut Cursor<'_>) -> DecodeResult<RetentionPolicy> {
+    let raw_capacity = match cur.take_u8("retention tag")? {
+        0 => None,
+        1 => Some(cur.take_usize("retention raw capacity")?),
+        other => return Err(format!("retention tag: invalid byte {other}")),
+    };
+    let tier_capacity = cur.take_usize("retention tier capacity")?;
+    Ok(RetentionPolicy {
+        raw_capacity,
+        tier_capacity,
+    })
+}
+
+/// Appends an optional [`CostModel`].
+pub fn put_cost_model(buf: &mut Vec<u8>, cost: &Option<CostModel>) {
+    match cost {
+        None => put_u8(buf, 0),
+        Some(c) => {
+            put_u8(buf, 1);
+            put_f64(buf, c.cpu_s_per_point);
+            put_f64(buf, c.bytes_per_point);
+            put_f64(buf, c.network_in_bytes_per_point);
+            put_f64(buf, c.network_out_bytes_per_point);
+            put_f64(buf, c.bytes_per_series);
+        }
+    }
+}
+
+/// Reads an optional [`CostModel`].
+pub fn take_cost_model(cur: &mut Cursor<'_>) -> DecodeResult<Option<CostModel>> {
+    match cur.take_u8("cost model tag")? {
+        0 => Ok(None),
+        1 => Ok(Some(CostModel {
+            cpu_s_per_point: cur.take_f64("cpu_s_per_point")?,
+            bytes_per_point: cur.take_f64("bytes_per_point")?,
+            network_in_bytes_per_point: cur.take_f64("network_in_bytes_per_point")?,
+            network_out_bytes_per_point: cur.take_f64("network_out_bytes_per_point")?,
+            bytes_per_series: cur.take_f64("bytes_per_series")?,
+        })),
+        other => Err(format!("cost model tag: invalid byte {other}")),
+    }
+}
+
+/// Appends a full [`SieveConfig`], every result-affecting and
+/// result-invariant field alike, so a recovered tenant analyses exactly
+/// as configured.
+pub fn put_sieve_config(buf: &mut Vec<u8>, config: &SieveConfig) {
+    put_u64(buf, config.interval_ms);
+    put_f64(buf, config.variance_threshold);
+    put_usize(buf, config.min_clusters);
+    put_usize(buf, config.max_clusters);
+    put_usize(buf, config.kshape_max_iterations);
+    put_usize(buf, config.granger.max_lag);
+    put_f64(buf, config.granger.significance);
+    put_bool(buf, config.granger.difference_non_stationary);
+    put_usize(buf, config.granger.min_observations);
+    put_usize(buf, config.parallelism);
+    put_bool(buf, config.use_sbd_cache);
+    put_bool(buf, config.use_granger_cache);
+    put_retention(buf, &config.retention);
+}
+
+/// Reads a full [`SieveConfig`].
+pub fn take_sieve_config(cur: &mut Cursor<'_>) -> DecodeResult<SieveConfig> {
+    // Field order matches `put_sieve_config` exactly.
+    let interval_ms = cur.take_u64("interval_ms")?;
+    let variance_threshold = cur.take_f64("variance_threshold")?;
+    let min_clusters = cur.take_usize("min_clusters")?;
+    let max_clusters = cur.take_usize("max_clusters")?;
+    let kshape_max_iterations = cur.take_usize("kshape_max_iterations")?;
+    let granger_max_lag = cur.take_usize("granger max_lag")?;
+    let granger_significance = cur.take_f64("granger significance")?;
+    let granger_differencing = cur.take_bool("granger differencing")?;
+    let granger_min_observations = cur.take_usize("granger min_observations")?;
+    let parallelism = cur.take_usize("parallelism")?;
+    let use_sbd_cache = cur.take_bool("use_sbd_cache")?;
+    let use_granger_cache = cur.take_bool("use_granger_cache")?;
+    let retention = take_retention(cur)?;
+
+    let mut config = SieveConfig::default()
+        .with_interval_ms(interval_ms)
+        .with_parallelism(parallelism)
+        .with_sbd_cache(use_sbd_cache)
+        .with_granger_cache(use_granger_cache)
+        .with_retention(retention);
+    config.variance_threshold = variance_threshold;
+    config.min_clusters = min_clusters;
+    config.max_clusters = max_clusters;
+    config.kshape_max_iterations = kshape_max_iterations;
+    config.granger.max_lag = granger_max_lag;
+    config.granger.significance = granger_significance;
+    config.granger.difference_non_stationary = granger_differencing;
+    config.granger.min_observations = granger_min_observations;
+    Ok(config)
+}
+
+/// Appends a [`CallGraph`] as its component list plus per-caller edge
+/// lists with call counts.
+pub fn put_call_graph(buf: &mut Vec<u8>, graph: &CallGraph) {
+    let components = graph.components();
+    put_usize(buf, components.len());
+    for component in &components {
+        put_str(buf, component.as_str());
+    }
+    let edges: Vec<_> = graph.edges().collect();
+    put_usize(buf, edges.len());
+    for (caller, callee, count) in edges {
+        put_str(buf, caller.as_str());
+        put_str(buf, callee.as_str());
+        put_u64(buf, count);
+    }
+}
+
+/// Reads a [`CallGraph`].
+pub fn take_call_graph(cur: &mut Cursor<'_>) -> DecodeResult<CallGraph> {
+    let mut graph = CallGraph::new();
+    let components = cur.take_usize("call graph component count")?;
+    for _ in 0..components {
+        graph.add_component(cur.take_str("call graph component")?);
+    }
+    let edges = cur.take_usize("call graph edge count")?;
+    for _ in 0..edges {
+        let caller = cur.take_str("call graph caller")?;
+        let callee = cur.take_str("call graph callee")?;
+        let count = cur.take_u64("call graph call count")?;
+        graph.record_calls(caller, callee, count);
+    }
+    Ok(graph)
+}
+
+fn put_bucket(buf: &mut Vec<u8>, bucket: &AggregateBucket) {
+    put_u64(buf, bucket.start_ms);
+    put_u64(buf, bucket.end_ms);
+    put_u32(buf, bucket.count);
+    put_f64(buf, bucket.mean);
+    put_f64(buf, bucket.min);
+    put_f64(buf, bucket.max);
+}
+
+fn take_bucket(cur: &mut Cursor<'_>) -> DecodeResult<AggregateBucket> {
+    Ok(AggregateBucket {
+        start_ms: cur.take_u64("bucket start_ms")?,
+        end_ms: cur.take_u64("bucket end_ms")?,
+        count: cur.take_u32("bucket count")?,
+        mean: cur.take_f64("bucket mean")?,
+        min: cur.take_f64("bucket min")?,
+        max: cur.take_f64("bucket max")?,
+    })
+}
+
+fn put_tier(buf: &mut Vec<u8>, tier: &TierState) {
+    put_usize(buf, tier.closed.len());
+    for bucket in &tier.closed {
+        put_bucket(buf, bucket);
+    }
+    put_u32(buf, tier.open_sources);
+    put_u32(buf, tier.open_count);
+    put_f64(buf, tier.open_sum);
+    put_f64(buf, tier.open_min);
+    put_f64(buf, tier.open_max);
+    put_u64(buf, tier.open_start_ms);
+    put_u64(buf, tier.open_end_ms);
+}
+
+fn take_tier(cur: &mut Cursor<'_>) -> DecodeResult<TierState> {
+    let closed_len = cur.take_usize("tier bucket count")?;
+    let mut closed = Vec::with_capacity(closed_len.min(1024));
+    for _ in 0..closed_len {
+        closed.push(take_bucket(cur)?);
+    }
+    Ok(TierState {
+        closed,
+        open_sources: cur.take_u32("tier open_sources")?,
+        open_count: cur.take_u32("tier open_count")?,
+        open_sum: cur.take_f64("tier open_sum")?,
+        open_min: cur.take_f64("tier open_min")?,
+        open_max: cur.take_f64("tier open_max")?,
+        open_start_ms: cur.take_u64("tier open_start_ms")?,
+        open_end_ms: cur.take_u64("tier open_end_ms")?,
+    })
+}
+
+fn put_series(buf: &mut Vec<u8>, series: &SeriesState) {
+    put_metric_id(buf, &series.id);
+    put_usize(buf, series.timestamps_ms.len());
+    for &t in &series.timestamps_ms {
+        put_u64(buf, t);
+    }
+    for &v in &series.values {
+        put_f64(buf, v);
+    }
+    put_u64(buf, series.fingerprint);
+    put_bool(buf, series.touched);
+    put_tier(buf, &series.tier1);
+    put_tier(buf, &series.tier2);
+}
+
+fn take_series(cur: &mut Cursor<'_>) -> DecodeResult<SeriesState> {
+    let id = take_metric_id(cur)?;
+    let len = cur.take_usize("series point count")?;
+    let mut timestamps_ms = Vec::with_capacity(len.min(65_536));
+    for _ in 0..len {
+        timestamps_ms.push(cur.take_u64("series timestamp")?);
+    }
+    let mut values = Vec::with_capacity(len.min(65_536));
+    for _ in 0..len {
+        values.push(cur.take_f64("series value")?);
+    }
+    Ok(SeriesState {
+        id,
+        timestamps_ms,
+        values,
+        fingerprint: cur.take_u64("series fingerprint")?,
+        touched: cur.take_bool("series touched")?,
+        tier1: take_tier(cur)?,
+        tier2: take_tier(cur)?,
+    })
+}
+
+/// Appends a complete frozen store image.
+pub fn put_store_state(buf: &mut Vec<u8>, state: &StoreState) {
+    put_retention(buf, &state.retention);
+    put_cost_model(buf, &state.cost_model);
+    put_u64(buf, state.epoch);
+    put_u64(buf, state.points_written);
+    put_u64(buf, state.points_evicted);
+    put_u64(buf, state.points_read);
+    put_usize(buf, state.series.len());
+    for series in &state.series {
+        put_series(buf, series);
+    }
+}
+
+/// Reads a complete frozen store image.
+pub fn take_store_state(cur: &mut Cursor<'_>) -> DecodeResult<StoreState> {
+    let retention = take_retention(cur)?;
+    let cost_model = take_cost_model(cur)?;
+    let epoch = cur.take_u64("store epoch")?;
+    let points_written = cur.take_u64("store points_written")?;
+    let points_evicted = cur.take_u64("store points_evicted")?;
+    let points_read = cur.take_u64("store points_read")?;
+    let series_len = cur.take_usize("store series count")?;
+    let mut series = Vec::with_capacity(series_len.min(4096));
+    for _ in 0..series_len {
+        series.push(take_series(cur)?);
+    }
+    Ok(StoreState {
+        retention,
+        cost_model,
+        epoch,
+        points_written,
+        points_evicted,
+        points_read,
+        series,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sieve_simulator::store::MetricStore;
+
+    #[test]
+    fn scalar_roundtrips_are_exact() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX);
+        put_f64(&mut buf, f64::NAN);
+        put_f64(&mut buf, -0.0);
+        put_bool(&mut buf, true);
+        put_str(&mut buf, "wal ♥");
+
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(cur.take_u8("a").unwrap(), 7);
+        assert_eq!(cur.take_u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(cur.take_u64("c").unwrap(), u64::MAX);
+        assert!(cur.take_f64("d").unwrap().is_nan());
+        assert_eq!(cur.take_f64("e").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(cur.take_bool("f").unwrap());
+        assert_eq!(cur.take_str("g").unwrap(), "wal ♥");
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn truncated_and_malformed_input_errors_instead_of_panicking() {
+        let mut cur = Cursor::new(&[1, 2]);
+        let err = cur.take_u64("watermark").unwrap_err();
+        assert!(err.contains("truncated watermark"), "{err}");
+
+        let mut cur = Cursor::new(&[9]);
+        assert!(cur.take_bool("flag").unwrap_err().contains("invalid bool"));
+
+        // A length prefix pointing past the end must not wrap around.
+        let mut huge = Vec::new();
+        put_u32(&mut huge, u32::MAX);
+        let mut cur = Cursor::new(&huge);
+        assert!(cur.take_str("name").is_err());
+    }
+
+    #[test]
+    fn config_and_graph_roundtrip() {
+        let config = SieveConfig::default()
+            .with_interval_ms(250)
+            .with_cluster_range(2, 4)
+            .with_parallelism(3)
+            .with_retention(RetentionPolicy::windowed(128).with_tier_capacity(32));
+        let mut buf = Vec::new();
+        put_sieve_config(&mut buf, &config);
+        let decoded = take_sieve_config(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(decoded, config);
+
+        let mut graph = CallGraph::new();
+        graph.add_component("lonely");
+        graph.record_calls("web", "db", 41);
+        graph.record_calls("web", "cache", 7);
+        let mut buf = Vec::new();
+        put_call_graph(&mut buf, &graph);
+        let decoded = take_call_graph(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(decoded, graph);
+    }
+
+    #[test]
+    fn frozen_store_roundtrips_bit_identically() {
+        let store = MetricStore::with_retention(RetentionPolicy::windowed(5).with_tier_capacity(3));
+        let id = MetricId::new("web", "cpu");
+        for t in 0..37u64 {
+            store.record(&id, t * 500, (t as f64 * 0.37).sin());
+        }
+        store.drain_delta();
+        store.record(&MetricId::new("db", "mem"), 0, 1.25);
+
+        let state = store.freeze();
+        let mut buf = Vec::new();
+        put_store_state(&mut buf, &state);
+        let decoded = take_store_state(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(decoded, state);
+        assert_eq!(
+            MetricStore::restore(decoded).freeze(),
+            state,
+            "decode → restore → freeze is the identity"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type of the durability layer.
+
+/// Everything that can go wrong appending to, snapshotting, or replaying
+/// a write-ahead log.
+#[derive(Debug)]
+pub enum WalError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A frame or snapshot failed structural or checksum verification.
+    ///
+    /// During log replay this is *not* fatal — [`crate::reader::scan_log`]
+    /// degrades to the intact prefix and accounts the loss. It surfaces as
+    /// an error only where corruption cannot be tolerated, e.g. a
+    /// hand-decoded single frame.
+    Corrupt {
+        /// Byte offset of the corrupt structure inside its file.
+        offset: u64,
+        /// Human-readable description of the verification failure.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "wal i/o error: {e}"),
+            Self::Corrupt { offset, reason } => {
+                write!(f, "wal corruption at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_source_are_informative() {
+        let io = WalError::from(std::io::Error::other("disk on fire"));
+        assert!(io.to_string().contains("disk on fire"));
+        assert!(io.source().is_some());
+
+        let corrupt = WalError::Corrupt {
+            offset: 42,
+            reason: "bad checksum".to_string(),
+        };
+        assert!(corrupt.to_string().contains("byte 42"));
+        assert!(corrupt.source().is_none());
+    }
+}

@@ -1,0 +1,262 @@
+//! The logged event vocabulary: everything that mutates a tenant.
+//!
+//! A [`WalEvent`] is the unit the serving layer appends to a shard's log.
+//! The set is deliberately exhaustive over tenant-mutating operations —
+//! tenant creation, call-graph replacement, retention changes, ingest
+//! batches — because the recovery guarantee ("replayed == live, bitwise")
+//! only holds if *every* input to the pure store→model function is in the
+//! stream.
+//!
+//! Ingest batches carry only the *accepted* sub-batch (the store's
+//! detailed batch API reports rejections before logging) plus the
+//! post-apply fingerprint watermark of each touched series. Replay
+//! verifies the watermarks against a non-mutating preview *before*
+//! applying, so a batch logged against a store state that no longer
+//! matches degrades the tenant loudly instead of corrupting it silently.
+
+use crate::codec::{
+    put_call_graph, put_metric_id, put_retention, put_sieve_config, put_str, put_u64, put_u8,
+    put_usize, take_call_graph, take_metric_id, take_retention, take_sieve_config, Cursor,
+    DecodeResult,
+};
+use sieve_core::config::SieveConfig;
+use sieve_graph::CallGraph;
+use sieve_simulator::store::{MetricId, RetentionPolicy};
+
+/// One durable, replayable mutation of one tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalEvent {
+    /// A tenant was created (or adopted) with this configuration and
+    /// initial call graph. Replay recreates the tenant before any of its
+    /// later events apply.
+    TenantCreated {
+        /// Tenant name.
+        tenant: String,
+        /// Analysis configuration of the tenant.
+        config: Box<SieveConfig>,
+        /// Call graph at creation time.
+        call_graph: CallGraph,
+    },
+    /// The tenant's call graph was replaced.
+    CallGraphReplaced {
+        /// Tenant name.
+        tenant: String,
+        /// The new call graph.
+        call_graph: CallGraph,
+    },
+    /// The tenant's retention policy changed (and the store trimmed
+    /// accordingly — replay re-trims deterministically).
+    RetentionChanged {
+        /// Tenant name.
+        tenant: String,
+        /// The new policy.
+        retention: RetentionPolicy,
+    },
+    /// An ingest batch whose points were all *accepted* live.
+    IngestBatch {
+        /// Tenant name.
+        tenant: String,
+        /// The accepted `(id, timestamp, value)` points, in apply order.
+        points: Vec<(MetricId, u64, f64)>,
+        /// Post-apply content fingerprint of every series the batch
+        /// touched, sorted by [`MetricId`] — the replay verification
+        /// anchor.
+        watermarks: Vec<(MetricId, u64)>,
+    },
+}
+
+const TAG_TENANT_CREATED: u8 = 1;
+const TAG_CALL_GRAPH_REPLACED: u8 = 2;
+const TAG_RETENTION_CHANGED: u8 = 3;
+const TAG_INGEST_BATCH: u8 = 4;
+
+impl WalEvent {
+    /// The tenant this event mutates.
+    pub fn tenant(&self) -> &str {
+        match self {
+            Self::TenantCreated { tenant, .. }
+            | Self::CallGraphReplaced { tenant, .. }
+            | Self::RetentionChanged { tenant, .. }
+            | Self::IngestBatch { tenant, .. } => tenant,
+        }
+    }
+
+    /// Number of ingest points the event carries (0 for admin events) —
+    /// what recovery reports as "points lost" when an event cannot be
+    /// applied.
+    pub fn point_count(&self) -> usize {
+        match self {
+            Self::IngestBatch { points, .. } => points.len(),
+            _ => 0,
+        }
+    }
+
+    /// Appends the event's tagged byte encoding to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Self::TenantCreated {
+                tenant,
+                config,
+                call_graph,
+            } => {
+                put_u8(buf, TAG_TENANT_CREATED);
+                put_str(buf, tenant);
+                put_sieve_config(buf, config);
+                put_call_graph(buf, call_graph);
+            }
+            Self::CallGraphReplaced { tenant, call_graph } => {
+                put_u8(buf, TAG_CALL_GRAPH_REPLACED);
+                put_str(buf, tenant);
+                put_call_graph(buf, call_graph);
+            }
+            Self::RetentionChanged { tenant, retention } => {
+                put_u8(buf, TAG_RETENTION_CHANGED);
+                put_str(buf, tenant);
+                put_retention(buf, retention);
+            }
+            Self::IngestBatch {
+                tenant,
+                points,
+                watermarks,
+            } => {
+                put_u8(buf, TAG_INGEST_BATCH);
+                put_str(buf, tenant);
+                put_usize(buf, points.len());
+                for (id, timestamp_ms, value) in points {
+                    put_metric_id(buf, id);
+                    put_u64(buf, *timestamp_ms);
+                    put_u64(buf, value.to_bits());
+                }
+                put_usize(buf, watermarks.len());
+                for (id, fingerprint) in watermarks {
+                    put_metric_id(buf, id);
+                    put_u64(buf, *fingerprint);
+                }
+            }
+        }
+    }
+
+    /// Decodes one event from `bytes`; the whole slice must be consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive reason for truncated, malformed, or
+    /// trailing-garbage input (the frame layer attaches the file offset).
+    pub fn decode(bytes: &[u8]) -> DecodeResult<Self> {
+        let mut cur = Cursor::new(bytes);
+        let event = match cur.take_u8("event tag")? {
+            TAG_TENANT_CREATED => Self::TenantCreated {
+                tenant: cur.take_str("tenant name")?,
+                config: Box::new(take_sieve_config(&mut cur)?),
+                call_graph: take_call_graph(&mut cur)?,
+            },
+            TAG_CALL_GRAPH_REPLACED => Self::CallGraphReplaced {
+                tenant: cur.take_str("tenant name")?,
+                call_graph: take_call_graph(&mut cur)?,
+            },
+            TAG_RETENTION_CHANGED => Self::RetentionChanged {
+                tenant: cur.take_str("tenant name")?,
+                retention: take_retention(&mut cur)?,
+            },
+            TAG_INGEST_BATCH => {
+                let tenant = cur.take_str("tenant name")?;
+                let point_count = cur.take_usize("point count")?;
+                let mut points = Vec::with_capacity(point_count.min(65_536));
+                for _ in 0..point_count {
+                    let id = take_metric_id(&mut cur)?;
+                    let timestamp_ms = cur.take_u64("point timestamp")?;
+                    let value = f64::from_bits(cur.take_u64("point value")?);
+                    points.push((id, timestamp_ms, value));
+                }
+                let watermark_count = cur.take_usize("watermark count")?;
+                let mut watermarks = Vec::with_capacity(watermark_count.min(65_536));
+                for _ in 0..watermark_count {
+                    let id = take_metric_id(&mut cur)?;
+                    let fingerprint = cur.take_u64("watermark fingerprint")?;
+                    watermarks.push((id, fingerprint));
+                }
+                Self::IngestBatch {
+                    tenant,
+                    points,
+                    watermarks,
+                }
+            }
+            other => return Err(format!("unknown event tag {other}")),
+        };
+        if !cur.is_empty() {
+            return Err(format!(
+                "trailing garbage after event at {}",
+                cur.position()
+            ));
+        }
+        Ok(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<WalEvent> {
+        let mut graph = CallGraph::new();
+        graph.record_calls("web", "db", 12);
+        vec![
+            WalEvent::TenantCreated {
+                tenant: "acme".to_string(),
+                config: Box::new(SieveConfig::default().with_cluster_range(2, 3)),
+                call_graph: graph.clone(),
+            },
+            WalEvent::CallGraphReplaced {
+                tenant: "acme".to_string(),
+                call_graph: graph,
+            },
+            WalEvent::RetentionChanged {
+                tenant: "acme".to_string(),
+                retention: RetentionPolicy::windowed(64),
+            },
+            WalEvent::IngestBatch {
+                tenant: "acme".to_string(),
+                points: vec![
+                    (MetricId::new("web", "cpu"), 500, 1.5),
+                    (MetricId::new("db", "mem"), 500, -3.25),
+                ],
+                watermarks: vec![
+                    (MetricId::new("db", "mem"), 0xABCD),
+                    (MetricId::new("web", "cpu"), 0x1234),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_roundtrips() {
+        for event in sample_events() {
+            let mut buf = Vec::new();
+            event.encode(&mut buf);
+            assert_eq!(WalEvent::decode(&buf).unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn accessors_report_tenant_and_points() {
+        let events = sample_events();
+        assert!(events.iter().all(|e| e.tenant() == "acme"));
+        assert_eq!(events[0].point_count(), 0);
+        assert_eq!(events[3].point_count(), 2);
+    }
+
+    #[test]
+    fn malformed_events_error_instead_of_panicking() {
+        assert!(WalEvent::decode(&[]).is_err(), "empty input");
+        assert!(WalEvent::decode(&[99]).is_err(), "unknown tag");
+
+        let mut buf = Vec::new();
+        sample_events()[2].encode(&mut buf);
+        buf.push(0); // trailing garbage
+        assert!(WalEvent::decode(&buf).unwrap_err().contains("trailing"));
+        // Every truncation of a valid encoding is rejected cleanly.
+        for len in 0..buf.len() - 1 {
+            assert!(WalEvent::decode(&buf[..len]).is_err(), "truncated at {len}");
+        }
+    }
+}

@@ -23,7 +23,9 @@
 //! autoscaling ([`autoscale`]) and root cause analysis ([`rca`]). At scale,
 //! the multi-tenant serving layer ([`serve`]) multiplexes many isolated
 //! applications' incremental analysis sessions behind a sharded registry,
-//! refreshing only what each observation round actually changed.
+//! refreshing only what each observation round actually changed —
+//! optionally crash-safe through a per-shard write-ahead log with model
+//! snapshots and replay-on-boot ([`wal`], [`serve::service::SieveService::recover`]).
 //!
 //! ## Quick start
 //!
@@ -70,6 +72,7 @@ pub use sieve_rca as rca;
 pub use sieve_serve as serve;
 pub use sieve_simulator as simulator;
 pub use sieve_timeseries as timeseries;
+pub use sieve_wal as wal;
 
 /// The most commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -85,7 +88,10 @@ pub mod prelude {
     pub use sieve_exec::{par_map_chunks, Name};
     pub use sieve_graph::{CallGraph, DependencyEdge, DependencyGraph};
     pub use sieve_rca::{RcaConfig, RcaEngine, RcaReport};
-    pub use sieve_serve::{MetricPoint, ServeConfig, ServiceStats, SieveService};
+    pub use sieve_serve::{
+        DurabilityConfig, FsyncPolicy, MetricPoint, RecoveryReport, ServeConfig, ServiceStats,
+        SieveService,
+    };
     pub use sieve_simulator::app::{AppSpec, CallSpec, ComponentSpec};
     pub use sieve_simulator::engine::{SimConfig, Simulation};
     pub use sieve_simulator::metrics::{MetricBehavior, MetricSpec};
