@@ -13,19 +13,27 @@
 //!   Results always come back in input order, which is what makes
 //!   `parallelism = 1` and `parallelism = N` runs produce identical
 //!   models.
+//! * [`pool`] — the persistent [`pool::WorkerPool`] the executor runs on:
+//!   long-lived workers spawned lazily and reused across calls, so sweeps
+//!   and per-stage fan-outs stop paying per-call thread-spawn cost.
 //! * [`hash`] — the deterministic splitmix64-based content-fingerprint
 //!   helpers behind the store's per-series fingerprints and the analysis
 //!   session's dirty-tracking cache keys.
 //! * [`mem`] — procfs-based RSS introspection used by the bounded-memory
 //!   fleet benchmark to assert flat memory under sustained ingest.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the worker pool's lifetime-erased job pointer
+// needs two narrowly-scoped, documented `unsafe` items (see `pool`);
+// everything else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod hash;
 pub mod intern;
 pub mod mem;
 pub mod par;
+pub mod pool;
 
 pub use intern::Name;
 pub use par::{par_map_chunks, try_par_map_chunks};
+pub use pool::PoolStats;

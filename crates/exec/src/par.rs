@@ -5,9 +5,13 @@
 //! — used to carry their own hand-rolled thread-scope blocks. This module
 //! is the single policy layer that replaces them: callers describe *what*
 //! to compute per item and the executor decides *how* (serial below the
-//! parallelism threshold, chunked scoped threads above it), always
-//! returning results in input order so that serial and parallel runs are
-//! bit-for-bit identical.
+//! parallelism threshold, chunked across the persistent
+//! [`crate::pool::WorkerPool`] above it), always returning results in
+//! input order so that serial and parallel runs are bit-for-bit
+//! identical. Chunk boundaries are a pure function of `(workers,
+//! items.len())` — the pool only decides which thread runs a chunk — so
+//! moving from per-call scoped threads to pooled workers changes no
+//! output anywhere.
 
 /// The number of hardware threads worth spawning workers for.
 ///
@@ -33,15 +37,17 @@ pub fn hardware_parallelism() -> usize {
 ///
 /// * An effective degree of 1 (or fewer than two items) runs serially on
 ///   the calling thread — no thread is ever spawned for degenerate inputs.
-/// * Otherwise the items are split into contiguous chunks, each chunk is
-///   processed on its own scoped thread, and the per-chunk results are
-///   concatenated in chunk order. Because chunks are contiguous and joined
-///   in order, `par_map_chunks(w, items, f)[i] == f(&items[i])` for every
-///   `w` — determinism is structural, not incidental.
+/// * Otherwise the items are split into contiguous chunks, each chunk runs
+///   on the persistent [`crate::pool::WorkerPool`] (the calling thread
+///   participates), and the per-chunk results are concatenated in chunk
+///   order. Because chunks are contiguous and joined in order,
+///   `par_map_chunks(w, items, f)[i] == f(&items[i])` for every `w` —
+///   determinism is structural, not incidental, and independent of which
+///   pooled worker ran which chunk.
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` (the scope joins all workers first).
+/// Propagates panics from `f` (the pool finishes all other chunks first).
 ///
 /// # Example
 ///
@@ -62,17 +68,24 @@ where
         return items.iter().map(&f).collect();
     }
     let chunk_size = items.len().div_ceil(workers);
-    let f = &f;
+    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+    let slots: Vec<std::sync::Mutex<Option<Vec<R>>>> = (0..chunks.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    let run = |index: usize| {
+        let result: Vec<R> = chunks[index].iter().map(&f).collect();
+        *slots[index].lock().expect("executor result slot poisoned") = Some(result);
+    };
+    crate::pool::global_pool().execute(chunks.len(), &run);
     let mut out = Vec::with_capacity(items.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk_size)
-            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        for handle in handles {
-            out.extend(handle.join().expect("executor worker panicked"));
-        }
-    });
+    for slot in &slots {
+        out.extend(
+            slot.lock()
+                .expect("executor result slot poisoned")
+                .take()
+                .expect("executor chunk completed"),
+        );
+    }
     out
 }
 

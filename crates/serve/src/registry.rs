@@ -5,6 +5,7 @@ use crate::{Result, ServeError};
 use sieve_exec::hash::shard_index;
 use sieve_exec::Name;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// A fixed-shard-count, hash-routed map from tenant name to tenant state.
@@ -20,6 +21,20 @@ use std::sync::{Arc, RwLock};
 #[derive(Debug)]
 pub(crate) struct ShardedRegistry {
     shards: Box<[Shard]>,
+    /// Cached result of [`ShardedRegistry::all_sorted`]. Every sweep and
+    /// every `stats()` call needs the full sorted tenant list, but the
+    /// list only changes on admin operations — so the sort (and the N
+    /// `Arc` clones behind it) runs once per admin change instead of once
+    /// per sweep. Invalidated by [`ShardedRegistry::insert`] and, via
+    /// [`ShardedRegistry::invalidate_sorted`], by admin mutations that
+    /// change what a sweep must observe about a tenant (today: retention
+    /// changes).
+    sorted: RwLock<Option<Arc<Vec<Arc<Tenant>>>>>,
+    /// Bumped on every invalidation (under the `sorted` write lock). A
+    /// rebuild records the version before reading the shard maps and
+    /// fills the cache only if it is unchanged — so a list built
+    /// concurrently with an insert can never be cached as current.
+    sorted_version: AtomicU64,
 }
 
 /// One independently locked slice of the registry.
@@ -33,7 +48,11 @@ impl ShardedRegistry {
             .map(|_| RwLock::new(HashMap::new()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        Self { shards }
+        Self {
+            shards,
+            sorted: RwLock::new(None),
+            sorted_version: AtomicU64::new(0),
+        }
     }
 
     fn shard(&self, name: &str) -> &Shard {
@@ -56,7 +75,17 @@ impl ShardedRegistry {
             });
         }
         shard.insert(tenant.name.clone(), tenant);
+        drop(shard);
+        self.invalidate_sorted();
         Ok(())
+    }
+
+    /// Drops the cached sorted tenant snapshot; the next
+    /// [`ShardedRegistry::all_sorted`] rebuilds it from the live shards.
+    pub(crate) fn invalidate_sorted(&self) {
+        let mut cache = self.sorted.write().expect("registry sort cache poisoned");
+        self.sorted_version.fetch_add(1, Ordering::Relaxed);
+        *cache = None;
     }
 
     /// Looks a tenant up by name.
@@ -104,7 +133,20 @@ impl ShardedRegistry {
     /// of the refresh sweep: shard-internal iteration order is arbitrary
     /// (a `HashMap`), so the sweep sorts to make `parallelism = 1` and
     /// `parallelism = N` process identical work lists.
-    pub(crate) fn all_sorted(&self) -> Vec<Arc<Tenant>> {
+    ///
+    /// The snapshot is cached behind an `Arc` and rebuilt only after an
+    /// admin change invalidated it, so per-sweep cost is one read lock
+    /// and one reference-count bump.
+    pub(crate) fn all_sorted(&self) -> Arc<Vec<Arc<Tenant>>> {
+        if let Some(cached) = self
+            .sorted
+            .read()
+            .expect("registry sort cache poisoned")
+            .as_ref()
+        {
+            return Arc::clone(cached);
+        }
+        let version = self.sorted_version.load(Ordering::Relaxed);
         let mut tenants: Vec<Arc<Tenant>> = Vec::with_capacity(self.len());
         for shard in self.shards.iter() {
             tenants.extend(
@@ -116,6 +158,17 @@ impl ShardedRegistry {
             );
         }
         tenants.sort_by(|a, b| a.name.cmp(&b.name));
+        let tenants = Arc::new(tenants);
+        let mut cache = self.sorted.write().expect("registry sort cache poisoned");
+        // Fill only if no invalidation raced our build: an insert that
+        // landed after we read the shard maps bumps the version before we
+        // get here, and caching our (stale) list would hide the new
+        // tenant until the *next* invalidation. Returning the stale list
+        // to our own caller is fine — it is exactly what a call a moment
+        // earlier would have seen.
+        if cache.is_none() && self.sorted_version.load(Ordering::Relaxed) == version {
+            *cache = Some(Arc::clone(&tenants));
+        }
         tenants
     }
 }

@@ -14,26 +14,33 @@ use sieve_core::session::{AnalysisSession, SessionStats};
 use sieve_exec::hash::shard_index;
 use sieve_exec::{par_map_chunks, Name};
 use sieve_graph::CallGraph;
-use sieve_simulator::store::{MetricId, MetricStore, RetentionPolicy};
+use sieve_simulator::store::{MetricStore, RetentionPolicy};
 use sieve_wal::{
-    log_file_name, scan_log, snapshot_file_name, ShardSnapshot, ShardWal, TenantSnapshot, WalError,
-    WalEvent,
+    log_file_name, scan_log, snapshot_file_name, GroupCommitLog, ShardSnapshot, TenantSnapshot,
+    WalError, WalEvent,
 };
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, RwLock};
 
-/// One shard's durable state: the log writer plus the snapshot-cadence
-/// counter. The `Mutex` around it is the shard's *durability order* lock:
-/// every durable mutation (ingest, tenant admin) holds it across
-/// apply-to-memory + append-to-log, so the log's frame order equals the
-/// apply order for every tenant of the shard — which is exactly the
-/// order recovery replays.
+/// One shard's durable state: a cross-thread group-commit log, the
+/// admin/snapshot coordination lock and the snapshot-cadence counter.
+///
+/// Concurrency layout: ingest and single-tenant admin mutations hold
+/// `admin` for *read* across apply-to-memory + stage-to-log + commit, so
+/// many writers proceed in parallel and group-commit through one
+/// leader's write. Tenant creation and shard snapshots hold `admin` for
+/// *write*: they observe a quiesced shard whose in-memory stores match
+/// the staged log exactly. Per-tenant apply order — the shard log's
+/// per-tenant frame order must equal the store's apply order, which is
+/// what replay verification checks — is protected by the finer
+/// `Tenant::ingest` lock, not by this one.
 #[derive(Debug)]
-struct ShardLog {
-    wal: ShardWal,
-    events_since_snapshot: u64,
+struct DurableShard {
+    log: GroupCommitLog,
+    admin: RwLock<()>,
+    events_since_snapshot: AtomicU64,
 }
 
 /// The durability side of a service: one logged shard per registry shard
@@ -43,7 +50,7 @@ struct ShardLog {
 struct DurableLog {
     dir: PathBuf,
     snapshot_every_events: u64,
-    shards: Vec<Mutex<ShardLog>>,
+    shards: Vec<DurableShard>,
 }
 
 impl DurableLog {
@@ -58,22 +65,17 @@ impl DurableLog {
             remove_if_present(&durability.dir.join(snapshot_file_name(shard)))?;
             let log_path = durability.dir.join(log_file_name(shard));
             remove_if_present(&log_path)?;
-            let wal = ShardWal::open(&log_path, 1, durability.fsync)?;
-            shards.push(Mutex::new(ShardLog {
-                wal,
-                events_since_snapshot: 0,
-            }));
+            shards.push(DurableShard {
+                log: GroupCommitLog::open(&log_path, 1, durability.fsync)?,
+                admin: RwLock::new(()),
+                events_since_snapshot: AtomicU64::new(0),
+            });
         }
         Ok(Self {
             dir: durability.dir.clone(),
             snapshot_every_events: durability.snapshot_every_events,
             shards,
         })
-    }
-
-    /// Locks one shard's log.
-    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, ShardLog> {
-        self.shards[shard].lock().expect("shard log poisoned")
     }
 }
 
@@ -87,8 +89,8 @@ fn remove_if_present(path: &Path) -> Result<()> {
 }
 
 /// Truncates a shard log file to `len` bytes in place. The shard's
-/// append-mode [`ShardWal`] handle keeps working: `O_APPEND` writes land
-/// at the new end of file.
+/// append-mode [`GroupCommitLog`] handle keeps working: `O_APPEND`
+/// writes land at the new end of file.
 fn truncate_log_file(path: &Path, len: u64) -> Result<()> {
     let file = std::fs::OpenOptions::new()
         .write(true)
@@ -280,21 +282,26 @@ impl SieveService {
                 .insert(Arc::new(Tenant::new(name, store, session)));
         };
         let shard = shard_index(name.as_str(), self.config.shard_count);
-        let mut log = durable.lock_shard(shard);
+        let dshard = &durable.shards[shard];
+        // Write-held: creation changes the shard's tenant set, which a
+        // concurrent snapshot (`all_in_shard`) must see either fully
+        // registered *and* staged, or not at all.
+        let admin = dshard.admin.write().expect("shard admin lock poisoned");
         self.registry
             .insert(Arc::new(Tenant::new(name.clone(), store, session)))?;
-        log.wal.append(&WalEvent::TenantCreated {
-            tenant: name.to_string(),
+        let seq = dshard.log.stage(&WalEvent::TenantCreated {
+            tenant: name,
             config: Box::new(logged_config),
             call_graph: logged_graph,
         });
-        log.wal.commit()?;
+        dshard.log.commit_through(seq)?;
         if preloaded {
             // The creation event does not carry store content, so an
             // adopted pre-loaded store is only durable once snapshotted.
-            self.snapshot_shard(durable, shard, &mut log)
+            self.snapshot_shard_locked(durable, shard)
         } else {
-            self.after_logged_event(durable, shard, &mut log)
+            drop(admin);
+            self.note_logged_events(durable, shard, 1)
         }
     }
 
@@ -307,7 +314,7 @@ impl SieveService {
     pub fn tenants(&self) -> Vec<Name> {
         self.registry
             .all_sorted()
-            .into_iter()
+            .iter()
             .map(|t| t.name.clone())
             .collect()
     }
@@ -327,10 +334,16 @@ impl SieveService {
     /// out, so the log never contains a point that replays differently
     /// than it applied) is framed together with the per-series
     /// fingerprint watermarks the batch produced, and group-committed to
-    /// the tenant's shard log before this call returns. A commit failure
-    /// surfaces as [`ServeError::Wal`]: the batch *is* applied in memory
-    /// but not durable — retrying the ingest is safe (the store rejects
-    /// the duplicate timestamps as non-monotone).
+    /// the tenant's shard log before this call returns. Steady-state, the
+    /// whole path allocates nothing: the batch outcome and the encoded
+    /// WAL payload live in recycled per-tenant scratch buffers, the event
+    /// is streamed straight from the caller's points (skipping rejected
+    /// indices) into the frame, and concurrent writers to one shard ride
+    /// a single leader's write + fsync instead of issuing their own
+    /// ([`sieve_wal::GroupCommitLog`]). A commit failure surfaces as
+    /// [`ServeError::Wal`]: the batch *is* applied in memory but not
+    /// durable — retrying the ingest is safe (the store rejects the
+    /// duplicate timestamps as non-monotone).
     ///
     /// # Errors
     ///
@@ -346,32 +359,59 @@ impl SieveService {
             ));
         };
         let shard = shard_index(tenant.name.as_str(), self.config.shard_count);
-        let mut log = durable.lock_shard(shard);
-        let outcome = tenant.store.record_batch_detailed(
-            points
-                .iter()
-                .map(|point| (&point.id, point.timestamp_ms, point.value)),
-        );
-        if outcome.accepted > 0 {
-            let mut rejected = vec![false; points.len()];
-            for &(index, _) in &outcome.rejected {
-                rejected[index] = true;
+        let dshard = &durable.shards[shard];
+        // Read-held across apply + stage + commit: concurrent ingests of
+        // the shard proceed in parallel and group-commit together, while
+        // a snapshot (write) never observes a batch that is applied to a
+        // store but not yet staged to the log.
+        let admin = dshard.admin.read().expect("shard admin lock poisoned");
+        let (accepted, staged_seq) = {
+            // The tenant's apply-order lock: store-apply and WAL-stage
+            // happen atomically per tenant, so the log's per-tenant frame
+            // order equals the apply order replay verifies against.
+            let mut scratch = tenant.ingest.lock().expect("tenant ingest lock poisoned");
+            let scratch = &mut *scratch;
+            tenant.store.record_batch_detailed_into(
+                &mut scratch.outcome,
+                points
+                    .iter()
+                    .map(|point| (&point.id, point.timestamp_ms, point.value)),
+            );
+            let accepted = scratch.outcome.accepted;
+            if accepted == 0 {
+                (0, None)
+            } else {
+                scratch.payload.clear();
+                // `rejected` is in ascending batch order: one forward
+                // merge skips exactly the rejected indices.
+                let mut rejected = scratch
+                    .outcome
+                    .rejected
+                    .iter()
+                    .map(|&(index, _)| index)
+                    .peekable();
+                WalEvent::encode_ingest_batch_into(
+                    &mut scratch.payload,
+                    &tenant.name,
+                    accepted,
+                    points.iter().enumerate().filter_map(|(index, point)| {
+                        if rejected.peek() == Some(&index) {
+                            rejected.next();
+                            return None;
+                        }
+                        Some((&point.id, point.timestamp_ms, point.value))
+                    }),
+                    &scratch.outcome.watermarks,
+                );
+                (accepted, Some(dshard.log.stage_encoded(&scratch.payload)))
             }
-            let accepted: Vec<(MetricId, u64, f64)> = points
-                .iter()
-                .enumerate()
-                .filter(|(index, _)| !rejected[*index])
-                .map(|(_, point)| (point.id.clone(), point.timestamp_ms, point.value))
-                .collect();
-            log.wal.append(&WalEvent::IngestBatch {
-                tenant: tenant.name.to_string(),
-                points: accepted,
-                watermarks: outcome.watermarks,
-            });
-            log.wal.commit()?;
-            self.after_logged_event(durable, shard, &mut log)?;
+        };
+        if let Some(seq) = staged_seq {
+            dshard.log.commit_through(seq)?;
+            drop(admin);
+            self.note_logged_events(durable, shard, 1)?;
         }
-        Ok(outcome.accepted)
+        Ok(accepted)
     }
 
     /// Replaces a tenant's call graph (topologies grow while an
@@ -387,28 +427,37 @@ impl SieveService {
     /// [`ServeError::Wal`] when the durable commit fails.
     pub fn set_call_graph(&self, tenant: &str, call_graph: CallGraph) -> Result<()> {
         let tenant = self.registry.get(tenant)?;
-        let mut log = match &self.durable {
-            Some(durable) => {
-                let shard = shard_index(tenant.name.as_str(), self.config.shard_count);
-                Some((durable, shard, durable.lock_shard(shard)))
-            }
-            None => None,
+        let Some(durable) = &self.durable else {
+            tenant
+                .session
+                .lock()
+                .expect("tenant session poisoned")
+                .set_call_graph(call_graph);
+            tenant.request_refresh();
+            return Ok(());
         };
-        tenant
-            .session
-            .lock()
-            .expect("tenant session poisoned")
-            .set_call_graph(call_graph.clone());
-        tenant.request_refresh();
-        if let Some((durable, shard, log)) = log.as_mut() {
-            log.wal.append(&WalEvent::CallGraphReplaced {
-                tenant: tenant.name.to_string(),
+        let shard = shard_index(tenant.name.as_str(), self.config.shard_count);
+        let dshard = &durable.shards[shard];
+        let admin = dshard.admin.read().expect("shard admin lock poisoned");
+        let seq = {
+            // Apply + stage under the tenant's apply-order lock, like
+            // ingest: two graph replacements (or a replacement and a
+            // batch) for one tenant must hit the log in apply order.
+            let _apply_order = tenant.ingest.lock().expect("tenant ingest lock poisoned");
+            tenant
+                .session
+                .lock()
+                .expect("tenant session poisoned")
+                .set_call_graph(call_graph.clone());
+            tenant.request_refresh();
+            dshard.log.stage(&WalEvent::CallGraphReplaced {
+                tenant: tenant.name.clone(),
                 call_graph,
-            });
-            log.wal.commit()?;
-            self.after_logged_event(durable, *shard, log)?;
-        }
-        Ok(())
+            })
+        };
+        dshard.log.commit_through(seq)?;
+        drop(admin);
+        self.note_logged_events(durable, shard, 1)
     }
 
     /// Replaces a tenant's store retention budget at runtime. Tightening
@@ -428,17 +477,28 @@ impl SieveService {
         let tenant = self.registry.get(tenant)?;
         let Some(durable) = &self.durable else {
             tenant.store.set_retention(retention);
+            self.registry.invalidate_sorted();
             return Ok(());
         };
         let shard = shard_index(tenant.name.as_str(), self.config.shard_count);
-        let mut log = durable.lock_shard(shard);
-        tenant.store.set_retention(retention);
-        log.wal.append(&WalEvent::RetentionChanged {
-            tenant: tenant.name.to_string(),
-            retention,
-        });
-        log.wal.commit()?;
-        self.after_logged_event(durable, shard, &mut log)
+        let dshard = &durable.shards[shard];
+        let admin = dshard.admin.read().expect("shard admin lock poisoned");
+        let seq = {
+            // Apply + stage under the tenant's apply-order lock: the
+            // retention change must hit the log exactly between the
+            // ingest batches it applied between, or the replayed
+            // eviction (and the fingerprints downstream of it) diverges.
+            let _apply_order = tenant.ingest.lock().expect("tenant ingest lock poisoned");
+            tenant.store.set_retention(retention);
+            dshard.log.stage(&WalEvent::RetentionChanged {
+                tenant: tenant.name.clone(),
+                retention,
+            })
+        };
+        dshard.log.commit_through(seq)?;
+        drop(admin);
+        self.registry.invalidate_sorted();
+        self.note_logged_events(durable, shard, 1)
     }
 
     /// A tenant's current store retention budget.
@@ -491,7 +551,7 @@ impl SieveService {
             tenants_total: tenants.len(),
             ..ServiceStats::default()
         };
-        for tenant in &tenants {
+        for tenant in tenants.iter() {
             stats.absorb_retention(&tenant.store);
             if tenant.model().is_some() {
                 stats.absorb(&tenant.last_stats());
@@ -502,7 +562,26 @@ impl SieveService {
             .iter()
             .filter(|tenant| tenant.failure_streak() > 0)
             .count();
+        self.absorb_dataplane(&mut stats);
         stats
+    }
+
+    /// Folds the dataplane counters — per-shard group-commit traffic and
+    /// the process-wide executor pool — into `stats`. All monotone
+    /// since-start counters (the pool is shared by the whole process, so
+    /// its numbers can include other services' work too).
+    fn absorb_dataplane(&self, stats: &mut ServiceStats) {
+        if let Some(durable) = &self.durable {
+            for shard in &durable.shards {
+                let log = shard.log.stats();
+                stats.commits_coalesced += log.commits_coalesced;
+                stats.fsync_calls += log.fsync_calls;
+                stats.commit_wait_ns_total += log.commit_wait_ns_total;
+            }
+        }
+        let pool = sieve_exec::pool::pool_stats();
+        stats.pool_workers_spawned = pool.workers_spawned;
+        stats.pool_tasks_executed = pool.tasks_executed;
     }
 
     /// Drains every tenant's delta and refreshes all dirty tenants through
@@ -598,7 +677,7 @@ impl SieveService {
         // else; a replaced call graph is tracked separately because it
         // changes the comparison plan without dirtying any series.
         let mut work: Vec<Arc<Tenant>> = Vec::new();
-        for tenant in &tenants {
+        for tenant in tenants.iter() {
             // Tenants waiting out a failure backoff are skipped entirely:
             // their delta stays in the store and their force-refresh flag
             // stays set, so the deferred work is all still there when the
@@ -640,7 +719,7 @@ impl SieveService {
         let sweep = self.sweeps.fetch_add(1, Ordering::Relaxed) + 1;
         let tenants = self.registry.all_sorted();
         let mut work: Vec<Arc<Tenant>> = Vec::new();
-        for tenant in &tenants {
+        for tenant in tenants.iter() {
             tenant.take_refresh_request();
             let delta = tenant.store.drain_delta();
             {
@@ -735,23 +814,32 @@ impl SieveService {
             .iter()
             .filter(|tenant| tenant.failure_streak() > 0)
             .count();
+        self.absorb_dataplane(&mut stats);
         match first_error {
             Some(error) => Err(error),
             None => Ok(stats),
         }
     }
 
-    /// Bumps the shard's snapshot-cadence counter after a logged event
-    /// and snapshots the shard when the cadence is due.
-    fn after_logged_event(
-        &self,
-        durable: &DurableLog,
-        shard: usize,
-        log: &mut ShardLog,
-    ) -> Result<()> {
-        log.events_since_snapshot += 1;
-        if log.events_since_snapshot >= durable.snapshot_every_events {
-            self.snapshot_shard(durable, shard, log)?;
+    /// Bumps the shard's snapshot-cadence counter after `count` committed
+    /// events and snapshots the shard when the cadence trips. Must be
+    /// called with no shard admin guard held: tripping acquires the
+    /// admin lock for *write* to quiesce the shard first.
+    fn note_logged_events(&self, durable: &DurableLog, shard: usize, count: u64) -> Result<()> {
+        let dshard = &durable.shards[shard];
+        let events = dshard
+            .events_since_snapshot
+            .fetch_add(count, Ordering::AcqRel)
+            + count;
+        if events >= durable.snapshot_every_events {
+            let _admin = dshard.admin.write().expect("shard admin lock poisoned");
+            // Several writers can trip the cadence at once; whoever gets
+            // the write lock first snapshots (resetting the counter), the
+            // rest find the counter already settled and do nothing.
+            if dshard.events_since_snapshot.load(Ordering::Acquire) >= durable.snapshot_every_events
+            {
+                self.snapshot_shard_locked(durable, shard)?;
+            }
         }
         Ok(())
     }
@@ -761,14 +849,19 @@ impl SieveService {
     /// `last_seq`) and truncates the shard log — replay work after a
     /// crash is bounded by the snapshot cadence, not by service uptime.
     ///
-    /// Runs under the shard's log mutex, so no durable mutation of the
-    /// shard's tenants can interleave: the snapshot is consistent with
+    /// The caller must hold the shard's admin lock for *write*: no
+    /// ingest or admin mutation is mid-flight between a store and the
+    /// log, so after the quiesce below the snapshot is consistent with
     /// exactly the log prefix it claims to cover.
-    fn snapshot_shard(&self, durable: &DurableLog, shard: usize, log: &mut ShardLog) -> Result<()> {
+    fn snapshot_shard_locked(&self, durable: &DurableLog, shard: usize) -> Result<()> {
+        let dshard = &durable.shards[shard];
+        // Quiesce the log: every staged frame is on media (or reported
+        // failed to its writer) before the snapshot claims to cover it.
+        dshard.log.commit_all()?;
         let tenants = self.registry.all_in_shard(shard);
         let snapshot = ShardSnapshot {
             shard,
-            last_seq: log.wal.last_seq(),
+            last_seq: dshard.log.last_seq(),
             tenants: tenants
                 .iter()
                 .map(|tenant| {
@@ -788,7 +881,7 @@ impl SieveService {
         // leftover frames carry sequence numbers at or below the
         // snapshot's `last_seq` and recovery skips them.)
         truncate_log_file(&durable.dir.join(log_file_name(shard)), 0)?;
-        log.events_since_snapshot = 0;
+        dshard.events_since_snapshot.store(0, Ordering::Release);
         Ok(())
     }
 
@@ -907,10 +1000,11 @@ impl SieveService {
             };
             snapshot.write_atomic(&snapshot_path)?;
             truncate_log_file(&log_path, 0)?;
-            shard_logs.push(Mutex::new(ShardLog {
-                wal: ShardWal::open(&log_path, recovered_through + 1, durability.fsync)?,
-                events_since_snapshot: 0,
-            }));
+            shard_logs.push(DurableShard {
+                log: GroupCommitLog::open(&log_path, recovered_through + 1, durability.fsync)?,
+                admin: RwLock::new(()),
+                events_since_snapshot: AtomicU64::new(0),
+            });
 
             let mut report_tenants = BTreeMap::new();
             for (name, tenant) in replaying {
@@ -1033,7 +1127,7 @@ fn replay_event(replaying: &mut BTreeMap<String, Replaying>, event: &WalEvent) {
             config,
             call_graph,
         } => {
-            match replaying.entry(tenant.clone()) {
+            match replaying.entry(tenant.to_string()) {
                 std::collections::btree_map::Entry::Vacant(entry) => {
                     entry.insert(Replaying::restored(
                         MetricStore::with_retention(config.retention),
@@ -1052,7 +1146,7 @@ fn replay_event(replaying: &mut BTreeMap<String, Replaying>, event: &WalEvent) {
         }
         WalEvent::CallGraphReplaced { tenant, call_graph } => {
             let tenant = replaying
-                .entry(tenant.clone())
+                .entry(tenant.to_string())
                 .or_insert_with(Replaying::phantom);
             if tenant.degraded {
                 tenant.lost.events += 1;
@@ -1062,7 +1156,7 @@ fn replay_event(replaying: &mut BTreeMap<String, Replaying>, event: &WalEvent) {
         }
         WalEvent::RetentionChanged { tenant, retention } => {
             let tenant = replaying
-                .entry(tenant.clone())
+                .entry(tenant.to_string())
                 .or_insert_with(Replaying::phantom);
             match (&tenant.store, tenant.degraded) {
                 (Some(store), false) => store.set_retention(*retention),
@@ -1078,7 +1172,7 @@ fn replay_event(replaying: &mut BTreeMap<String, Replaying>, event: &WalEvent) {
             watermarks,
         } => {
             let tenant = replaying
-                .entry(tenant.clone())
+                .entry(tenant.to_string())
                 .or_insert_with(Replaying::phantom);
             let verified = match (&tenant.store, tenant.degraded) {
                 (Some(store), false) => {

@@ -55,6 +55,24 @@ pub struct ServiceStats {
     /// backoff window. Returns to zero as soon as the tenants refresh
     /// successfully.
     pub tenants_degraded: usize,
+    /// WAL frames that reached the media in *another* thread's leader
+    /// write, summed over shard logs since service start — the payoff of
+    /// cross-thread group commit (zero on a non-durable service or with
+    /// no concurrent writers).
+    pub commits_coalesced: u64,
+    /// `fsync` calls the shard logs issued since service start.
+    pub fsync_calls: u64,
+    /// Total nanoseconds ingest threads spent blocked on another
+    /// thread's leader write. Divided by `commits_coalesced` this is the
+    /// mean price a rider pays for a free fsync.
+    pub commit_wait_ns_total: u64,
+    /// Worker threads the process-wide executor pool has ever spawned.
+    /// Flat across sweeps once the pool is warm — the observable that
+    /// refreshes stopped paying per-sweep thread-spawn cost.
+    pub pool_workers_spawned: u64,
+    /// Chunk tasks the executor pool has run (callers inline their first
+    /// chunk, so this counts helper-thread work only).
+    pub pool_tasks_executed: u64,
 }
 
 impl ServiceStats {
@@ -87,7 +105,9 @@ impl std::fmt::Display for ServiceStats {
             "{} of {} tenants refreshed (epoch {}): prepared {} components, \
              re-clustered {}, re-tested {}/{} comparisons; \
              {} points retained, {} evicted ({} bytes reclaimed); \
-             {} degraded, {} refresh failures to date",
+             {} degraded, {} refresh failures to date; \
+             {} commits coalesced, {} fsyncs, {} ns commit wait; \
+             pool: {} workers spawned, {} tasks run",
             self.tenants_refreshed,
             self.tenants_total,
             self.epoch_high_watermark,
@@ -99,7 +119,12 @@ impl std::fmt::Display for ServiceStats {
             self.points_evicted,
             self.bytes_evicted,
             self.tenants_degraded,
-            self.refresh_failures
+            self.refresh_failures,
+            self.commits_coalesced,
+            self.fsync_calls,
+            self.commit_wait_ns_total,
+            self.pool_workers_spawned,
+            self.pool_tasks_executed
         )
     }
 }

@@ -4,7 +4,7 @@
 use sieve_core::model::SieveModel;
 use sieve_core::session::{AnalysisSession, SessionStats};
 use sieve_exec::Name;
-use sieve_simulator::store::{MetricId, MetricStore};
+use sieve_simulator::store::{BatchOutcome, MetricId, MetricStore};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -50,6 +50,21 @@ impl MetricPoint {
     }
 }
 
+/// Reusable per-tenant buffers for the durable ingest hot path: the
+/// batch outcome (rejections + watermarks) and the encoded WAL payload.
+/// Both keep their capacity across batches, so a steady-state ingest
+/// allocates nothing. The `Mutex` around this scratch doubles as the
+/// tenant's *apply order* lock: holding it across
+/// store-apply + WAL-stage keeps the tenant's log order equal to its
+/// apply order, which is what replay verification checks.
+#[derive(Debug, Default)]
+pub(crate) struct IngestScratch {
+    /// Last batch's detailed outcome (vectors recycled).
+    pub(crate) outcome: BatchOutcome,
+    /// Encoded `WalEvent::IngestBatch` payload (buffer recycled).
+    pub(crate) payload: Vec<u8>,
+}
+
 /// What a tenant last published: the model snapshot and the statistics of
 /// the refresh that produced it. Swapped atomically (under a short write
 /// lock) at the end of a refresh, so readers either see the previous
@@ -77,6 +92,10 @@ pub(crate) struct Tenant {
     /// The tenant's metric store. The service owns this store's delta
     /// stream: nothing else may call `drain_delta` on it.
     pub(crate) store: MetricStore,
+    /// Durable-ingest scratch buffers + the tenant's apply-order lock
+    /// (see [`IngestScratch`]). Only the durable ingest and admin paths
+    /// take it; non-durable ingest goes straight to the store.
+    pub(crate) ingest: Mutex<IngestScratch>,
     /// The tenant's long-lived incremental analysis session.
     pub(crate) session: Mutex<AnalysisSession>,
     /// The last published model + stats, swapped at the end of a refresh.
@@ -99,6 +118,7 @@ impl Tenant {
         Self {
             name,
             store,
+            ingest: Mutex::new(IngestScratch::default()),
             session: Mutex::new(session),
             published: RwLock::new(Published::default()),
             force_refresh: AtomicBool::new(false),

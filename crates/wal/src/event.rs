@@ -20,6 +20,7 @@ use crate::codec::{
     DecodeResult,
 };
 use sieve_core::config::SieveConfig;
+use sieve_exec::Name;
 use sieve_graph::CallGraph;
 use sieve_simulator::store::{MetricId, RetentionPolicy};
 
@@ -30,8 +31,9 @@ pub enum WalEvent {
     /// initial call graph. Replay recreates the tenant before any of its
     /// later events apply.
     TenantCreated {
-        /// Tenant name.
-        tenant: String,
+        /// Tenant name (interned — staging an event never clones the
+        /// string).
+        tenant: Name,
         /// Analysis configuration of the tenant.
         config: Box<SieveConfig>,
         /// Call graph at creation time.
@@ -39,23 +41,26 @@ pub enum WalEvent {
     },
     /// The tenant's call graph was replaced.
     CallGraphReplaced {
-        /// Tenant name.
-        tenant: String,
+        /// Tenant name (interned — staging an event never clones the
+        /// string).
+        tenant: Name,
         /// The new call graph.
         call_graph: CallGraph,
     },
     /// The tenant's retention policy changed (and the store trimmed
     /// accordingly — replay re-trims deterministically).
     RetentionChanged {
-        /// Tenant name.
-        tenant: String,
+        /// Tenant name (interned — staging an event never clones the
+        /// string).
+        tenant: Name,
         /// The new policy.
         retention: RetentionPolicy,
     },
     /// An ingest batch whose points were all *accepted* live.
     IngestBatch {
-        /// Tenant name.
-        tenant: String,
+        /// Tenant name (interned — staging an event never clones the
+        /// string).
+        tenant: Name,
         /// The accepted `(id, timestamp, value)` points, in apply order.
         points: Vec<(MetricId, u64, f64)>,
         /// Post-apply content fingerprint of every series the batch
@@ -136,6 +141,43 @@ impl WalEvent {
         }
     }
 
+    /// Appends the encoding of an [`WalEvent::IngestBatch`] to `buf`
+    /// without materialising the event: the hot ingest path streams its
+    /// accepted `(id, timestamp, value)` triples straight from the
+    /// caller's point buffer (skipping rejected indices) instead of
+    /// cloning them into a `Vec`.
+    ///
+    /// Byte-identical to [`WalEvent::encode`] of the equivalent
+    /// `IngestBatch` — asserted by unit test — so replay cannot tell the
+    /// two paths apart. `accepted` must equal the number of triples the
+    /// iterator yields.
+    pub fn encode_ingest_batch_into<'a, I>(
+        buf: &mut Vec<u8>,
+        tenant: &str,
+        accepted: usize,
+        points: I,
+        watermarks: &[(MetricId, u64)],
+    ) where
+        I: IntoIterator<Item = (&'a MetricId, u64, f64)>,
+    {
+        put_u8(buf, TAG_INGEST_BATCH);
+        put_str(buf, tenant);
+        put_usize(buf, accepted);
+        let mut written = 0usize;
+        for (id, timestamp_ms, value) in points {
+            put_metric_id(buf, id);
+            put_u64(buf, timestamp_ms);
+            put_u64(buf, value.to_bits());
+            written += 1;
+        }
+        debug_assert_eq!(written, accepted, "accepted count must match the stream");
+        put_usize(buf, watermarks.len());
+        for (id, fingerprint) in watermarks {
+            put_metric_id(buf, id);
+            put_u64(buf, *fingerprint);
+        }
+    }
+
     /// Decodes one event from `bytes`; the whole slice must be consumed.
     ///
     /// # Errors
@@ -146,20 +188,20 @@ impl WalEvent {
         let mut cur = Cursor::new(bytes);
         let event = match cur.take_u8("event tag")? {
             TAG_TENANT_CREATED => Self::TenantCreated {
-                tenant: cur.take_str("tenant name")?,
+                tenant: cur.take_str("tenant name")?.into(),
                 config: Box::new(take_sieve_config(&mut cur)?),
                 call_graph: take_call_graph(&mut cur)?,
             },
             TAG_CALL_GRAPH_REPLACED => Self::CallGraphReplaced {
-                tenant: cur.take_str("tenant name")?,
+                tenant: cur.take_str("tenant name")?.into(),
                 call_graph: take_call_graph(&mut cur)?,
             },
             TAG_RETENTION_CHANGED => Self::RetentionChanged {
-                tenant: cur.take_str("tenant name")?,
+                tenant: cur.take_str("tenant name")?.into(),
                 retention: take_retention(&mut cur)?,
             },
             TAG_INGEST_BATCH => {
-                let tenant = cur.take_str("tenant name")?;
+                let tenant: Name = cur.take_str("tenant name")?.into();
                 let point_count = cur.take_usize("point count")?;
                 let mut points = Vec::with_capacity(point_count.min(65_536));
                 for _ in 0..point_count {
@@ -202,20 +244,20 @@ mod tests {
         graph.record_calls("web", "db", 12);
         vec![
             WalEvent::TenantCreated {
-                tenant: "acme".to_string(),
+                tenant: "acme".into(),
                 config: Box::new(SieveConfig::default().with_cluster_range(2, 3)),
                 call_graph: graph.clone(),
             },
             WalEvent::CallGraphReplaced {
-                tenant: "acme".to_string(),
+                tenant: "acme".into(),
                 call_graph: graph,
             },
             WalEvent::RetentionChanged {
-                tenant: "acme".to_string(),
+                tenant: "acme".into(),
                 retention: RetentionPolicy::windowed(64),
             },
             WalEvent::IngestBatch {
-                tenant: "acme".to_string(),
+                tenant: "acme".into(),
                 points: vec![
                     (MetricId::new("web", "cpu"), 500, 1.5),
                     (MetricId::new("db", "mem"), 500, -3.25),
@@ -243,6 +285,43 @@ mod tests {
         assert!(events.iter().all(|e| e.tenant() == "acme"));
         assert_eq!(events[0].point_count(), 0);
         assert_eq!(events[3].point_count(), 2);
+    }
+
+    #[test]
+    fn streaming_ingest_encoder_matches_the_materialised_event() {
+        let points = [
+            (MetricId::new("web", "cpu"), 500, 1.5),
+            (MetricId::new("web", "mem"), 500, f64::NAN), // rejected live
+            (MetricId::new("db", "mem"), 1000, -3.25),
+        ];
+        let accepted: Vec<(MetricId, u64, f64)> = vec![points[0].clone(), points[2].clone()];
+        let watermarks = vec![
+            (MetricId::new("db", "mem"), 0xABCD),
+            (MetricId::new("web", "cpu"), 0x1234),
+        ];
+        let event = WalEvent::IngestBatch {
+            tenant: "acme".into(),
+            points: accepted.clone(),
+            watermarks: watermarks.clone(),
+        };
+        let mut materialised = Vec::new();
+        event.encode(&mut materialised);
+
+        // The streaming path walks the original buffer, skipping index 1.
+        let mut streamed = Vec::new();
+        WalEvent::encode_ingest_batch_into(
+            &mut streamed,
+            "acme",
+            2,
+            points
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != 1)
+                .map(|(_, (id, ts, v))| (id, *ts, *v)),
+            &watermarks,
+        );
+        assert_eq!(streamed, materialised);
+        assert_eq!(WalEvent::decode(&streamed).unwrap(), event);
     }
 
     #[test]

@@ -136,7 +136,7 @@ mod tests {
 
     fn event() -> WalEvent {
         WalEvent::IngestBatch {
-            tenant: "acme".to_string(),
+            tenant: "acme".into(),
             points: vec![(MetricId::new("web", "cpu"), 500, 1.5)],
             watermarks: vec![(MetricId::new("web", "cpu"), 0x1234)],
         }
@@ -206,7 +206,7 @@ mod tests {
     #[test]
     fn admin_frames_roundtrip_too() {
         let admin = WalEvent::RetentionChanged {
-            tenant: "acme".to_string(),
+            tenant: "acme".into(),
             retention: RetentionPolicy::windowed(32),
         };
         let frame = encode(1, &admin);

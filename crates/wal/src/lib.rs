@@ -46,6 +46,7 @@ pub mod error;
 pub mod event;
 pub mod failpoint;
 pub mod frame;
+pub mod group;
 pub mod reader;
 pub mod snapshot;
 pub mod writer;
@@ -53,6 +54,7 @@ pub mod writer;
 pub use error::WalError;
 pub use event::WalEvent;
 pub use failpoint::FailpointFs;
+pub use group::{GroupCommitLog, GroupCommitStats};
 pub use reader::{scan_log, LogCorruption, ScannedLog};
 pub use snapshot::{ShardSnapshot, TenantSnapshot};
 pub use writer::{FsyncPolicy, ShardWal, WalMedia};

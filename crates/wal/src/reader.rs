@@ -136,7 +136,7 @@ mod tests {
 
     fn ingest(tenant: &str, t: u64) -> WalEvent {
         WalEvent::IngestBatch {
-            tenant: tenant.to_string(),
+            tenant: tenant.into(),
             points: vec![(MetricId::new("web", "cpu"), t, t as f64)],
             watermarks: vec![(MetricId::new("web", "cpu"), t ^ 0xABCD)],
         }
@@ -246,7 +246,7 @@ mod tests {
         bytes.extend_from_slice(&encode(
             5,
             &WalEvent::RetentionChanged {
-                tenant: "a".to_string(),
+                tenant: "a".into(),
                 retention: RetentionPolicy::windowed(8),
             },
         ));

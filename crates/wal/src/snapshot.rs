@@ -174,7 +174,7 @@ mod tests {
             shard: 2,
             last_seq: 19,
             tenants: vec![TenantSnapshot {
-                tenant: "acme".to_string(),
+                tenant: "acme".into(),
                 config: Box::new(SieveConfig::default().with_cluster_range(2, 2)),
                 call_graph: graph,
                 store: store.freeze(),

@@ -208,7 +208,7 @@ mod tests {
 
     fn ingest(t: u64) -> WalEvent {
         WalEvent::IngestBatch {
-            tenant: "acme".to_string(),
+            tenant: "acme".into(),
             points: vec![(MetricId::new("web", "cpu"), t, t as f64)],
             watermarks: vec![(MetricId::new("web", "cpu"), t)],
         }

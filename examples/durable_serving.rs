@@ -67,7 +67,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|name| service.model(name).map(Option::unwrap))
         .collect::<Result<_, _>>()?;
-    println!("live service: {}", service.stats());
+    let stats = service.stats();
+    println!("live service: {stats}");
+    println!(
+        "dataplane:    {} fsync calls for the ingest above; {} commits rode \
+         another thread's leader write; pool ran {} chunk tasks on {} workers",
+        stats.fsync_calls,
+        stats.commits_coalesced,
+        stats.pool_tasks_executed,
+        stats.pool_workers_spawned
+    );
 
     // Phase 2: "kill" the process — no flush, no shutdown handshake — and
     // recover from the directory alone.
