@@ -23,11 +23,15 @@
 //!
 //! The [`tenants`] module additionally generates deterministic
 //! *multi-tenant fleets* (many small applications vs few large ones) for
-//! the serving-layer benchmarks and examples.
+//! the serving-layer benchmarks and examples, and the [`chaos`] module
+//! provides the adversarial profile with a built-in answer sheet (true
+//! cluster counts, flippable call edges, a canonical root-cause fault)
+//! that the `sieve-scenario` engine scores the pipeline against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod openstack;
 pub mod profiles;
 pub mod sharelatex;

@@ -15,6 +15,19 @@ use sieve_simulator::workload::Workload;
 use sieve_simulator::{Result, SimulatorError};
 use std::collections::BTreeMap;
 
+/// One executed scaling action, timestamped in ticks — the record a
+/// scenario score checks burst reactions against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalingAction {
+    /// Tick at which the action executed (0-based).
+    pub tick: usize,
+    /// `+1` for scale-out, `-1` for scale-in.
+    pub direction: i32,
+    /// Total instances across the rule's target components after the
+    /// action.
+    pub total_target_instances: usize,
+}
+
 /// The outcome of one autoscaled run (one row-set of Table 4).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AutoscalingReport {
@@ -28,6 +41,9 @@ pub struct AutoscalingReport {
     pub total_samples: usize,
     /// Number of scaling actions executed.
     pub scaling_actions: usize,
+    /// Every executed scaling action in tick order (`scaling_actions ==
+    /// actions.len()` for engine-driven runs).
+    pub actions: Vec<ScalingAction>,
     /// Instance count of every target component at the end of the run.
     pub final_instances: BTreeMap<String, usize>,
     /// The 90th-percentile end-to-end latency over the run, in milliseconds.
@@ -35,6 +51,16 @@ pub struct AutoscalingReport {
 }
 
 impl AutoscalingReport {
+    /// Tick lag between `burst_start_tick` and the first scale-out action
+    /// at or after it — `None` when the engine never reacted. This is the
+    /// reaction-lag signal the chaos scenarios bound.
+    pub fn scale_out_lag(&self, burst_start_tick: usize) -> Option<usize> {
+        self.actions
+            .iter()
+            .find(|a| a.direction > 0 && a.tick >= burst_start_tick)
+            .map(|a| a.tick - burst_start_tick)
+    }
+
     /// Fraction of samples violating the SLA.
     pub fn violation_ratio(&self) -> f64 {
         if self.total_samples == 0 {
@@ -91,6 +117,7 @@ impl AutoscaleEngine {
         }
 
         let mut scaling_actions = 0usize;
+        let mut actions: Vec<ScalingAction> = Vec::new();
         let mut sla_violations = 0usize;
         let mut total_samples = 0usize;
         let mut last_action_tick: Option<usize> = None;
@@ -154,6 +181,16 @@ impl AutoscaleEngine {
             }
             if changed {
                 scaling_actions += 1;
+                actions.push(ScalingAction {
+                    tick: snapshot.tick,
+                    direction: if decision > 0 { 1 } else { -1 },
+                    total_target_instances: self
+                        .rule
+                        .target_components
+                        .iter()
+                        .map(|c| sim.instances(c))
+                        .sum(),
+                });
                 last_action_tick = Some(snapshot.tick);
                 below_history.clear();
             }
@@ -175,6 +212,7 @@ impl AutoscaleEngine {
             sla_violations,
             total_samples,
             scaling_actions,
+            actions,
             final_instances,
             latency_p90_ms: latency_p90,
         })
@@ -208,6 +246,7 @@ pub fn run_without_scaling(
         sla_violations,
         total_samples,
         scaling_actions: 0,
+        actions: Vec::new(),
         final_instances: BTreeMap::new(),
         latency_p90_ms: sieve_timeseries::stats::percentile(sim.latency_samples(), 90.0)
             .unwrap_or(0.0),
@@ -301,6 +340,17 @@ mod tests {
         );
         assert_eq!(scaled.total_samples, baseline.total_samples);
         assert!(scaled.violation_ratio() <= 1.0);
+
+        // The action log lines up with the counter and the spike timing:
+        // the first scale-out comes at or after the spike start (tick 60)
+        // and within a bounded reaction lag.
+        assert_eq!(scaled.actions.len(), scaled.scaling_actions);
+        assert!(scaled.actions.windows(2).all(|w| w[0].tick < w[1].tick));
+        let lag = scaled.scale_out_lag(60).expect("reacted to the spike");
+        assert!(lag <= 40, "reaction lag {lag} ticks");
+        assert!(scaled.scale_out_lag(0).is_some());
+        assert!(scaled.scale_out_lag(usize::MAX).is_none());
+        assert_eq!(baseline.actions, Vec::new());
     }
 
     #[test]

@@ -23,5 +23,5 @@ pub mod calibrate;
 pub mod engine;
 pub mod rules;
 
-pub use engine::{AutoscaleEngine, AutoscalingReport};
+pub use engine::{AutoscaleEngine, AutoscalingReport, ScalingAction};
 pub use rules::{ScalingRule, SlaCondition};

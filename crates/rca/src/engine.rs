@@ -61,6 +61,16 @@ impl RcaReport {
             .map(|c| c.rank)
     }
 
+    /// The top `k` components of the final ranking, in rank order — what a
+    /// scoring harness checks an injected root cause against.
+    pub fn top_components(&self, k: usize) -> Vec<Name> {
+        self.final_ranking
+            .iter()
+            .take(k)
+            .map(|c| c.component.clone())
+            .collect()
+    }
+
     /// Whether a `(component, metric)` pair appears in the final ranking's
     /// metric lists.
     pub fn implicates_metric(&self, component: &str, metric: &str) -> bool {
@@ -283,6 +293,9 @@ mod tests {
         assert!(report.rank_of("neutron").is_some());
         // nova-api has the larger novelty score and therefore ranks first.
         assert_eq!(report.rank_of("nova-api"), Some(1));
+        // top_components follows the final ranking and truncates at k.
+        assert_eq!(report.top_components(1), vec![Name::from("nova-api")]);
+        assert_eq!(report.top_components(10).len(), report.final_ranking.len());
         // The error/down metrics are in the metric lists.
         assert!(report.implicates_metric("nova-api", "instances_error"));
         assert!(report.implicates_metric("neutron", "ports_down"));

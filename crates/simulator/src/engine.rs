@@ -114,6 +114,19 @@ pub struct Simulation {
     metric_states: BTreeMap<Name, Vec<(MetricId, MetricState)>>,
     /// Interned caller/callee names of `spec.calls()`, index-aligned.
     call_edges: Vec<(Name, Name)>,
+    /// Per-edge enabled flag, index-aligned with `call_edges`. Disabled
+    /// edges propagate no load and record no calls (dependency drift).
+    call_enabled: Vec<bool>,
+    /// Components currently crashed: they process no load, export no
+    /// metrics and issue no calls until brought back online.
+    offline: BTreeSet<Name>,
+    /// Metrics whose export is suppressed (monitoring-agent dropout).
+    disabled_metrics: BTreeSet<MetricId>,
+    /// Per-component clock skew applied to recorded timestamps, in
+    /// milliseconds (a skewed monitoring agent's wall clock).
+    clock_skew_ms: BTreeMap<Name, i64>,
+    /// Multiplier on the external workload (load-regime change).
+    rate_multiplier: f64,
     request_history: BTreeMap<Name, Vec<f64>>,
     load_history: BTreeMap<Name, Vec<f64>>,
     instances: BTreeMap<Name, usize>,
@@ -204,7 +217,12 @@ impl Simulation {
                 .map(|n| (n.clone(), Vec::new()))
                 .collect(),
             metric_states,
+            call_enabled: vec![true; call_edges.len()],
             call_edges,
+            offline: BTreeSet::new(),
+            disabled_metrics: BTreeSet::new(),
+            clock_skew_ms: BTreeMap::new(),
+            rate_multiplier: 1.0,
             instances,
             reachable,
             latency_base_ms,
@@ -274,6 +292,199 @@ impl Simulation {
         }
     }
 
+    /// Enables or disables every call edge between `caller` and `callee`
+    /// at runtime — the dependency-drift primitive. A disabled edge
+    /// propagates no load and records no calls; re-enabling it restores
+    /// the original behaviour. Returns the number of edges toggled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulatorError::InvalidSpec`] when no such edge exists.
+    pub fn set_call_enabled(&mut self, caller: &str, callee: &str, enabled: bool) -> Result<usize> {
+        let mut toggled = 0;
+        for (i, (from, to)) in self.call_edges.iter().enumerate() {
+            if from == caller && to == callee {
+                self.call_enabled[i] = enabled;
+                toggled += 1;
+            }
+        }
+        if toggled == 0 {
+            return Err(SimulatorError::InvalidSpec {
+                reason: format!("call edge `{caller}` -> `{callee}` not found"),
+            });
+        }
+        Ok(toggled)
+    }
+
+    /// Crashes a component (`online = false`) or brings it back. While
+    /// offline it processes no load, issues and receives no calls, and
+    /// exports no metrics; its load histories keep advancing at zero so
+    /// tick alignment survives the outage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulatorError::UnknownComponent`] for unknown components.
+    pub fn set_component_online(&mut self, component: &str, online: bool) -> Result<()> {
+        let name = self.known_component(component)?;
+        if online {
+            self.offline.remove(&name);
+        } else {
+            self.offline.insert(name);
+        }
+        Ok(())
+    }
+
+    /// Suppresses (or restores) the export of one metric — a monitoring
+    /// agent dropout. While disabled the metric records nothing and its
+    /// internal state freezes, so a counter resumes from its last value.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimulatorError::UnknownComponent`] for unknown components.
+    /// * [`SimulatorError::InvalidSpec`] when the metric does not exist.
+    pub fn set_metric_enabled(
+        &mut self,
+        component: &str,
+        metric: &str,
+        enabled: bool,
+    ) -> Result<()> {
+        let name = self.known_component(component)?;
+        let id = self
+            .metric_states
+            .get(&name)
+            .and_then(|states| states.iter().find(|(id, _)| id.metric == metric))
+            .map(|(id, _)| id.clone())
+            .ok_or_else(|| SimulatorError::InvalidSpec {
+                reason: format!("metric `{metric}` not found in component `{component}`"),
+            })?;
+        if enabled {
+            self.disabled_metrics.remove(&id);
+        } else {
+            self.disabled_metrics.insert(id);
+        }
+        Ok(())
+    }
+
+    /// Sets the clock skew of a component's monitoring agent, in
+    /// milliseconds. Recorded timestamps are shifted by the skew
+    /// (saturating at zero); when a skew is later reduced, the store's
+    /// monotone-timestamp rule drops the agent's reports until simulated
+    /// time catches up with the previously reported clock — exactly how a
+    /// stepped-back NTP clock looks to a monitoring pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulatorError::UnknownComponent`] for unknown components.
+    pub fn set_clock_skew_ms(&mut self, component: &str, skew_ms: i64) -> Result<()> {
+        let name = self.known_component(component)?;
+        if skew_ms == 0 {
+            self.clock_skew_ms.remove(&name);
+        } else {
+            self.clock_skew_ms.insert(name, skew_ms);
+        }
+        Ok(())
+    }
+
+    /// Multiplies the external workload by `multiplier` from the next tick
+    /// on (load-regime change). Clamped to be nonnegative; 1.0 restores
+    /// the configured workload.
+    pub fn set_rate_multiplier(&mut self, multiplier: f64) {
+        self.rate_multiplier = if multiplier.is_finite() {
+            multiplier.max(0.0)
+        } else {
+            1.0
+        };
+    }
+
+    /// The current external-workload multiplier.
+    pub fn rate_multiplier(&self) -> f64 {
+        self.rate_multiplier
+    }
+
+    /// Applies a [`FaultScenario`](crate::fault::FaultScenario) to the *running* simulation — the
+    /// mid-stream counterpart of building a faulty [`AppSpec`] up front.
+    /// Metric states whose specification is unchanged keep their internal
+    /// state (counters keep counting); added or behaviour-replaced metrics
+    /// get fresh deterministic states seeded from the component and metric
+    /// names, so two runs applying the same scenario at the same tick stay
+    /// bitwise identical. Call edges, reachability, latency bases and
+    /// per-edge enable flags are re-resolved against the faulty spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultScenario::apply`](crate::fault::FaultScenario::apply) and [`AppSpec::validate`]
+    /// failures; on error the simulation is unchanged.
+    pub fn apply_faults(&mut self, scenario: &crate::fault::FaultScenario) -> Result<()> {
+        let new_spec = scenario.applied_to(&self.spec)?;
+        new_spec.validate()?;
+
+        for component in new_spec.components() {
+            let component_name = Name::new(&component.name);
+            let old_states = self
+                .metric_states
+                .remove(&component_name)
+                .unwrap_or_default();
+            let mut old_by_name: BTreeMap<&str, &(MetricId, MetricState)> = BTreeMap::new();
+            for entry in &old_states {
+                old_by_name.insert(entry.0.metric.as_str(), entry);
+            }
+            let states: Vec<(MetricId, MetricState)> = component
+                .metrics
+                .iter()
+                .map(|m| match old_by_name.get(m.name.as_str()) {
+                    Some((id, state)) if state.spec() == m => (id.clone(), (*state).clone()),
+                    _ => (
+                        MetricId::new(component_name.clone(), m.name.as_str()),
+                        MetricState::new(
+                            m.clone(),
+                            chaos_metric_seed(self.config.seed, &component.name, &m.name),
+                        ),
+                    ),
+                })
+                .collect();
+            self.metric_states.insert(component_name.clone(), states);
+            let base = component
+                .metrics
+                .iter()
+                .find_map(|m| match &m.behavior {
+                    crate::metrics::MetricBehavior::Latency { base_ms, .. } => Some(*base_ms),
+                    _ => None,
+                })
+                .unwrap_or(10.0);
+            self.latency_base_ms.insert(component_name, base);
+        }
+
+        let old_enabled: BTreeMap<(Name, Name), bool> = self
+            .call_edges
+            .iter()
+            .cloned()
+            .zip(self.call_enabled.iter().copied())
+            .collect();
+        self.call_edges = new_spec
+            .calls()
+            .iter()
+            .map(|c| (Name::new(&c.caller), Name::new(&c.callee)))
+            .collect();
+        self.call_enabled = self
+            .call_edges
+            .iter()
+            .map(|edge| old_enabled.get(edge).copied().unwrap_or(true))
+            .collect();
+        self.reachable = reachable_from(&new_spec, &new_spec.entrypoint);
+        self.spec = new_spec;
+        Ok(())
+    }
+
+    fn known_component(&self, component: &str) -> Result<Name> {
+        self.metric_states
+            .keys()
+            .find(|n| n.as_str() == component)
+            .cloned()
+            .ok_or_else(|| SimulatorError::UnknownComponent {
+                name: component.to_string(),
+            })
+    }
+
     /// Whether the simulation has processed all ticks.
     pub fn is_finished(&self) -> bool {
         self.current_tick >= self.total_ticks
@@ -287,15 +498,30 @@ impl Simulation {
     /// Advances the simulation by one tick. Returns `None` once the
     /// configured duration has been simulated.
     pub fn step(&mut self) -> Option<TickSnapshot> {
+        self.step_observed(|_, _, _| {})
+    }
+
+    /// Like [`Simulation::step`], but invokes `observer` for every metric
+    /// point offered to the store — `(id, timestamp_ms, value)`, in record
+    /// order. Feeding the observed stream to a fresh [`MetricStore`] (or a
+    /// serving layer's ingest path) reproduces this simulation's store
+    /// contents exactly, including the points a skewed clock makes the
+    /// store drop: the observer sees what the monitoring agent *sent*, the
+    /// store decides what survives.
+    pub fn step_observed(
+        &mut self,
+        mut observer: impl FnMut(&MetricId, u64, f64),
+    ) -> Option<TickSnapshot> {
         if self.is_finished() {
             return None;
         }
         let tick = self.current_tick;
         let time_ms = (tick as u64 + 1) * self.config.tick_ms;
-        let offered = self.workload.rate_at(tick, self.total_ticks);
+        let offered = self.workload.rate_at(tick, self.total_ticks) * self.rate_multiplier;
 
         // 1. Request rates: external load at the entrypoint plus propagated
-        //    load from callers at earlier ticks.
+        //    load from callers at earlier ticks. Disabled edges propagate
+        //    nothing; crashed components neither issue nor receive calls.
         let mut rates: BTreeMap<Name, f64> = self
             .request_history
             .keys()
@@ -304,7 +530,19 @@ impl Simulation {
         *rates
             .get_mut(self.spec.entrypoint.as_str())
             .expect("validated") += offered;
-        for (call, (caller, callee)) in self.spec.calls().iter().zip(self.call_edges.iter()) {
+        for (i, (call, (caller, callee))) in self
+            .spec
+            .calls()
+            .iter()
+            .zip(self.call_edges.iter())
+            .enumerate()
+        {
+            if !self.call_enabled[i]
+                || self.offline.contains(caller)
+                || self.offline.contains(callee)
+            {
+                continue;
+            }
             let lag_ticks = (call.lag_ms / self.config.tick_ms).max(1) as usize;
             if tick < lag_ticks {
                 continue;
@@ -323,8 +561,18 @@ impl Simulation {
             self.tracer
                 .record(caller, callee, propagated.round() as u64);
         }
+        // A crashed component processes nothing, wherever the load came from.
+        for component in &self.offline {
+            if let Some(slot) = rates.get_mut(component) {
+                *slot = 0.0;
+            }
+        }
 
-        // 2. Per-instance loads and metric sampling.
+        // 2. Per-instance loads and metric sampling. Histories are pushed
+        //    for every component every tick (crashed ones at zero) so tick
+        //    alignment survives outages; crashed components and disabled
+        //    metrics export nothing, and a metric skipped this tick keeps
+        //    its internal state (a counter resumes from its last value).
         let mut component_loads = BTreeMap::new();
         for (component, rate) in &rates {
             let instances = self.instances.get(component).copied().unwrap_or(1).max(1);
@@ -340,20 +588,37 @@ impl Simulation {
             history.push(load);
             component_loads.insert(component.clone(), load);
 
+            if self.offline.contains(component) {
+                continue;
+            }
+            let skew = self.clock_skew_ms.get(component).copied().unwrap_or(0);
+            let stamp = if skew >= 0 {
+                time_ms.saturating_add(skew as u64)
+            } else {
+                time_ms.saturating_sub(skew.unsigned_abs())
+            };
             let states = self
                 .metric_states
                 .get_mut(component)
                 .expect("component registered");
             for (id, state) in states.iter_mut() {
+                if self.disabled_metrics.contains(id) {
+                    continue;
+                }
                 let value = state.sample(tick, history);
-                self.store.record(id, time_ms, value);
+                self.store.record(id, stamp, value);
+                observer(id, stamp, value);
             }
         }
 
         // 3. End-to-end latency across all components reachable from the
-        //    entrypoint.
+        //    entrypoint (crashed components fail requests instead of
+        //    serving them, so they contribute no latency sample).
         let mut latency = 0.0;
         for component in &self.reachable {
+            if self.offline.contains(component) {
+                continue;
+            }
             let load = component_loads.get(component).copied().unwrap_or(0.0);
             let capacity = self
                 .spec
@@ -408,6 +673,23 @@ impl Simulation {
         }
         (self.drain_delta(), executed)
     }
+}
+
+/// Deterministic per-metric seed for states created by a mid-run fault:
+/// derived from the simulation seed and the component/metric names (an
+/// FNV-style byte fold), so the stream a fault introduces is independent
+/// of metric ordering and reproducible across runs.
+fn chaos_metric_seed(base: u64, component: &str, metric: &str) -> u64 {
+    let mut h = base ^ 0xC3A5_C85C_97CB_3127;
+    for b in component
+        .bytes()
+        .chain(std::iter::once(0xFF))
+        .chain(metric.bytes())
+    {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        h ^= h >> 29;
+    }
+    h
 }
 
 /// Components reachable from `start` along call edges (including `start`).
@@ -663,6 +945,249 @@ mod tests {
         let full = oracle.store().series(&MetricId::new("web", "cpu")).unwrap();
         assert_eq!(series.timestamps(), &full.timestamps()[100..]);
         assert_eq!(series.values(), &full.values()[100..]);
+    }
+
+    #[test]
+    fn disabling_a_call_edge_starves_the_downstream_component() {
+        let config = SimConfig::new(31).with_duration_ms(30_000);
+        let mut sim = Simulation::new(three_tier_app(), Workload::constant(50.0), config).unwrap();
+        for _ in 0..20 {
+            sim.step();
+        }
+        assert_eq!(sim.set_call_enabled("web", "db", false).unwrap(), 1);
+        sim.run_to_completion();
+        let db = sim
+            .store()
+            .series(&MetricId::new("db", "queries_per_s"))
+            .unwrap();
+        let values = db.values();
+        assert!(values[15] > 100.0, "db loaded before the edge went down");
+        assert!(
+            values[25..].iter().all(|&v| v < 10.0),
+            "no load after the edge went down"
+        );
+        assert!(sim.set_call_enabled("db", "lb", false).is_err());
+    }
+
+    #[test]
+    fn crashed_component_exports_nothing_until_restored() {
+        let config = SimConfig::new(32).with_duration_ms(30_000);
+        let mut sim = Simulation::new(three_tier_app(), Workload::constant(50.0), config).unwrap();
+        for _ in 0..20 {
+            sim.step();
+        }
+        sim.set_component_online("web", false).unwrap();
+        for _ in 0..20 {
+            sim.step();
+        }
+        sim.set_component_online("web", true).unwrap();
+        sim.run_to_completion();
+        let web = sim.store().series(&MetricId::new("web", "cpu")).unwrap();
+        // 60 ticks total, 20 of them down: only 40 samples recorded.
+        assert_eq!(web.len(), 40);
+        // Downstream load collapses while the middle tier is dead: the db
+        // receives nothing once in-flight lag drains.
+        let db = sim
+            .store()
+            .series(&MetricId::new("db", "queries_per_s"))
+            .unwrap();
+        let during_outage: Vec<f64> = db
+            .timestamps()
+            .iter()
+            .zip(db.values())
+            .filter(|(&ts, _)| (12_000..20_000).contains(&ts))
+            .map(|(_, &v)| v)
+            .collect();
+        assert!(!during_outage.is_empty());
+        assert!(during_outage.iter().all(|&v| v < 10.0));
+        assert!(sim.set_component_online("nope", false).is_err());
+    }
+
+    #[test]
+    fn disabled_metric_drops_out_and_resumes() {
+        let config = SimConfig::new(33).with_duration_ms(30_000);
+        let mut sim = Simulation::new(three_tier_app(), Workload::constant(20.0), config).unwrap();
+        for _ in 0..10 {
+            sim.step();
+        }
+        sim.set_metric_enabled("db", "bytes_written_total", false)
+            .unwrap();
+        for _ in 0..30 {
+            sim.step();
+        }
+        sim.set_metric_enabled("db", "bytes_written_total", true)
+            .unwrap();
+        sim.run_to_completion();
+        let series = sim
+            .store()
+            .series(&MetricId::new("db", "bytes_written_total"))
+            .unwrap();
+        assert_eq!(series.len(), 30, "30 of 60 ticks exported");
+        // The counter froze during the dropout instead of jumping.
+        let values = series.values();
+        assert!(values.windows(2).all(|w| w[1] >= w[0]), "still monotone");
+        // Sibling metric is unaffected.
+        let sibling = sim
+            .store()
+            .series(&MetricId::new("db", "queries_per_s"))
+            .unwrap();
+        assert_eq!(sibling.len(), 60);
+        assert!(sim.set_metric_enabled("db", "nope", false).is_err());
+        assert!(sim.set_metric_enabled("nope", "x", false).is_err());
+    }
+
+    #[test]
+    fn clock_skew_shifts_stamps_and_skew_reversal_drops_points() {
+        let config = SimConfig::new(34).with_duration_ms(30_000);
+        let mut sim = Simulation::new(three_tier_app(), Workload::constant(20.0), config).unwrap();
+        sim.set_clock_skew_ms("web", 5_000).unwrap();
+        for _ in 0..20 {
+            sim.step();
+        }
+        // The agent's clock steps back to true time: its next reports are
+        // older than what it already reported and get dropped until
+        // simulated time passes the old skewed watermark.
+        sim.set_clock_skew_ms("web", 0).unwrap();
+        sim.run_to_completion();
+        let web = sim.store().series(&MetricId::new("web", "cpu")).unwrap();
+        // Ticks 1..=20 recorded at +5s; ticks 21..30 (10.5s..15s) are below
+        // the 15s watermark and dropped; ticks 31..60 advance again.
+        assert_eq!(web.len(), 20 + 30);
+        assert_eq!(web.timestamps()[0], 5_500);
+        assert_eq!(web.timestamps()[19], 15_000);
+        assert_eq!(web.timestamps()[20], 15_500);
+        // Unskewed components are untouched.
+        let lb = sim
+            .store()
+            .series(&MetricId::new("lb", "requests_per_s"))
+            .unwrap();
+        assert_eq!(lb.len(), 60);
+        assert!(sim.set_clock_skew_ms("nope", 1).is_err());
+    }
+
+    #[test]
+    fn rate_multiplier_changes_the_load_regime() {
+        let config = SimConfig::new(35).with_duration_ms(30_000);
+        let mut sim = Simulation::new(three_tier_app(), Workload::constant(40.0), config).unwrap();
+        for _ in 0..30 {
+            sim.step();
+        }
+        sim.set_rate_multiplier(3.0);
+        assert_eq!(sim.rate_multiplier(), 3.0);
+        sim.run_to_completion();
+        let lb = sim
+            .store()
+            .series(&MetricId::new("lb", "requests_per_s"))
+            .unwrap();
+        let before = lb.values()[..30].iter().sum::<f64>() / 30.0;
+        let after = lb.values()[30..].iter().sum::<f64>() / 30.0;
+        assert!(
+            (after / before - 3.0).abs() < 0.2,
+            "regime shift visible at the entrypoint: {before} -> {after}"
+        );
+        sim.set_rate_multiplier(f64::NAN);
+        assert_eq!(sim.rate_multiplier(), 1.0);
+        sim.set_rate_multiplier(-2.0);
+        assert_eq!(sim.rate_multiplier(), 0.0);
+    }
+
+    #[test]
+    fn apply_faults_mid_run_swaps_metrics_and_stays_deterministic() {
+        use crate::fault::{Fault, FaultScenario};
+        let scenario = FaultScenario::new("agent-crash")
+            .with_fault(Fault::RemoveMetric {
+                component: "db".into(),
+                metric: "queries_per_s".into(),
+            })
+            .with_fault(Fault::AddMetric {
+                component: "db".into(),
+                metric: MetricSpec::gauge("queries_failed", MetricBehavior::load_proportional(2.0)),
+            });
+        let run = |seed: u64| {
+            let config = SimConfig::new(seed).with_duration_ms(30_000);
+            let mut sim =
+                Simulation::new(three_tier_app(), Workload::constant(30.0), config).unwrap();
+            for _ in 0..30 {
+                sim.step();
+            }
+            sim.apply_faults(&scenario).unwrap();
+            sim.run_to_completion();
+            sim
+        };
+        let sim = run(41);
+        let removed = sim
+            .store()
+            .series(&MetricId::new("db", "queries_per_s"))
+            .unwrap();
+        assert_eq!(removed.len(), 30, "removed metric stops mid-run");
+        let added = sim
+            .store()
+            .series(&MetricId::new("db", "queries_failed"))
+            .unwrap();
+        assert_eq!(added.len(), 30, "added metric starts mid-run");
+        // The surviving counter kept its internal state across the fault.
+        let counter = sim
+            .store()
+            .series(&MetricId::new("db", "bytes_written_total"))
+            .unwrap();
+        assert_eq!(counter.len(), 60);
+        assert!(counter.values().windows(2).all(|w| w[1] >= w[0]));
+        // Bitwise deterministic across identical chaos runs.
+        let again = run(41);
+        for id in [
+            MetricId::new("db", "queries_failed"),
+            MetricId::new("db", "bytes_written_total"),
+            MetricId::new("web", "cpu"),
+        ] {
+            assert_eq!(sim.store().series(&id), again.store().series(&id));
+        }
+        // Unknown references fail without corrupting the simulation.
+        let mut sim = run(42);
+        let bad = FaultScenario::new("bad").with_fault(Fault::RemoveMetric {
+            component: "nope".into(),
+            metric: "x".into(),
+        });
+        assert!(sim.apply_faults(&bad).is_err());
+        assert_eq!(sim.spec().component_count(), 3);
+    }
+
+    #[test]
+    fn observed_stream_reproduces_the_store() {
+        let config = SimConfig::new(36).with_duration_ms(20_000);
+        let mut sim =
+            Simulation::new(three_tier_app(), Workload::randomized(30.0, 4), config).unwrap();
+        sim.set_clock_skew_ms("web", 2_000).unwrap();
+        let mut observed: Vec<(MetricId, u64, f64)> = Vec::new();
+        let mut skew_dropped = false;
+        let mut tick = 0;
+        loop {
+            if tick == 15 {
+                sim.set_clock_skew_ms("web", 0).unwrap();
+                skew_dropped = true;
+            }
+            let stepped = sim
+                .step_observed(|id, ts, v| observed.push((id.clone(), ts, v)))
+                .is_some();
+            if !stepped {
+                break;
+            }
+            tick += 1;
+        }
+        assert!(skew_dropped);
+        // Replaying the observed stream into a fresh store reproduces the
+        // simulation's store exactly — including the skew-reverted points
+        // both stores drop by the same monotone-timestamp rule.
+        let replay = MetricStore::new();
+        for (id, ts, v) in &observed {
+            replay.record(id, *ts, *v);
+        }
+        assert!(
+            observed.len() as u64 > replay.point_count(),
+            "some points dropped"
+        );
+        for id in sim.store().metric_ids() {
+            assert_eq!(sim.store().series(&id), replay.series(&id));
+        }
     }
 
     #[test]

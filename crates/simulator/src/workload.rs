@@ -57,6 +57,80 @@ pub enum Workload {
         /// the simulation runs longer).
         rates: Vec<f64>,
     },
+    /// Independent Poisson arrivals: the per-tick request count is drawn
+    /// from a Poisson distribution with the given mean, so consecutive
+    /// ticks are genuinely bursty (variance equals the mean) instead of
+    /// smoothly oscillating — the M/M/c-style arrival process used by the
+    /// chaos scenarios.
+    Poisson {
+        /// Mean arrivals per tick (clamped to `[0, 600]` so the Knuth
+        /// sampler's `exp(-lambda)` stays representable).
+        lambda_per_tick: f64,
+        /// Seed for the deterministic arrival stream.
+        seed: u64,
+    },
+}
+
+/// A scripted load burst inside a [`Workload::diurnal_bursts`] trace: the
+/// ground truth the autoscaling score checks reactions against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// First tick of the burst.
+    pub start_tick: usize,
+    /// Burst length in ticks.
+    pub duration_ticks: usize,
+    /// Mean arrival rate during the burst (replaces the diurnal mean).
+    pub peak_rate: f64,
+}
+
+impl Burst {
+    /// Creates a burst.
+    pub fn new(start_tick: usize, duration_ticks: usize, peak_rate: f64) -> Self {
+        Self {
+            start_tick,
+            duration_ticks,
+            peak_rate,
+        }
+    }
+
+    /// First tick after the burst.
+    pub fn end_tick(&self) -> usize {
+        self.start_tick + self.duration_ticks
+    }
+
+    /// Whether `tick` falls inside the burst window.
+    pub fn contains(&self, tick: usize) -> bool {
+        (self.start_tick..self.end_tick()).contains(&tick)
+    }
+}
+
+/// Draws one Poisson-distributed arrival count, deterministically in
+/// `(seed, step)`: Knuth's product-of-uniforms algorithm over the same
+/// splitmix-style stream as [`deterministic_noise`]. `lambda` is clamped to
+/// `[0, 600]` so `exp(-lambda)` stays above `f64::MIN_POSITIVE`.
+pub fn poisson_sample(seed: u64, step: u64, lambda: f64) -> f64 {
+    let lambda = if lambda.is_finite() {
+        lambda.clamp(0.0, 600.0)
+    } else {
+        0.0
+    };
+    if lambda == 0.0 {
+        return 0.0;
+    }
+    let limit = (-lambda).exp();
+    let stream = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(step.wrapping_mul(0xD1B54A32D192ED03));
+    let mut product = 1.0_f64;
+    let mut count = 0u64;
+    loop {
+        let uniform = deterministic_noise(stream, count) + 0.5;
+        product *= uniform;
+        if product <= limit {
+            return count as f64;
+        }
+        count += 1;
+    }
 }
 
 impl Workload {
@@ -116,6 +190,45 @@ impl Workload {
         Workload::Trace { rates }
     }
 
+    /// Poisson arrivals with the given mean per tick.
+    pub fn poisson(lambda_per_tick: f64, seed: u64) -> Self {
+        Workload::Poisson {
+            lambda_per_tick,
+            seed,
+        }
+    }
+
+    /// A diurnal trace with Poisson burstiness and scripted load bursts:
+    /// the per-tick mean follows `base * (1 + relative_amplitude *
+    /// sin(2*pi*t/period_ticks))`, each [`Burst`] window replaces the mean
+    /// with its `peak_rate`, and the offered rate is a Poisson draw around
+    /// that mean — diurnal shape, bursty arrivals, and a ground-truth burst
+    /// schedule in one trace. Fully deterministic in `seed`.
+    pub fn diurnal_bursts(
+        total_ticks: usize,
+        base: f64,
+        relative_amplitude: f64,
+        period_ticks: usize,
+        bursts: &[Burst],
+        seed: u64,
+    ) -> Self {
+        let period = period_ticks.max(1) as f64;
+        let mut rates = Vec::with_capacity(total_ticks);
+        for t in 0..total_ticks {
+            let diurnal = base
+                * (1.0
+                    + relative_amplitude * (2.0 * std::f64::consts::PI * t as f64 / period).sin());
+            let mean = bursts
+                .iter()
+                .find(|b| b.contains(t))
+                .map(|b| b.peak_rate)
+                .unwrap_or(diurnal)
+                .max(0.0);
+            rates.push(poisson_sample(seed, t as u64, mean));
+        }
+        Workload::Trace { rates }
+    }
+
     /// The request rate offered at `tick` of a run with `total_ticks` ticks.
     pub fn rate_at(&self, tick: usize, total_ticks: usize) -> f64 {
         match self {
@@ -161,6 +274,10 @@ impl Workload {
                     rates[tick.min(rates.len() - 1)]
                 }
             }
+            Workload::Poisson {
+                lambda_per_tick,
+                seed,
+            } => poisson_sample(*seed, tick as u64, *lambda_per_tick),
         }
     }
 
@@ -254,6 +371,75 @@ mod tests {
         assert_eq!(w.rate_at(10, 20), 3.0);
         let empty = Workload::Trace { rates: vec![] };
         assert_eq!(empty.rate_at(5, 20), 0.0);
+    }
+
+    #[test]
+    fn poisson_arrivals_have_the_right_mean_and_are_bursty() {
+        let w = Workload::poisson(40.0, 11);
+        let total = 400;
+        let mean = w.mean_rate(total);
+        assert!(
+            (mean - 40.0).abs() < 4.0,
+            "empirical mean {mean} should be near lambda"
+        );
+        // Poisson variance equals the mean — far from a constant stream.
+        let var = (0..total)
+            .map(|t| {
+                let d = w.rate_at(t, total) - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / total as f64;
+        assert!(
+            var > 15.0 && var < 90.0,
+            "variance {var} should be near lambda"
+        );
+        // Counts are nonnegative integers.
+        assert!((0..total).all(|t| {
+            let r = w.rate_at(t, total);
+            r >= 0.0 && r.fract() == 0.0
+        }));
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed_and_differs_across_seeds() {
+        let a = Workload::poisson(25.0, 5);
+        let b = Workload::poisson(25.0, 5);
+        let c = Workload::poisson(25.0, 6);
+        assert!((0..200).all(|t| a.rate_at(t, 200) == b.rate_at(t, 200)));
+        assert!((0..200).any(|t| a.rate_at(t, 200) != c.rate_at(t, 200)));
+    }
+
+    #[test]
+    fn poisson_sample_handles_degenerate_lambdas() {
+        assert_eq!(poisson_sample(1, 0, 0.0), 0.0);
+        assert_eq!(poisson_sample(1, 0, -3.0), 0.0);
+        assert_eq!(poisson_sample(1, 0, f64::NAN), 0.0);
+        // The clamp keeps exp(-lambda) representable even for huge means.
+        assert!(poisson_sample(1, 0, 1e9) > 400.0);
+    }
+
+    #[test]
+    fn diurnal_bursts_spike_inside_the_scripted_windows() {
+        let bursts = [Burst::new(60, 20, 300.0)];
+        let w = Workload::diurnal_bursts(160, 40.0, 0.5, 48, &bursts, 9);
+        let burst_mean = (60..80).map(|t| w.rate_at(t, 160)).sum::<f64>() / 20.0;
+        let baseline_mean = (0..60)
+            .chain(80..160)
+            .map(|t| w.rate_at(t, 160))
+            .sum::<f64>()
+            / 140.0;
+        assert!(
+            burst_mean > 3.0 * baseline_mean,
+            "burst mean {burst_mean} vs baseline {baseline_mean}"
+        );
+        assert!(bursts[0].contains(60) && bursts[0].contains(79));
+        assert!(!bursts[0].contains(80) && bursts[0].end_tick() == 80);
+        // Deterministic in the seed.
+        let again = Workload::diurnal_bursts(160, 40.0, 0.5, 48, &bursts, 9);
+        assert_eq!(w, again);
+        let other = Workload::diurnal_bursts(160, 40.0, 0.5, 48, &bursts, 10);
+        assert_ne!(w, other);
     }
 
     #[test]

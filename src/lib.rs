@@ -26,6 +26,11 @@
 //! refreshing only what each observation round actually changed —
 //! optionally crash-safe through a per-shard write-ahead log with model
 //! snapshots and replay-on-boot ([`wal`], [`serve::service::SieveService::recover`]).
+//! The whole stack is graded against adversarial workloads with scripted
+//! ground truth by the chaos-scenario engine ([`scenario`]): seeded
+//! scenarios inject faults, bursts and dependency drift, and scoring
+//! harnesses check that RCA ranks the injected root cause, the
+//! incremental session tracks the drift, and autoscaling reacts in time.
 //!
 //! ## Quick start
 //!
@@ -69,6 +74,7 @@ pub use sieve_core as core;
 pub use sieve_exec as exec;
 pub use sieve_graph as graph;
 pub use sieve_rca as rca;
+pub use sieve_scenario as scenario;
 pub use sieve_serve as serve;
 pub use sieve_simulator as simulator;
 pub use sieve_timeseries as timeseries;
@@ -88,6 +94,10 @@ pub mod prelude {
     pub use sieve_exec::{par_map_chunks, Name};
     pub use sieve_graph::{CallGraph, DependencyEdge, DependencyGraph};
     pub use sieve_rca::{RcaConfig, RcaEngine, RcaReport};
+    pub use sieve_scenario::{
+        generate, scenario_matrix, score_clusters, score_drift, score_rca, smoke_matrix,
+        GroundTruth, ScenarioCase, ScenarioData, ScenarioSpec,
+    };
     pub use sieve_serve::{
         DurabilityConfig, FsyncPolicy, MetricPoint, RecoveryReport, ServeConfig, ServiceStats,
         SieveService,
